@@ -1,0 +1,120 @@
+// Command csmbench regenerates the paper's tables and figures as measured
+// experiments:
+//
+//	csmbench -table1          Table 1 (security / storage / throughput per scheme)
+//	csmbench -table2          Table 2 (fault-tolerance thresholds, formula vs empirical)
+//	csmbench -scaling         Theorem 1 series (γ, β, coding cost vs N)
+//	csmbench -fig2            Figure 2 scenario (K=2 machines, minimal cluster)
+//	csmbench -fig3            Figure 3 trace (coded state, erroneous g, RS correction)
+//	csmbench -fig4            Figure 4 (delegated coding round with proof verification)
+//	csmbench -fig5            Figure 5 (INTERMIX interactive fraud localization)
+//	csmbench -random-alloc    Section 7 (random allocation vs dynamic adversary)
+//	csmbench -all             everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codedsm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "csmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("csmbench", flag.ContinueOnError)
+	var (
+		table1      = fs.Bool("table1", false, "regenerate Table 1")
+		table2      = fs.Bool("table2", false, "regenerate Table 2")
+		scaling     = fs.Bool("scaling", false, "regenerate the Theorem 1 scaling series")
+		fig2        = fs.Bool("fig2", false, "run the Figure 2 scenario")
+		fig3        = fs.Bool("fig3", false, "trace the Figure 3 coded execution")
+		fig4        = fs.Bool("fig4", false, "run the Figure 4 delegated round")
+		fig5        = fs.Bool("fig5", false, "run the Figure 5 INTERMIX localization")
+		randomAlloc = fs.Bool("random-alloc", false, "run the Section 7 random-allocation comparison")
+		coding      = fs.Bool("coding", false, "run the Section 6.2 coding-cost ablation")
+		all         = fs.Bool("all", false, "run every experiment")
+		n           = fs.Int("n", 24, "network size for Table 1 (must make K=N/3 integral at mu=1/3, d=1)")
+		rounds      = fs.Int("rounds", 3, "measured rounds per experiment")
+		seed        = fs.Uint64("seed", 2019, "experiment seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	any := false
+	runIf := func(enabled bool, name string, f func() error) error {
+		if !enabled && !*all {
+			return nil
+		}
+		any = true
+		fmt.Printf("=== %s ===\n", name)
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println()
+		return nil
+	}
+	steps := []struct {
+		enabled bool
+		name    string
+		f       func() error
+	}{
+		{*table1, "Table 1: scheme comparison", func() error { return runTable1(*n, *rounds, *seed) }},
+		{*table2, "Table 2: fault thresholds", func() error { return runTable2(*seed) }},
+		{*scaling, "Theorem 1: scaling series", func() error { return runScaling(*rounds, *seed) }},
+		{*fig2, "Figure 2: K=2 machines, minimal cluster", func() error { return runFig2(*seed) }},
+		{*fig3, "Figure 3: coded execution trace", runFig3},
+		{*fig4, "Figure 4: delegated coding round", runFig4},
+		{*fig5, "Figure 5: INTERMIX fraud localization", runFig5},
+		{*randomAlloc, "Section 7: random allocation vs adversaries", func() error { return runRandomAlloc(*seed) }},
+		{*coding, "Section 6.2: coding-cost ablation (naive vs fast)", func() error { return runCoding(*seed) }},
+	}
+	for _, s := range steps {
+		if err := runIf(s.enabled, s.name, s.f); err != nil {
+			return err
+		}
+	}
+	if !any {
+		fs.Usage()
+	}
+	return nil
+}
+
+func runTable1(n, rounds int, seed uint64) error {
+	rows, err := codedsm.Table1(codedsm.Table1Config{
+		N: n, Mu: 1.0 / 3.0, D: 1, Rounds: rounds, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(codedsm.RenderTable1(rows))
+	fmt.Println("\n(µ = 1/3, d = 1; CSM row measured with b = µN wrong-result nodes injected.)")
+	return nil
+}
+
+func runTable2(seed uint64) error {
+	for _, tc := range []struct{ n, k, d int }{{20, 3, 2}, {31, 4, 3}, {24, 8, 1}} {
+		rows, err := codedsm.Table2(tc.n, tc.k, tc.d, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("N=%d K=%d d=%d\n%s\n", tc.n, tc.k, tc.d, codedsm.RenderTable2(rows))
+	}
+	return nil
+}
+
+func runScaling(rounds int, seed uint64) error {
+	rows, err := codedsm.Scaling([]int{12, 24, 48, 96}, 1.0/3.0, 1, rounds, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(codedsm.RenderScaling(rows))
+	fmt.Println("\n(γ = K and β = b both grow linearly in N while every round stays correct — Theorem 1.)")
+	return nil
+}

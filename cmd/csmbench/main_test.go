@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+// TestAllExperimentsRun executes every experiment end to end (small round
+// counts); this is the regression net for the paper-reproduction harness.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	if err := run([]string{"-all", "-rounds", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleFlags(t *testing.T) {
+	for _, flag := range []string{"-fig3", "-fig5"} {
+		if err := run([]string{flag}); err != nil {
+			t.Errorf("%s: %v", flag, err)
+		}
+	}
+}
+
+func TestBadTable1N(t *testing.T) {
+	if err := run([]string{"-table1", "-n", "25"}); err == nil {
+		t.Error("non-divisible N should fail with advice")
+	}
+}

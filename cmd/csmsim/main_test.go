@@ -1,0 +1,67 @@
+package main
+
+import (
+	"testing"
+
+	"codedsm"
+)
+
+func TestParseBehavior(t *testing.T) {
+	cases := map[string]codedsm.Behavior{
+		"wrong":      codedsm.WrongResult,
+		"silent":     codedsm.SilentNode,
+		"equivocate": codedsm.Equivocate,
+		"bad-leader": codedsm.BadLeader,
+	}
+	for in, want := range cases {
+		got, err := parseBehavior(in)
+		if err != nil || got != want {
+			t.Errorf("parseBehavior(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseBehavior("bogus"); err == nil {
+		t.Error("unknown behavior should fail")
+	}
+}
+
+func TestParseByzantine(t *testing.T) {
+	m, err := parseByzantine("1, 3,5", codedsm.WrongResult)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 || m[3] != codedsm.WrongResult {
+		t.Errorf("map = %v", m)
+	}
+	if m2, err := parseByzantine("", codedsm.WrongResult); err != nil || len(m2) != 0 {
+		t.Error("empty list should parse to empty map")
+	}
+	if _, err := parseByzantine("1,x", codedsm.WrongResult); err == nil {
+		t.Error("garbage index should fail")
+	}
+}
+
+func TestParseConsensus(t *testing.T) {
+	for in, want := range map[string]codedsm.ConsensusKind{
+		"oracle": codedsm.OracleConsensus, "dolev-strong": codedsm.DolevStrong, "pbft": codedsm.PBFT,
+	} {
+		got, err := parseConsensus(in)
+		if err != nil || got != want {
+			t.Errorf("parseConsensus(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseConsensus("raft"); err == nil {
+		t.Error("unknown consensus should fail")
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	if err := run([]string{"-n", "9", "-k", "2", "-b", "2", "-rounds", "1", "-byz", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "4", "-b", "2", "-d", "1"}); err == nil {
+		t.Error("no-capacity run should fail")
+	}
+	if err := run([]string{"-behavior", "bogus"}); err == nil {
+		t.Error("bad behavior should fail")
+	}
+}

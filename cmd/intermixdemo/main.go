@@ -1,0 +1,106 @@
+// Command intermixdemo runs one complete INTERMIX session (Section 6.1 of
+// the Coded State Machine paper) and prints the whole interaction: worker
+// output, committee election, Algorithm 1's bisection transcript, and the
+// commoners' constant-time verdicts.
+//
+//	intermixdemo -n 24 -k 16 -worker consistent-liar -mu 0.33 -epsilon 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codedsm"
+	"codedsm/internal/field"
+	"codedsm/internal/intermix"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "intermixdemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("intermixdemo", flag.ContinueOnError)
+	var (
+		n       = fs.Int("n", 24, "network size")
+		k       = fs.Int("k", 16, "vector length (matrix is n x k)")
+		worker  = fs.String("worker", "consistent-liar", "worker strategy: honest|naive-liar|consistent-liar")
+		mu      = fs.Float64("mu", 1.0/3.0, "dishonest fraction")
+		epsilon = fs.Float64("epsilon", 0.01, "target failure probability")
+		seed    = fs.Uint64("seed", 7, "election seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	strategy, err := parseStrategy(*worker)
+	if err != nil {
+		return err
+	}
+	gold := field.NewGoldilocks()
+	a := make([][]uint64, *n)
+	for i := range a {
+		a[i] = make([]uint64, *k)
+		for j := range a[i] {
+			a[i][j] = uint64(i**k + j + 1)
+		}
+	}
+	x := make([]uint64, *k)
+	for j := range x {
+		x[j] = uint64(3*j + 5)
+	}
+	j, err := codedsm.CommitteeSize(*epsilon, *mu)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("INTERMIX: verifying Y = AX with A %dx%d, committee target J = ceil(log ε / log µ) = %d\n",
+		*n, *k, j)
+	out, err := codedsm.RunIntermix(codedsm.IntermixSession[uint64]{
+		F: gold, A: a, X: x, NetworkSize: *n,
+		Mu: *mu, Epsilon: *epsilon, Seed: *seed,
+		WorkerStrategy: strategy, CorruptRow: *n / 2, CorruptCol: *k / 2,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("elected committee (beacon %d): %v\n", out.Beacon, out.Committee)
+	fmt.Printf("worker strategy: %v\n", strategy)
+	if strategy != intermix.HonestWorker {
+		// Re-run one audit verbosely for the transcript.
+		w, err := intermix.NewWorker[uint64](gold, a, x, strategy, *n/2, *k/2)
+		if err != nil {
+			return err
+		}
+		alert, err := intermix.Audit[uint64](gold, a, x, w.Output(), w.Answer)
+		if err != nil {
+			return err
+		}
+		if alert != nil {
+			fmt.Printf("honest auditor found row %d wrong; bisection transcript:\n", alert.Row)
+			for lvl, st := range alert.Steps {
+				fmt.Printf("  level %d: [%d,%d) left=%d right=%d claim=%d\n",
+					lvl, st.Lo, st.Hi, st.Left, st.Right, st.Claimed)
+			}
+			fmt.Printf("  verdict: %v (path %v, %d query pairs)\n", alert.Kind, alert.Path, alert.Queries)
+		}
+	}
+	fmt.Printf("valid alerts: %d, dismissed alerts: %d\n", out.ValidAlerts, out.DismissedAlerts)
+	fmt.Printf("final network verdict: accepted=%v\n", out.Accepted)
+	return nil
+}
+
+func parseStrategy(s string) (intermix.Strategy, error) {
+	switch s {
+	case "honest":
+		return intermix.HonestWorker, nil
+	case "naive-liar":
+		return intermix.NaiveLiar, nil
+	case "consistent-liar":
+		return intermix.ConsistentLiar, nil
+	default:
+		return intermix.HonestWorker, fmt.Errorf("unknown strategy %q", s)
+	}
+}

@@ -1,0 +1,307 @@
+// Package codedsm is a Go implementation of the Coded State Machine (CSM)
+// from "Coded State Machine — Scaling State Machine Execution under
+// Byzantine Faults" (Li, Sahraei, Yu, Avestimehr, Kannan, Viswanath,
+// PODC 2019 / arXiv:1906.10817).
+//
+// CSM runs K independent state machines with a polynomial transition
+// function on N untrusted nodes so that security β, storage efficiency γ,
+// and throughput λ all scale linearly in N — where classic replication must
+// trade them off. Each node stores one Lagrange-coded state, executes the
+// transition directly on coded data, and Reed-Solomon decoding of the N
+// results corrects everything up to b Byzantine nodes.
+//
+// The package re-exports the library's layers:
+//
+//   - fields:      NewGoldilocks (GF(2^64-2^32+1), NTT-friendly) and
+//     NewGF2m (GF(2^m), for Boolean machines per Appendix A);
+//   - machines:    NewBank, NewQuadraticTally, NewMultiplicativeAccumulator,
+//     NewInnerProduct, NewPolynomialRegister, NewBooleanMachine, FromExprs;
+//   - the engine:  NewCluster runs consensus + coded execution on a
+//     deterministic simulated network with Byzantine fault injection;
+//   - baselines:   NewFullReplication, NewPartialReplication and the
+//     random-allocation experiment for the Table 1 / Section 7 comparisons;
+//   - INTERMIX:    verifiable matrix-vector multiplication (Section 6.1);
+//   - delegation:  centralized verifiable coding (Section 6.2);
+//   - experiments: Table1, Table2, Scaling — the paper's quantitative
+//     content as runnable measurements.
+//
+// Quickstart: see examples/quickstart/main.go.
+package codedsm
+
+import (
+	"codedsm/internal/csm"
+	"codedsm/internal/field"
+	"codedsm/internal/intermix"
+	"codedsm/internal/lcc"
+	"codedsm/internal/metrics"
+	"codedsm/internal/mvpoly"
+	"codedsm/internal/poly"
+	"codedsm/internal/replication"
+	"codedsm/internal/sm"
+	"codedsm/internal/transport"
+)
+
+// ---- Fields ----
+
+// Field is the finite-field abstraction all coding is generic over.
+type Field[E comparable] = field.Field[E]
+
+// Goldilocks is GF(p), p = 2^64 - 2^32 + 1.
+type Goldilocks = field.Goldilocks
+
+// GF2m is the binary extension field GF(2^m).
+type GF2m = field.GF2m
+
+// OpCounts is a snapshot of counted field operations (the paper's
+// throughput unit).
+type OpCounts = field.OpCounts
+
+// Counting wraps a field and counts operations.
+type Counting[E comparable] = field.Counting[E]
+
+// NewGoldilocks returns the default prime field.
+func NewGoldilocks() Goldilocks { return field.NewGoldilocks() }
+
+// NewGF2m returns GF(2^m) for 2 <= m <= 16 (Appendix A requires 2^m >= N+K).
+func NewGF2m(m uint) (*GF2m, error) { return field.NewGF2m(m) }
+
+// NewCounting wraps a field with operation counters.
+func NewCounting[E comparable](f Field[E]) *Counting[E] { return field.NewCounting(f) }
+
+// ---- State machines ----
+
+// Transition is a polynomial state transition function.
+type Transition[E comparable] = sm.Transition[E]
+
+// Machine is an uncoded reference state machine.
+type Machine[E comparable] = sm.Machine[E]
+
+// BoolFunc is a Boolean transition for NewBooleanMachine.
+type BoolFunc = sm.BoolFunc
+
+// NewBank returns the paper's bank-balance machine (degree 1).
+func NewBank[E comparable](f Field[E]) (*Transition[E], error) { return sm.NewBank(f) }
+
+// NewQuadraticTally returns a degree-2 accumulator of squared commands.
+func NewQuadraticTally[E comparable](f Field[E]) (*Transition[E], error) {
+	return sm.NewQuadraticTally(f)
+}
+
+// NewMultiplicativeAccumulator returns the bilinear machine s' = s*x.
+func NewMultiplicativeAccumulator[E comparable](f Field[E]) (*Transition[E], error) {
+	return sm.NewMultiplicativeAccumulator(f)
+}
+
+// NewInnerProduct returns a vector machine whose output is <s+x, x>.
+func NewInnerProduct[E comparable](f Field[E], dim int) (*Transition[E], error) {
+	return sm.NewInnerProduct(f, dim)
+}
+
+// NewPolynomialRegister returns a machine of exact degree d.
+func NewPolynomialRegister[E comparable](f Field[E], d int) (*Transition[E], error) {
+	return sm.NewPolynomialRegister(f, d)
+}
+
+// NewAffine returns the linear machine S' = A S + B X.
+func NewAffine[E comparable](f Field[E], a, b [][]E) (*Transition[E], error) {
+	return sm.NewAffine(f, a, b)
+}
+
+// FromExprs builds a transition from polynomial expressions, e.g.
+// FromExprs(f, "mymachine", []string{"s"}, []string{"x"},
+// []string{"s + x^2"}, []string{"s*x"}).
+func FromExprs[E comparable](f Field[E], name string, stateVars, cmdVars, nextExprs, outExprs []string) (*Transition[E], error) {
+	return sm.FromExprs(f, name, stateVars, cmdVars, nextExprs, outExprs)
+}
+
+// NewBooleanMachine converts an arbitrary Boolean transition function into
+// a polynomial machine over GF(2^m) (Appendix A).
+func NewBooleanMachine(f Field[uint64], name string, stateBits, cmdBits, outBits int, fn BoolFunc) (*Transition[uint64], error) {
+	return sm.NewBoolean(f, name, stateBits, cmdBits, outBits, fn)
+}
+
+// PackBits embeds bits into GF(2^m) coordinates (equation (13)).
+func PackBits(f *GF2m, v uint64, width int) []uint64 { return sm.PackBits(f, v, width) }
+
+// UnpackBits inverts PackBits.
+func UnpackBits(f *GF2m, vec []uint64) (uint64, error) { return sm.UnpackBits(f, vec) }
+
+// NewMachine creates an uncoded reference machine.
+func NewMachine[E comparable](tr *Transition[E], initial []E) (*Machine[E], error) {
+	return sm.NewMachine(tr, initial)
+}
+
+// ---- The CSM engine ----
+
+// Cluster is a running CSM deployment.
+type Cluster[E comparable] = csm.Cluster[E]
+
+// ClusterConfig configures a cluster.
+type ClusterConfig[E comparable] = csm.Config[E]
+
+// RoundResult reports one executed round.
+type RoundResult[E comparable] = csm.RoundResult[E]
+
+// Behavior selects a Byzantine node's misbehaviour.
+type Behavior = csm.Behavior
+
+// Byzantine behaviours.
+const (
+	Honest      = csm.Honest
+	WrongResult = csm.WrongResult
+	SilentNode  = csm.Silent
+	Equivocate  = csm.Equivocate
+	BadLeader   = csm.BadLeader
+)
+
+// ConsensusKind selects the consensus-phase protocol.
+type ConsensusKind = csm.ConsensusKind
+
+// Consensus protocols.
+const (
+	OracleConsensus = csm.Oracle
+	DolevStrong     = csm.DolevStrong
+	PBFT            = csm.PBFT
+)
+
+// NetworkMode selects the timing model.
+type NetworkMode = transport.Mode
+
+// Timing models.
+const (
+	Synchronous          = transport.Sync
+	PartiallySynchronous = transport.PartialSync
+)
+
+// NewCluster builds a CSM cluster.
+func NewCluster[E comparable](cfg ClusterConfig[E]) (*Cluster[E], error) { return csm.New(cfg) }
+
+// RandomWorkload generates a reproducible workload.
+func RandomWorkload[E comparable](f Field[E], rounds, k, cmdLen int, seed uint64) [][][]E {
+	return csm.RandomWorkload(f, rounds, k, cmdLen, seed)
+}
+
+// ---- Capacity planning (Table 2 bounds) ----
+
+// SyncMaxMachines returns the largest K for N nodes, b faults, degree d in
+// a synchronous network.
+func SyncMaxMachines(n, b, d int) int { return lcc.SyncMaxMachines(n, b, d) }
+
+// PSyncMaxMachines is the partially synchronous bound.
+func PSyncMaxMachines(n, b, d int) int { return lcc.PSyncMaxMachines(n, b, d) }
+
+// SyncMaxFaults returns the largest b tolerated for fixed N, K, d.
+func SyncMaxFaults(n, k, d int) int { return lcc.SyncMaxFaults(n, k, d) }
+
+// PSyncMaxFaults is the partially synchronous bound.
+func PSyncMaxFaults(n, k, d int) int { return lcc.PSyncMaxFaults(n, k, d) }
+
+// ---- Replication baselines ----
+
+// ReplicationConfig configures a baseline cluster.
+type ReplicationConfig[E comparable] = replication.Config[E]
+
+// FullReplication is the γ=1 baseline.
+type FullReplication[E comparable] = replication.FullCluster[E]
+
+// PartialReplication is the β=Θ(N/K) baseline.
+type PartialReplication[E comparable] = replication.PartialCluster[E]
+
+// NewFullReplication builds the full-replication baseline.
+func NewFullReplication[E comparable](cfg ReplicationConfig[E]) (*FullReplication[E], error) {
+	return replication.NewFull(cfg)
+}
+
+// NewPartialReplication builds the partial-replication baseline.
+func NewPartialReplication[E comparable](cfg ReplicationConfig[E]) (*PartialReplication[E], error) {
+	return replication.NewPartial(cfg)
+}
+
+// ConcentratedAttack corrupts a majority of one partial-replication group.
+func ConcentratedAttack(n, k, target int) (map[int]replication.Behavior, error) {
+	return replication.ConcentratedAttack(n, k, target)
+}
+
+// Colluding is the replication baselines' lying behaviour.
+const Colluding = replication.Colluding
+
+// RandomAllocationExperiment models Section 7's random-allocation scheme
+// under static and dynamic adversaries.
+type RandomAllocationExperiment = replication.RandomAllocationExperiment
+
+// Adversary kinds for RandomAllocationExperiment.
+const (
+	StaticAdversary  = replication.StaticAdversary
+	DynamicAdversary = replication.DynamicAdversary
+)
+
+// ---- INTERMIX ----
+
+// IntermixStrategy selects worker behaviour.
+type IntermixStrategy = intermix.Strategy
+
+// Worker strategies.
+const (
+	HonestWorker   = intermix.HonestWorker
+	NaiveLiar      = intermix.NaiveLiar
+	ConsistentLiar = intermix.ConsistentLiar
+)
+
+// IntermixSession configures a full INTERMIX round.
+type IntermixSession[E comparable] = intermix.SessionConfig[E]
+
+// IntermixOutcome reports a session.
+type IntermixOutcome[E comparable] = intermix.Outcome[E]
+
+// RunIntermix executes delegation + election + audits + verification.
+func RunIntermix[E comparable](cfg IntermixSession[E]) (*IntermixOutcome[E], error) {
+	return intermix.RunSession(cfg)
+}
+
+// CommitteeSize returns J = ceil(log ε / log µ).
+func CommitteeSize(epsilon, mu float64) (int, error) { return intermix.CommitteeSize(epsilon, mu) }
+
+// ---- Experiments (the paper's tables and figures) ----
+
+// Table1Row is one measured row of the paper's Table 1.
+type Table1Row = metrics.Table1Row
+
+// Table1Config parameterizes the Table 1 experiment.
+type Table1Config = metrics.Table1Config
+
+// Table1 measures security, storage and throughput for every scheme.
+func Table1(cfg Table1Config) ([]Table1Row, error) { return metrics.Table1(cfg) }
+
+// RenderTable1 renders rows as text.
+func RenderTable1(rows []Table1Row) string { return metrics.RenderTable1(rows) }
+
+// Table2Row is one threshold row of the paper's Table 2.
+type Table2Row = metrics.Table2Row
+
+// Table2 sweeps fault counts around every threshold.
+func Table2(n, k, d int, seed uint64) ([]Table2Row, error) { return metrics.Table2(n, k, d, seed) }
+
+// RenderTable2 renders rows as text.
+func RenderTable2(rows []Table2Row) string { return metrics.RenderTable2(rows) }
+
+// ScalingRow is one point of the Theorem 1 scaling series.
+type ScalingRow = metrics.ScalingRow
+
+// Scaling measures the Theorem 1 series over network sizes.
+func Scaling(ns []int, mu float64, d, rounds int, seed uint64) ([]ScalingRow, error) {
+	return metrics.Scaling(ns, mu, d, rounds, seed)
+}
+
+// RenderScaling renders the series as text.
+func RenderScaling(rows []ScalingRow) string { return metrics.RenderScaling(rows) }
+
+// ---- Polynomial utilities ----
+
+// ParsePolynomial parses a multivariate polynomial expression.
+func ParsePolynomial[E comparable](f Field[E], expr string, vars []string) (mvpoly.Poly[E], error) {
+	return mvpoly.Parse(f, expr, vars)
+}
+
+// NewRing constructs a univariate polynomial ring (NTT-accelerated when the
+// field supports it).
+func NewRing[E comparable](f Field[E]) *poly.Ring[E] { return poly.NewRing[E](f) }

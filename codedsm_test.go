@@ -1,0 +1,233 @@
+package codedsm
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd exercises the facade the way a downstream user
+// would: build a cluster from the library's machine constructors, run a
+// workload under faults, and cross-check with the baselines.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	gold := NewGoldilocks()
+	cluster, err := NewCluster(ClusterConfig[uint64]{
+		BaseField:     gold,
+		NewTransition: NewBank[uint64],
+		K:             3, N: 12, MaxFaults: 2,
+		Byzantine:     map[int]Behavior{4: WrongResult, 9: SilentNode},
+		InitialStates: [][]uint64{{100}, {200}, {300}},
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := RandomWorkload[uint64](gold, 3, 3, 1, 2)
+	for r, cmds := range wl {
+		res, err := cluster.ExecuteRound(cmds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Correct {
+			t.Fatalf("round %d incorrect", r)
+		}
+	}
+	if cluster.OpCounts().Total() == 0 {
+		t.Error("no throughput accounting")
+	}
+}
+
+func TestPublicAPICustomMachine(t *testing.T) {
+	gold := NewGoldilocks()
+	tr, err := FromExprs[uint64](gold, "amm-ish",
+		[]string{"r0", "r1"}, []string{"dx"},
+		[]string{"r0 + dx", "r1 + 2*dx"},
+		[]string{"r0*r1 + dx^2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Degree() != 2 || tr.StateLen() != 2 {
+		t.Fatalf("degree=%d stateLen=%d", tr.Degree(), tr.StateLen())
+	}
+	m, err := NewMachine(tr, []uint64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Step([]uint64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output is f(S(t), X(t)) — evaluated on the *current* state (3, 4).
+	if out[0] != 3*4+1 {
+		t.Errorf("out = %v", out)
+	}
+	if st := m.State(); st[0] != 4 || st[1] != 6 {
+		t.Errorf("next state = %v", st)
+	}
+}
+
+func TestPublicAPIBooleanOverGF2m(t *testing.T) {
+	f, err := NewGF2m(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := NewCluster(ClusterConfig[uint64]{
+		BaseField: f,
+		NewTransition: func(ff Field[uint64]) (*Transition[uint64], error) {
+			return NewBooleanMachine(ff, "xor", 1, 1, 1,
+				func(s, c uint64) (uint64, uint64) { return (s ^ c) & 1, s & c & 1 })
+		},
+		K: 2, N: 8, MaxFaults: 1,
+		Byzantine: map[int]Behavior{3: WrongResult},
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds := [][]uint64{PackBits(f, 1, 1), PackBits(f, 0, 1)}
+	res, err := cluster.ExecuteRound(cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatal("Boolean cluster incorrect")
+	}
+	bit, err := UnpackBits(f, res.Outputs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = bit
+}
+
+func TestPublicAPIBaselinesAndExperiments(t *testing.T) {
+	gold := NewGoldilocks()
+	full, err := NewFullReplication(ReplicationConfig[uint64]{
+		BaseField: gold, NewTransition: NewBank[uint64], K: 2, N: 6, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Security() != 2 {
+		t.Errorf("full security %d", full.Security())
+	}
+	attack, err := ConcentratedAttack(6, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attack) != 2 {
+		t.Errorf("attack size %d", len(attack))
+	}
+	rows, err := Table2(15, 2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.Match {
+			t.Errorf("threshold mismatch: %+v", r)
+		}
+	}
+	if !strings.Contains(RenderTable2(rows), "decoding") {
+		t.Error("render")
+	}
+	if SyncMaxMachines(31, 5, 2) != 11 {
+		t.Error("capacity helper")
+	}
+	if PSyncMaxFaults(31, 11, 2) < 0 {
+		t.Error("psync helper")
+	}
+}
+
+func TestPublicAPIIntermix(t *testing.T) {
+	gold := NewGoldilocks()
+	a := [][]uint64{{1, 2}, {3, 4}, {5, 6}}
+	x := []uint64{7, 8}
+	out, err := RunIntermix(IntermixSession[uint64]{
+		F: gold, A: a, X: x, NetworkSize: 6,
+		Mu: 0.3, Epsilon: 0.05, Seed: 1,
+		WorkerStrategy: NaiveLiar, CorruptRow: 1, CorruptCol: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted {
+		t.Error("liar accepted")
+	}
+	j, err := CommitteeSize(0.05, 0.3)
+	if err != nil || j < 1 {
+		t.Errorf("J=%d err=%v", j, err)
+	}
+}
+
+func TestPublicAPIPolynomialUtilities(t *testing.T) {
+	gold := NewGoldilocks()
+	p, err := ParsePolynomial[uint64](gold, "a^2 + 2*b", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.Eval(gold, []uint64{3, 4})
+	if err != nil || v != 17 {
+		t.Errorf("eval = %d, %v", v, err)
+	}
+	ring := NewRing[uint64](gold)
+	if !ring.HasNTT() {
+		t.Error("Goldilocks ring should be NTT-capable")
+	}
+}
+
+func TestPublicAPIPartiallySynchronousPBFT(t *testing.T) {
+	gold := NewGoldilocks()
+	cluster, err := NewCluster(ClusterConfig[uint64]{
+		BaseField:     gold,
+		NewTransition: NewQuadraticTally[uint64],
+		K:             2, N: 13, MaxFaults: 3,
+		Mode: PartiallySynchronous, GST: 0,
+		Consensus: PBFT,
+		Byzantine: map[int]Behavior{6: WrongResult},
+		Seed:      9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := RandomWorkload[uint64](gold, 2, 2, 1, 4)
+	for r, cmds := range wl {
+		res, err := cluster.ExecuteRound(cmds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Correct {
+			t.Fatalf("round %d incorrect", r)
+		}
+	}
+}
+
+func TestPublicAPIDelegatedMode(t *testing.T) {
+	gold := NewGoldilocks()
+	cluster, err := NewCluster(ClusterConfig[uint64]{
+		BaseField:     gold,
+		NewTransition: NewBank[uint64],
+		K:             3, N: 12, MaxFaults: 2,
+		NoEquivocation: true,
+		Delegated:      true,
+		Byzantine:      map[int]Behavior{4: WrongResult},
+		Seed:           21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := RandomWorkload[uint64](gold, 2, 3, 1, 22)
+	for r, cmds := range wl {
+		res, err := cluster.ExecuteRound(cmds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Correct {
+			t.Fatalf("delegated round %d incorrect", r)
+		}
+	}
+	// Liveness and repair are part of the public surface too.
+	if err := cluster.RepairNode(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.RunQueue(RandomWorkload[uint64](gold, 1, 3, 1, 23), 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package codedsm_test
+
+import (
+	"fmt"
+	"log"
+
+	"codedsm"
+)
+
+// Example runs three coded bank accounts on twelve nodes with two
+// Byzantine ones, and shows the decoded balances plus the identified liars.
+func Example() {
+	gold := codedsm.NewGoldilocks()
+	cluster, err := codedsm.NewCluster(codedsm.ClusterConfig[uint64]{
+		BaseField:     gold,
+		NewTransition: codedsm.NewBank[uint64],
+		K:             3, N: 12, MaxFaults: 2,
+		Byzantine: map[int]codedsm.Behavior{
+			4: codedsm.WrongResult,
+			9: codedsm.WrongResult,
+		},
+		InitialStates: [][]uint64{{1000}, {2000}, {3000}},
+		Seed:          42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cluster.ExecuteRound([][]uint64{{100}, {200}, {300}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("correct:", res.Correct)
+	fmt.Println("liars caught:", res.FaultyDetected)
+	for k, out := range res.Outputs {
+		fmt.Printf("account %d: %d\n", k, out[0])
+	}
+	// Output:
+	// correct: true
+	// liars caught: [4 9]
+	// account 0: 1100
+	// account 1: 2200
+	// account 2: 3300
+}
+
+// ExampleFromExprs builds a custom degree-2 machine from polynomial
+// expressions and runs it uncoded.
+func ExampleFromExprs() {
+	gold := codedsm.NewGoldilocks()
+	tr, err := codedsm.FromExprs[uint64](gold, "tally",
+		[]string{"s"}, []string{"x"},
+		[]string{"s + x^2"}, []string{"s + x^2"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := codedsm.NewMachine(tr, []uint64{0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range []uint64{1, 2, 3} {
+		if _, err := m.Step([]uint64{v}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("degree:", tr.Degree())
+	fmt.Println("tally:", m.State()[0])
+	// Output:
+	// degree: 2
+	// tally: 14
+}
+
+// ExampleCommitteeSize shows the Section 6.1 auditor-count formula.
+func ExampleCommitteeSize() {
+	j, err := codedsm.CommitteeSize(0.001, 1.0/3.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("J = %d auditors for epsilon=0.001, mu=1/3\n", j)
+	// Output:
+	// J = 7 auditors for epsilon=0.001, mu=1/3
+}
+
+// ExampleSyncMaxMachines shows the Table 2 capacity bound.
+func ExampleSyncMaxMachines() {
+	// N=31 nodes, b=5 faults, degree-2 transitions:
+	fmt.Println(codedsm.SyncMaxMachines(31, 5, 2))
+	// Output:
+	// 11
+}

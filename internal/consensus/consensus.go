@@ -1,0 +1,71 @@
+// Package consensus defines the interface between CSM's consensus phase and
+// its execution phase, plus a lock-step runner. CSM deliberately reuses
+// standard consensus protocols ("CSM uses the same consensus protocols to
+// decide on the input commands", Section 1): the Dolev-Strong authenticated
+// broadcast for synchronous networks (sub-package dolevstrong, tolerating
+// any b < N) and PBFT for partially synchronous networks (sub-package pbft,
+// requiring N >= 3b+1).
+package consensus
+
+import (
+	"errors"
+	"fmt"
+
+	"codedsm/internal/transport"
+)
+
+// ErrNoDecision is returned when a protocol instance exhausts its round
+// budget without every honest node deciding.
+var ErrNoDecision = errors.New("consensus: no decision within round budget")
+
+// Node is one participant in a lock-step protocol instance. Tick is called
+// once per network round with the messages delivered this round; the node
+// reacts by sending messages through its endpoint.
+type Node interface {
+	// Tick processes one round.
+	Tick(inbox []transport.Message) error
+	// Decided returns the decided value once the node has terminated.
+	Decided() ([]byte, bool)
+}
+
+// Run drives a set of nodes in lock step until every node in waitFor has
+// decided or maxRounds have elapsed. Nodes not in waitFor (e.g. Byzantine
+// ones simulated by adversarial Node implementations) still get ticks.
+func Run(net *transport.Network, nodes []Node, waitFor []int, maxRounds int) error {
+	if len(waitFor) == 0 {
+		return fmt.Errorf("consensus: empty waitFor set")
+	}
+	endpoints := make([]*transport.Endpoint, len(nodes))
+	for i := range nodes {
+		e, err := net.Endpoint(transport.NodeID(i))
+		if err != nil {
+			return err
+		}
+		endpoints[i] = e
+	}
+	for r := 0; r < maxRounds; r++ {
+		for i, n := range nodes {
+			if n == nil {
+				continue
+			}
+			if err := n.Tick(endpoints[i].Receive()); err != nil {
+				return fmt.Errorf("consensus: node %d round %d: %w", i, r, err)
+			}
+		}
+		net.Step()
+		done := true
+		for _, i := range waitFor {
+			if nodes[i] == nil {
+				continue
+			}
+			if _, ok := nodes[i].Decided(); !ok {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil
+		}
+	}
+	return ErrNoDecision
+}

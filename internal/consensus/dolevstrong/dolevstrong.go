@@ -1,0 +1,224 @@
+// Package dolevstrong implements the Dolev-Strong authenticated broadcast
+// protocol: with message signatures, a designated sender broadcasts a value
+// and after t+1 rounds every honest node decides the same value, for any
+// number of faults t < N. This is the classic Byzantine generals protocol
+// with digital signatures the paper's synchronous consensus phase relies on
+// (Section 3: "consistency ... for an arbitrary number b < N of malicious
+// nodes").
+//
+// Protocol (lock-step rounds):
+//
+//	round 0:  the sender signs its value and broadcasts (value, [sig_s]).
+//	round r:  a node that receives a value carried by a chain of r distinct
+//	          valid signatures starting with the sender's — and has
+//	          extracted fewer than two distinct values so far — extracts
+//	          it, appends its own signature, and re-broadcasts.
+//	round t+1: a node decides the unique extracted value, or the default
+//	          value if zero or more than one value was extracted (sender
+//	          provably faulty).
+package dolevstrong
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"codedsm/internal/consensus"
+	"codedsm/internal/transport"
+)
+
+// msgKind tags Dolev-Strong messages on the wire.
+const msgKind = "dolev-strong"
+
+// chainMsg is the wire format: a value and its signature chain.
+type chainMsg struct {
+	Slot    uint64
+	Value   []byte
+	Signers []uint64
+	Sigs    [][]byte
+}
+
+// Config configures one protocol instance at one node.
+type Config struct {
+	// Net is the shared simulated network (must be synchronous).
+	Net *transport.Network
+	// ID is this node.
+	ID transport.NodeID
+	// Sender is the designated broadcaster for this slot.
+	Sender transport.NodeID
+	// Slot disambiguates concurrent instances (signature domain).
+	Slot uint64
+	// MaxFaults is t; the protocol runs t+1 relay rounds.
+	MaxFaults int
+	// Value is the sender's proposal (ignored at other nodes).
+	Value []byte
+	// Default is decided when the sender is detected faulty.
+	Default []byte
+}
+
+// Node is one participant. It implements consensus.Node.
+type Node struct {
+	cfg       Config
+	ep        *transport.Endpoint
+	tick      int
+	extracted map[string][]byte // key: string(value)
+	relayed   map[string]bool
+	decided   []byte
+	done      bool
+}
+
+var _ consensus.Node = (*Node)(nil)
+
+// New creates a protocol participant.
+func New(cfg Config) (*Node, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("dolevstrong: nil network")
+	}
+	if cfg.MaxFaults < 0 || cfg.MaxFaults >= cfg.Net.N() {
+		return nil, fmt.Errorf("dolevstrong: MaxFaults %d out of range [0,%d)", cfg.MaxFaults, cfg.Net.N())
+	}
+	ep, err := cfg.Net.Endpoint(cfg.ID)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{
+		cfg:       cfg,
+		ep:        ep,
+		extracted: make(map[string][]byte),
+		relayed:   make(map[string]bool),
+	}, nil
+}
+
+// signContext is the domain-separated context for chain signatures.
+func signContext(slot uint64) string {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], slot)
+	return "ds-chain:" + string(b[:])
+}
+
+// Tick implements consensus.Node.
+func (n *Node) Tick(inbox []transport.Message) error {
+	defer func() { n.tick++ }()
+	if n.tick == 0 {
+		if n.cfg.ID == n.cfg.Sender {
+			n.extract(n.cfg.Value)
+			if err := n.relay(n.cfg.Value, nil, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if n.done {
+		return nil
+	}
+	round := n.tick // messages processed at tick r were sent at r-1
+	for _, m := range inbox {
+		if m.Kind != msgKind {
+			continue
+		}
+		var cm chainMsg
+		if err := gob.NewDecoder(bytes.NewReader(m.Payload)).Decode(&cm); err != nil {
+			continue // malformed: Byzantine garbage
+		}
+		if cm.Slot != n.cfg.Slot {
+			continue
+		}
+		if !n.validChain(cm, round) {
+			continue
+		}
+		if n.extract(cm.Value) && len(n.extracted) <= 2 && round <= n.cfg.MaxFaults {
+			if err := n.relay(cm.Value, cm.Signers, cm.Sigs); err != nil {
+				return err
+			}
+		}
+	}
+	if round >= n.cfg.MaxFaults+1 {
+		if len(n.extracted) == 1 {
+			for _, v := range n.extracted {
+				n.decided = v
+			}
+		} else {
+			n.decided = n.cfg.Default
+		}
+		if n.decided == nil {
+			n.decided = []byte{}
+		}
+		n.done = true
+	}
+	return nil
+}
+
+// extract records a value; it reports whether the value was new.
+func (n *Node) extract(value []byte) bool {
+	key := string(value)
+	if _, ok := n.extracted[key]; ok {
+		return false
+	}
+	n.extracted[key] = append([]byte(nil), value...)
+	return true
+}
+
+// validChain checks a signature chain received in the given round: at least
+// `round` distinct valid signers, the first being the designated sender.
+func (n *Node) validChain(cm chainMsg, round int) bool {
+	if len(cm.Signers) != len(cm.Sigs) || len(cm.Signers) < round {
+		return false
+	}
+	if len(cm.Signers) == 0 || transport.NodeID(cm.Signers[0]) != n.cfg.Sender {
+		return false
+	}
+	seen := make(map[uint64]bool, len(cm.Signers))
+	ctx := signContext(cm.Slot)
+	for i, signer := range cm.Signers {
+		if seen[signer] {
+			return false
+		}
+		seen[signer] = true
+		if !n.cfg.Net.VerifyBlob(transport.NodeID(signer), ctx, cm.Value, cm.Sigs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// relay appends this node's signature to the chain and broadcasts.
+func (n *Node) relay(value []byte, signers []uint64, sigs [][]byte) error {
+	key := string(value)
+	if n.relayed[key] {
+		return nil
+	}
+	n.relayed[key] = true
+	alreadySigned := false
+	for _, s := range signers {
+		if transport.NodeID(s) == n.cfg.ID {
+			alreadySigned = true
+		}
+	}
+	outSigners := append([]uint64{}, signers...)
+	outSigs := make([][]byte, len(sigs))
+	copy(outSigs, sigs)
+	if !alreadySigned {
+		outSigners = append(outSigners, uint64(n.cfg.ID))
+		outSigs = append(outSigs, n.ep.SignBlob(signContext(n.cfg.Slot), value))
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(chainMsg{
+		Slot: n.cfg.Slot, Value: value, Signers: outSigners, Sigs: outSigs,
+	}); err != nil {
+		return fmt.Errorf("dolevstrong: encode: %w", err)
+	}
+	return n.ep.Broadcast(msgKind, buf.Bytes())
+}
+
+// Decided implements consensus.Node.
+func (n *Node) Decided() ([]byte, bool) {
+	if !n.done {
+		return nil, false
+	}
+	return n.decided, true
+}
+
+// Rounds returns the number of lock-step rounds a full instance takes:
+// t+2 ticks (one send round plus t+1 relay/decide rounds).
+func Rounds(maxFaults int) int { return maxFaults + 2 }

@@ -1,0 +1,460 @@
+// Package pbft implements a single-slot Practical Byzantine Fault Tolerance
+// instance — the consensus protocol the paper uses for partially
+// synchronous networks (Section 3, citing Castro & Liskov). It requires
+// N >= 3f+1 nodes and tolerates f Byzantine faults through three phases
+// (pre-prepare, prepare, commit) with 2f+1 quorums, plus view changes with
+// exponentially growing timeouts that guarantee liveness after GST.
+package pbft
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"codedsm/internal/consensus"
+	"codedsm/internal/transport"
+)
+
+// Message kinds on the wire.
+const (
+	kindPrePrepare = "pbft-preprepare"
+	kindPrepare    = "pbft-prepare"
+	kindCommit     = "pbft-commit"
+	kindViewChange = "pbft-viewchange"
+	kindNewView    = "pbft-newview"
+)
+
+// Config configures one PBFT participant.
+type Config struct {
+	// Net is the shared network.
+	Net *transport.Network
+	// ID is this node.
+	ID transport.NodeID
+	// Slot disambiguates concurrent instances.
+	Slot uint64
+	// MaxFaults is f; the network must have N >= 3f+1 nodes.
+	MaxFaults int
+	// Value is this node's own proposal, used when it becomes leader.
+	Value []byte
+	// BaseTimeout is the view-0 timeout in rounds (doubles per view).
+	// Defaults to 6.
+	BaseTimeout int
+}
+
+// wire structures (gob-encoded).
+type prePrepareMsg struct {
+	Slot  uint64
+	View  int
+	Value []byte
+}
+
+type voteMsg struct { // prepare and commit
+	Slot   uint64
+	View   int
+	Digest [32]byte
+}
+
+type viewChangeMsg struct {
+	Slot          uint64
+	NewView       int
+	PreparedView  int // -1 if nothing prepared
+	PreparedValue []byte
+	Sig           []byte // blob signature by the sender over the VC content
+	Sender        uint64
+}
+
+type newViewMsg struct {
+	Slot  uint64
+	View  int
+	Value []byte
+	Proof []viewChangeMsg // >= 2f+1 valid view-change messages
+}
+
+// Node is one PBFT participant; it implements consensus.Node.
+type Node struct {
+	cfg  Config
+	ep   *transport.Endpoint
+	n, f int
+
+	view       int
+	timer      int
+	targetView int // nonzero: view we are trying to change into
+
+	prePrepared map[int][]byte                    // view -> value proposed by leader
+	prepares    map[int]map[[32]byte]map[int]bool // view -> digest -> senders
+	commits     map[int]map[[32]byte]map[int]bool
+	vcs         map[int]map[int]viewChangeMsg // newView -> sender -> VC
+	sentPrepare map[int]bool
+	sentCommit  map[int]bool
+
+	preparedView  int
+	preparedValue []byte
+
+	decided []byte
+	done    bool
+}
+
+var _ consensus.Node = (*Node)(nil)
+
+// New creates a PBFT participant.
+func New(cfg Config) (*Node, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("pbft: nil network")
+	}
+	if cfg.MaxFaults < 0 {
+		return nil, fmt.Errorf("pbft: negative MaxFaults")
+	}
+	if cfg.Net.N() < 3*cfg.MaxFaults+1 {
+		return nil, fmt.Errorf("pbft: need N >= 3f+1, got N=%d f=%d", cfg.Net.N(), cfg.MaxFaults)
+	}
+	if cfg.BaseTimeout == 0 {
+		cfg.BaseTimeout = 6
+	}
+	if cfg.BaseTimeout < 1 {
+		return nil, fmt.Errorf("pbft: BaseTimeout must be positive")
+	}
+	ep, err := cfg.Net.Endpoint(cfg.ID)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{
+		cfg:          cfg,
+		ep:           ep,
+		n:            cfg.Net.N(),
+		f:            cfg.MaxFaults,
+		prePrepared:  make(map[int][]byte),
+		prepares:     make(map[int]map[[32]byte]map[int]bool),
+		commits:      make(map[int]map[[32]byte]map[int]bool),
+		vcs:          make(map[int]map[int]viewChangeMsg),
+		sentPrepare:  make(map[int]bool),
+		sentCommit:   make(map[int]bool),
+		preparedView: -1,
+	}, nil
+}
+
+// Leader returns the designated leader of a view.
+func Leader(view, n int) transport.NodeID { return transport.NodeID(view % n) }
+
+// quorum is the 2f+1 threshold.
+func (nd *Node) quorum() int { return 2*nd.f + 1 }
+
+func digestOf(value []byte) [32]byte { return sha256.Sum256(value) }
+
+func encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("pbft: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// vcSignContent is the blob covered by a view-change signature.
+func vcSignContent(slot uint64, newView, preparedView int, preparedValue []byte) []byte {
+	var buf bytes.Buffer
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:], slot)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(int64(newView)))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(int64(preparedView)))
+	buf.Write(hdr[:])
+	buf.Write(preparedValue)
+	return buf.Bytes()
+}
+
+// Tick implements consensus.Node.
+func (nd *Node) Tick(inbox []transport.Message) error {
+	if nd.done {
+		// Keep answering nothing; peers already have our votes.
+		return nil
+	}
+	if nd.timer == 0 && nd.view == 0 {
+		// Entering view 0: the leader proposes.
+		if err := nd.maybePropose(); err != nil {
+			return err
+		}
+	}
+	for _, m := range inbox {
+		if err := nd.handle(m); err != nil {
+			return err
+		}
+	}
+	if nd.done {
+		return nil
+	}
+	nd.timer++
+	current := nd.view
+	if nd.targetView > current {
+		current = nd.targetView
+	}
+	if nd.timer >= nd.timeoutFor(current) {
+		// Either the current view's leader stalled, or the view change we
+		// joined did not complete (its leader is faulty too): escalate.
+		if err := nd.sendViewChange(current + 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// timeoutFor doubles per view, giving liveness after GST.
+func (nd *Node) timeoutFor(view int) int {
+	t := nd.cfg.BaseTimeout
+	for i := 0; i < view && t < 1<<20; i++ {
+		t *= 2
+	}
+	return t
+}
+
+// maybePropose sends a pre-prepare if this node leads the current view.
+func (nd *Node) maybePropose() error {
+	if Leader(nd.view, nd.n) != nd.cfg.ID {
+		return nil
+	}
+	value := nd.cfg.Value
+	if nd.preparedValue != nil {
+		value = nd.preparedValue
+	}
+	payload, err := encode(prePrepareMsg{Slot: nd.cfg.Slot, View: nd.view, Value: value})
+	if err != nil {
+		return err
+	}
+	if err := nd.ep.Broadcast(kindPrePrepare, payload); err != nil {
+		return err
+	}
+	// Leader treats its own proposal as pre-prepared and prepares it.
+	return nd.onPrePrepare(prePrepareMsg{Slot: nd.cfg.Slot, View: nd.view, Value: value}, nd.cfg.ID)
+}
+
+func (nd *Node) handle(m transport.Message) error {
+	switch m.Kind {
+	case kindPrePrepare:
+		var pp prePrepareMsg
+		if err := gob.NewDecoder(bytes.NewReader(m.Payload)).Decode(&pp); err != nil || pp.Slot != nd.cfg.Slot {
+			return nil
+		}
+		return nd.onPrePrepare(pp, m.From)
+	case kindPrepare, kindCommit:
+		var v voteMsg
+		if err := gob.NewDecoder(bytes.NewReader(m.Payload)).Decode(&v); err != nil || v.Slot != nd.cfg.Slot {
+			return nil
+		}
+		return nd.onVote(m.Kind, v, int(m.From))
+	case kindViewChange:
+		var vc viewChangeMsg
+		if err := gob.NewDecoder(bytes.NewReader(m.Payload)).Decode(&vc); err != nil || vc.Slot != nd.cfg.Slot {
+			return nil
+		}
+		return nd.onViewChange(vc, m.From)
+	case kindNewView:
+		var nv newViewMsg
+		if err := gob.NewDecoder(bytes.NewReader(m.Payload)).Decode(&nv); err != nil || nv.Slot != nd.cfg.Slot {
+			return nil
+		}
+		return nd.onNewView(nv, m.From)
+	}
+	return nil
+}
+
+func (nd *Node) onPrePrepare(pp prePrepareMsg, from transport.NodeID) error {
+	if pp.View < nd.view || Leader(pp.View, nd.n) != from {
+		return nil
+	}
+	if prev, ok := nd.prePrepared[pp.View]; ok {
+		// Only the first value per view counts; a conflicting one is the
+		// leader equivocating and is ignored (the view will time out).
+		if !bytes.Equal(prev, pp.Value) {
+			return nil
+		}
+	} else {
+		nd.prePrepared[pp.View] = append([]byte(nil), pp.Value...)
+	}
+	if pp.View > nd.view {
+		// We lag; the pre-prepare is buffered, the prepare goes out once
+		// the view change completes.
+		return nil
+	}
+	if nd.sentPrepare[pp.View] || nd.targetView > nd.view {
+		return nil
+	}
+	nd.sentPrepare[pp.View] = true
+	payload, err := encode(voteMsg{Slot: nd.cfg.Slot, View: pp.View, Digest: digestOf(pp.Value)})
+	if err != nil {
+		return err
+	}
+	if err := nd.ep.Broadcast(kindPrepare, payload); err != nil {
+		return err
+	}
+	// Count our own prepare.
+	return nd.onVote(kindPrepare, voteMsg{Slot: nd.cfg.Slot, View: pp.View, Digest: digestOf(pp.Value)}, int(nd.cfg.ID))
+}
+
+func (nd *Node) onVote(kind string, v voteMsg, from int) error {
+	table := nd.prepares
+	if kind == kindCommit {
+		table = nd.commits
+	}
+	byDigest, ok := table[v.View]
+	if !ok {
+		byDigest = make(map[[32]byte]map[int]bool)
+		table[v.View] = byDigest
+	}
+	senders, ok := byDigest[v.Digest]
+	if !ok {
+		senders = make(map[int]bool)
+		byDigest[v.Digest] = senders
+	}
+	senders[from] = true
+	if len(senders) < nd.quorum() {
+		return nil
+	}
+	value, have := nd.prePrepared[v.View]
+	if !have || digestOf(value) != v.Digest {
+		return nil // quorum on a value we have not seen yet
+	}
+	if kind == kindPrepare {
+		if nd.sentCommit[v.View] || v.View != nd.view || nd.targetView > nd.view {
+			return nil
+		}
+		// Prepared: remember for view changes.
+		if v.View > nd.preparedView {
+			nd.preparedView = v.View
+			nd.preparedValue = append([]byte(nil), value...)
+		}
+		nd.sentCommit[v.View] = true
+		payload, err := encode(voteMsg{Slot: nd.cfg.Slot, View: v.View, Digest: v.Digest})
+		if err != nil {
+			return err
+		}
+		if err := nd.ep.Broadcast(kindCommit, payload); err != nil {
+			return err
+		}
+		return nd.onVote(kindCommit, v, int(nd.cfg.ID))
+	}
+	// Commit quorum: decide.
+	nd.decided = append([]byte(nil), value...)
+	nd.done = true
+	return nil
+}
+
+func (nd *Node) sendViewChange(newView int) error {
+	if newView <= nd.view || newView <= nd.targetView {
+		return nil
+	}
+	nd.targetView = newView
+	nd.timer = 0 // give the new view's leader a full timeout to assemble it
+	vc := viewChangeMsg{
+		Slot:          nd.cfg.Slot,
+		NewView:       newView,
+		PreparedView:  nd.preparedView,
+		PreparedValue: nd.preparedValue,
+		Sender:        uint64(nd.cfg.ID),
+	}
+	vc.Sig = nd.ep.SignBlob("pbft-vc", vcSignContent(vc.Slot, vc.NewView, vc.PreparedView, vc.PreparedValue))
+	payload, err := encode(vc)
+	if err != nil {
+		return err
+	}
+	if err := nd.ep.Broadcast(kindViewChange, payload); err != nil {
+		return err
+	}
+	return nd.onViewChange(vc, nd.cfg.ID)
+}
+
+// validVC verifies a view-change message's blob signature.
+func (nd *Node) validVC(vc viewChangeMsg) bool {
+	return nd.cfg.Net.VerifyBlob(transport.NodeID(vc.Sender), "pbft-vc",
+		vcSignContent(vc.Slot, vc.NewView, vc.PreparedView, vc.PreparedValue), vc.Sig)
+}
+
+func (nd *Node) onViewChange(vc viewChangeMsg, from transport.NodeID) error {
+	if vc.NewView <= nd.view || transport.NodeID(vc.Sender) != from || !nd.validVC(vc) {
+		return nil
+	}
+	bySender, ok := nd.vcs[vc.NewView]
+	if !ok {
+		bySender = make(map[int]viewChangeMsg)
+		nd.vcs[vc.NewView] = bySender
+	}
+	bySender[int(vc.Sender)] = vc
+	// Join the view change once f+1 nodes demand it (we cannot all be wrong).
+	if len(bySender) >= nd.f+1 && vc.NewView > nd.targetView {
+		if err := nd.sendViewChange(vc.NewView); err != nil {
+			return err
+		}
+	}
+	// New leader assembles the new view from 2f+1 view changes.
+	if len(bySender) >= nd.quorum() && Leader(vc.NewView, nd.n) == nd.cfg.ID {
+		return nd.sendNewView(vc.NewView)
+	}
+	return nil
+}
+
+func (nd *Node) sendNewView(view int) error {
+	proof := make([]viewChangeMsg, 0, len(nd.vcs[view]))
+	for _, vc := range nd.vcs[view] {
+		proof = append(proof, vc)
+	}
+	// Adopt the highest prepared value among the proof, else our own.
+	value := nd.cfg.Value
+	best := -1
+	for _, vc := range proof {
+		if vc.PreparedView > best && vc.PreparedValue != nil {
+			best = vc.PreparedView
+			value = vc.PreparedValue
+		}
+	}
+	payload, err := encode(newViewMsg{Slot: nd.cfg.Slot, View: view, Value: value, Proof: proof})
+	if err != nil {
+		return err
+	}
+	if err := nd.ep.Broadcast(kindNewView, payload); err != nil {
+		return err
+	}
+	return nd.onNewView(newViewMsg{Slot: nd.cfg.Slot, View: view, Value: value, Proof: proof}, nd.cfg.ID)
+}
+
+func (nd *Node) onNewView(nv newViewMsg, from transport.NodeID) error {
+	if nv.View <= nd.view || Leader(nv.View, nd.n) != from {
+		return nil
+	}
+	// Verify 2f+1 valid, distinct view-change signatures for this view.
+	seen := make(map[uint64]bool)
+	best := -1
+	var bestValue []byte
+	for _, vc := range nv.Proof {
+		if vc.Slot != nd.cfg.Slot || vc.NewView != nv.View || seen[vc.Sender] || !nd.validVC(vc) {
+			continue
+		}
+		seen[vc.Sender] = true
+		if vc.PreparedView > best && vc.PreparedValue != nil {
+			best = vc.PreparedView
+			bestValue = vc.PreparedValue
+		}
+	}
+	if len(seen) < nd.quorum() {
+		return nil
+	}
+	// Safety: if some VC proves a prepared value, the leader must carry it.
+	if bestValue != nil && digestOf(nv.Value) != digestOf(bestValue) {
+		return nil
+	}
+	// Enter the new view.
+	nd.view = nv.View
+	if nd.targetView <= nv.View {
+		nd.targetView = 0
+	}
+	nd.timer = 0
+	return nd.onPrePrepare(prePrepareMsg{Slot: nd.cfg.Slot, View: nv.View, Value: nv.Value}, from)
+}
+
+// Decided implements consensus.Node.
+func (nd *Node) Decided() ([]byte, bool) {
+	if !nd.done {
+		return nil, false
+	}
+	return nd.decided, true
+}
+
+// View returns the node's current view (for tests).
+func (nd *Node) View() int { return nd.view }

@@ -1,0 +1,491 @@
+// Package csm implements the Coded State Machine engine — the paper's core
+// contribution (Sections 2, 5). A cluster of N nodes operates K independent
+// state machines with the same polynomial transition function f of degree d:
+//
+//   - every node i stores one Lagrange-coded state S̃_i (storage efficiency
+//     γ = K, Theorem 1);
+//   - each round, the nodes agree on K input commands (consensus phase:
+//     Dolev-Strong in synchronous networks, PBFT in partially synchronous
+//     ones, or a trusted-sequencer oracle when the experiment isolates the
+//     execution phase, as the paper's throughput metric does);
+//   - each node encodes the commands (X̃_i), computes g_i = f(S̃_i, X̃_i) and
+//     broadcasts it (execution phase);
+//   - each node Reed-Solomon-decodes the N results — at most b of which are
+//     corrupted by Byzantine nodes — recovers every machine's output and
+//     next state, replies to the clients, and re-encodes its coded state.
+//
+// The engine runs on the deterministic lock-step network of package
+// transport and measures throughput exactly as the paper defines it:
+// commands per field operation per node (Section 2.2).
+package csm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"codedsm/internal/consensus"
+	"codedsm/internal/consensus/dolevstrong"
+	"codedsm/internal/consensus/pbft"
+	"codedsm/internal/field"
+	"codedsm/internal/lcc"
+	"codedsm/internal/poly"
+	"codedsm/internal/sm"
+	"codedsm/internal/transport"
+)
+
+// Behavior selects how a Byzantine node misbehaves in the execution phase.
+type Behavior int
+
+const (
+	// Honest follows the protocol.
+	Honest Behavior = iota
+	// WrongResult broadcasts a random wrong computation result g_i.
+	WrongResult
+	// Silent sends nothing in the execution phase.
+	Silent
+	// Equivocate sends a different wrong result to every recipient
+	// (requires a point-to-point network; a broadcast network coerces the
+	// payloads, which is exactly the paper's no-equivocation assumption).
+	Equivocate
+	// BadLeader proposes a garbage batch when leading consensus and also
+	// broadcasts wrong results.
+	BadLeader
+)
+
+// String implements fmt.Stringer.
+func (b Behavior) String() string {
+	switch b {
+	case Honest:
+		return "honest"
+	case WrongResult:
+		return "wrong-result"
+	case Silent:
+		return "silent"
+	case Equivocate:
+		return "equivocate"
+	case BadLeader:
+		return "bad-leader"
+	default:
+		return fmt.Sprintf("Behavior(%d)", int(b))
+	}
+}
+
+// ConsensusKind selects the consensus-phase protocol.
+type ConsensusKind int
+
+const (
+	// Oracle is a trusted sequencer: all nodes receive the batch directly.
+	// Used when measuring the execution phase alone (the paper's throughput
+	// definition explicitly excludes consensus cost, Section 2.2).
+	Oracle ConsensusKind = iota
+	// DolevStrong runs authenticated broadcast (synchronous networks).
+	DolevStrong
+	// PBFT runs Practical BFT (partially synchronous networks).
+	PBFT
+)
+
+// String implements fmt.Stringer.
+func (c ConsensusKind) String() string {
+	switch c {
+	case Oracle:
+		return "oracle"
+	case DolevStrong:
+		return "dolev-strong"
+	case PBFT:
+		return "pbft"
+	default:
+		return fmt.Sprintf("ConsensusKind(%d)", int(c))
+	}
+}
+
+// TransitionFactory builds the same logical transition function over a
+// given field instance. The engine needs two instances: one over a counting
+// field (the cluster under measurement) and one over the plain field (the
+// uncoded reference oracle).
+type TransitionFactory[E comparable] func(field.Field[E]) (*sm.Transition[E], error)
+
+// Config configures a CSM cluster.
+type Config[E comparable] struct {
+	// BaseField is the arithmetic field (Goldilocks or GF(2^m)).
+	BaseField field.Field[E]
+	// NewTransition builds the state transition function.
+	NewTransition TransitionFactory[E]
+	// K is the number of state machines; N the number of nodes.
+	K, N int
+	// MaxFaults is the engineering fault budget b the cluster is sized
+	// for; it determines the partially synchronous wait threshold N-b.
+	MaxFaults int
+	// Mode selects the network timing model.
+	Mode transport.Mode
+	// GST is the stabilization round for PartialSync.
+	GST int
+	// Consensus selects the consensus-phase protocol.
+	Consensus ConsensusKind
+	// Byzantine maps node index to misbehaviour.
+	Byzantine map[int]Behavior
+	// NoEquivocation models a broadcast network (Section 6 assumption).
+	NoEquivocation bool
+	// Delegated enables the Section 6.2 execution phase: a rotating worker
+	// performs all coding, verified by a random auditor committee; fraud
+	// aborts the attempt and the next worker retries. Requires a
+	// synchronous broadcast network (Mode == Sync and NoEquivocation).
+	Delegated bool
+	// InitialStates holds K state vectors; nil means all-zero states.
+	InitialStates [][]E
+	// Seed drives all randomness.
+	Seed uint64
+	// MaxTicksPerRound bounds a single round's lock-step ticks (default 200).
+	MaxTicksPerRound int
+}
+
+// Cluster is a running CSM deployment.
+type Cluster[E comparable] struct {
+	cfg      Config[E]
+	counting *field.Counting[E]
+	ring     *poly.Ring[E]
+	code     *lcc.Code[E]
+	tr       *sm.Transition[E] // over the counting field
+	oracleTr *sm.Transition[E] // over the base field
+	oracle   []*sm.Machine[E]
+	net      *transport.Network
+	nodes    []*node[E]
+	rng      *rand.Rand
+	round    int
+}
+
+// New builds and initializes a cluster, distributing coded initial states.
+func New[E comparable](cfg Config[E]) (*Cluster[E], error) {
+	if cfg.BaseField == nil || cfg.NewTransition == nil {
+		return nil, errors.New("csm: BaseField and NewTransition are required")
+	}
+	if cfg.MaxFaults < 0 {
+		return nil, fmt.Errorf("csm: negative MaxFaults %d", cfg.MaxFaults)
+	}
+	if len(cfg.Byzantine) > cfg.MaxFaults {
+		return nil, fmt.Errorf("csm: %d Byzantine nodes exceed the fault budget b=%d",
+			len(cfg.Byzantine), cfg.MaxFaults)
+	}
+	if cfg.MaxTicksPerRound == 0 {
+		cfg.MaxTicksPerRound = 200
+	}
+	if cfg.Delegated && (cfg.Mode != transport.Sync || !cfg.NoEquivocation) {
+		return nil, errors.New("csm: delegated mode requires a synchronous broadcast network (Mode=Sync, NoEquivocation=true) — Section 6 assumption")
+	}
+	counting := field.NewCounting(cfg.BaseField)
+	ring := poly.NewRing[E](counting)
+	tr, err := cfg.NewTransition(counting)
+	if err != nil {
+		return nil, fmt.Errorf("csm: building transition: %w", err)
+	}
+	oracleTr, err := cfg.NewTransition(cfg.BaseField)
+	if err != nil {
+		return nil, err
+	}
+	d := tr.Degree()
+	// Capacity check (Table 2): the cluster must be able to decode with b
+	// faults.
+	var maxK int
+	if cfg.Mode == transport.Sync {
+		maxK = lcc.SyncMaxMachines(cfg.N, cfg.MaxFaults, d)
+	} else {
+		maxK = lcc.PSyncMaxMachines(cfg.N, cfg.MaxFaults, d)
+	}
+	if cfg.K > maxK {
+		return nil, fmt.Errorf("csm: K=%d exceeds capacity %d for N=%d b=%d d=%d (%s)",
+			cfg.K, maxK, cfg.N, cfg.MaxFaults, d, cfg.Mode)
+	}
+	code, err := lcc.New(ring, cfg.K, cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	net, err := transport.New(transport.Config{
+		N: cfg.N, Mode: cfg.Mode, GST: cfg.GST,
+		NoEquivocation: cfg.NoEquivocation, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	initial := cfg.InitialStates
+	if initial == nil {
+		initial = make([][]E, cfg.K)
+		for k := range initial {
+			initial[k] = field.ZeroVec(cfg.BaseField, tr.StateLen())
+		}
+	}
+	if len(initial) != cfg.K {
+		return nil, fmt.Errorf("csm: %d initial states for K=%d machines", len(initial), cfg.K)
+	}
+	oracle := make([]*sm.Machine[E], cfg.K)
+	for k := range oracle {
+		m, err := sm.NewMachine(oracleTr, initial[k])
+		if err != nil {
+			return nil, err
+		}
+		oracle[k] = m
+	}
+	codedStates, err := code.EncodeVectors(initial)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster[E]{
+		cfg:      cfg,
+		counting: counting,
+		ring:     ring,
+		code:     code,
+		tr:       tr,
+		oracleTr: oracleTr,
+		oracle:   oracle,
+		net:      net,
+		rng:      rand.New(rand.NewPCG(cfg.Seed, 0xc5a)),
+	}
+	c.nodes = make([]*node[E], cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		ep, err := net.Endpoint(transport.NodeID(i))
+		if err != nil {
+			return nil, err
+		}
+		c.nodes[i] = &node[E]{
+			cluster:    c,
+			id:         i,
+			ep:         ep,
+			behavior:   cfg.Byzantine[i],
+			codedState: codedStates[i],
+		}
+	}
+	// Encoding the initial states is setup, not steady-state work.
+	counting.Reset()
+	return c, nil
+}
+
+// Code exposes the underlying Lagrange code (coefficients, points).
+func (c *Cluster[E]) Code() *lcc.Code[E] { return c.code }
+
+// Transition returns the measured transition function.
+func (c *Cluster[E]) Transition() *sm.Transition[E] { return c.tr }
+
+// Round returns the number of executed rounds.
+func (c *Cluster[E]) Round() int { return c.round }
+
+// OpCounts returns the accumulated field-operation counts across all nodes.
+func (c *Cluster[E]) OpCounts() field.OpCounts { return c.counting.Counts() }
+
+// OracleStates returns the ground-truth states of all K machines.
+func (c *Cluster[E]) OracleStates() [][]E {
+	out := make([][]E, len(c.oracle))
+	for k, m := range c.oracle {
+		out[k] = m.State()
+	}
+	return out
+}
+
+// NodeCodedState returns node i's current coded state (copy).
+func (c *Cluster[E]) NodeCodedState(i int) ([]E, error) {
+	if i < 0 || i >= len(c.nodes) {
+		return nil, fmt.Errorf("csm: node %d out of range", i)
+	}
+	return append([]E(nil), c.nodes[i].codedState...), nil
+}
+
+// RoundResult reports one executed round.
+type RoundResult[E comparable] struct {
+	// Outputs[k] is the client-accepted output of machine k (nil when the
+	// client could not gather b+1 matching replies).
+	Outputs [][]E
+	// Correct reports whether every accepted output matches the uncoded
+	// oracle execution.
+	Correct bool
+	// FaultyDetected is the union of node indices the honest decoders
+	// identified as having submitted corrupted results.
+	FaultyDetected []int
+	// Skipped is true when consensus decided a garbage batch and the
+	// execution phase was skipped (commands stay pending).
+	Skipped bool
+	// Ticks is the number of lock-step network rounds consumed.
+	Ticks int
+}
+
+// ErrRoundStuck reports a round that did not complete within the tick
+// budget (e.g. too many silent nodes in partial synchrony).
+var ErrRoundStuck = errors.New("csm: round did not complete within tick budget")
+
+// batchMsg is the consensus payload: one command vector per machine.
+type batchMsg struct {
+	Round int
+	Cmds  [][]uint64
+}
+
+// resultMsg is an execution-phase result broadcast.
+type resultMsg struct {
+	Round  int
+	Result []uint64
+}
+
+func encodePayload(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("csm: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodePayload(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// toWire converts a field vector to its canonical uint64 representation.
+func (c *Cluster[E]) toWire(vec []E) []uint64 {
+	out := make([]uint64, len(vec))
+	for i, e := range vec {
+		out[i] = c.cfg.BaseField.Uint64(e)
+	}
+	return out
+}
+
+// fromWire converts uint64 wire values back into field elements.
+func (c *Cluster[E]) fromWire(vals []uint64) []E {
+	out := make([]E, len(vals))
+	for i, v := range vals {
+		out[i] = c.cfg.BaseField.FromUint64(v)
+	}
+	return out
+}
+
+// ExecuteRound agrees on the given commands (one vector per machine) and
+// runs the coded execution phase. It returns the per-round report.
+func (c *Cluster[E]) ExecuteRound(cmds [][]E) (*RoundResult[E], error) {
+	if len(cmds) != c.cfg.K {
+		return nil, fmt.Errorf("csm: %d command vectors for K=%d machines", len(cmds), c.cfg.K)
+	}
+	for k, cmd := range cmds {
+		if len(cmd) != c.tr.CmdLen() {
+			return nil, fmt.Errorf("csm: command %d has length %d, want %d", k, len(cmd), c.tr.CmdLen())
+		}
+	}
+	agreed, ticksConsensus, err := c.runConsensus(cmds)
+	if err != nil {
+		return nil, err
+	}
+	if agreed == nil {
+		c.round++
+		return &RoundResult[E]{Skipped: true, Ticks: ticksConsensus, Correct: true}, nil
+	}
+	var res *RoundResult[E]
+	var ticksExec int
+	if c.cfg.Delegated {
+		res, ticksExec, err = c.runExecutionDelegated(agreed)
+	} else {
+		res, ticksExec, err = c.runExecution(agreed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Ticks = ticksConsensus + ticksExec
+	c.round++
+	return res, nil
+}
+
+// runConsensus agrees on the command batch. It returns the agreed commands,
+// or nil if the decided batch failed validation (Byzantine leader).
+func (c *Cluster[E]) runConsensus(cmds [][]E) ([][]E, int, error) {
+	wire := make([][]uint64, len(cmds))
+	for k, cmd := range cmds {
+		wire[k] = c.toWire(cmd)
+	}
+	valid, err := encodePayload(batchMsg{Round: c.round, Cmds: wire})
+	if err != nil {
+		return nil, 0, err
+	}
+	switch c.cfg.Consensus {
+	case Oracle:
+		return cmds, 0, nil
+	case DolevStrong:
+		return c.runDolevStrong(valid, wire)
+	case PBFT:
+		return c.runPBFT(valid, wire)
+	default:
+		return nil, 0, fmt.Errorf("csm: unknown consensus kind %d", c.cfg.Consensus)
+	}
+}
+
+// leaderFor rotates leadership across rounds.
+func (c *Cluster[E]) leaderFor(round int) int { return round % c.cfg.N }
+
+func (c *Cluster[E]) runDolevStrong(valid []byte, wire [][]uint64) ([][]E, int, error) {
+	leader := c.leaderFor(c.round)
+	proposal := valid
+	if b := c.cfg.Byzantine[leader]; b == BadLeader {
+		proposal = []byte("garbage-batch")
+	}
+	nodes := make([]consensus.Node, c.cfg.N)
+	waitFor := make([]int, 0, c.cfg.N)
+	for i := 0; i < c.cfg.N; i++ {
+		nd, err := dolevstrong.New(dolevstrong.Config{
+			Net: c.net, ID: transport.NodeID(i), Sender: transport.NodeID(leader),
+			Slot: uint64(c.round), MaxFaults: c.cfg.MaxFaults,
+			Value: proposal, Default: nil,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		nodes[i] = nd
+		if c.cfg.Byzantine[i] == Honest {
+			waitFor = append(waitFor, i)
+		}
+	}
+	rounds := dolevstrong.Rounds(c.cfg.MaxFaults) + 1
+	if err := consensus.Run(c.net, nodes, waitFor, rounds); err != nil {
+		return nil, rounds, err
+	}
+	decided, _ := nodes[waitFor[0]].Decided()
+	return c.validateBatch(decided, rounds)
+}
+
+func (c *Cluster[E]) runPBFT(valid []byte, wire [][]uint64) ([][]E, int, error) {
+	nodes := make([]consensus.Node, c.cfg.N)
+	waitFor := make([]int, 0, c.cfg.N)
+	for i := 0; i < c.cfg.N; i++ {
+		proposal := valid
+		if c.cfg.Byzantine[i] == BadLeader {
+			proposal = []byte("garbage-batch")
+		}
+		nd, err := pbft.New(pbft.Config{
+			Net: c.net, ID: transport.NodeID(i), Slot: uint64(c.round),
+			MaxFaults: c.cfg.MaxFaults, Value: proposal,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		nodes[i] = nd
+		if c.cfg.Byzantine[i] == Honest {
+			waitFor = append(waitFor, i)
+		}
+	}
+	budget := c.cfg.MaxTicksPerRound
+	if err := consensus.Run(c.net, nodes, waitFor, budget); err != nil {
+		return nil, budget, err
+	}
+	decided, _ := nodes[waitFor[0]].Decided()
+	return c.validateBatch(decided, budget)
+}
+
+// validateBatch checks a decided batch; garbage yields a skipped round.
+func (c *Cluster[E]) validateBatch(decided []byte, ticks int) ([][]E, int, error) {
+	var batch batchMsg
+	if err := decodePayload(decided, &batch); err != nil {
+		return nil, ticks, nil // garbage decision: skip round
+	}
+	if len(batch.Cmds) != c.cfg.K {
+		return nil, ticks, nil
+	}
+	out := make([][]E, c.cfg.K)
+	for k, w := range batch.Cmds {
+		if len(w) != c.tr.CmdLen() {
+			return nil, ticks, nil
+		}
+		out[k] = c.fromWire(w)
+	}
+	return out, ticks, nil
+}

@@ -1,0 +1,145 @@
+package csm
+
+import (
+	"testing"
+
+	"codedsm/internal/field"
+	"codedsm/internal/transport"
+)
+
+func delegatedConfig(k, n, b int) Config[uint64] {
+	cfg := baseConfig(k, n, b)
+	cfg.NoEquivocation = true
+	cfg.Delegated = true
+	return cfg
+}
+
+func TestDelegatedRequiresBroadcastSync(t *testing.T) {
+	cfg := baseConfig(2, 12, 2)
+	cfg.Delegated = true // but NoEquivocation false
+	if _, err := New(cfg); err == nil {
+		t.Fatal("delegated mode without broadcast network must be rejected")
+	}
+	cfg = delegatedConfig(2, 12, 2)
+	cfg.Mode = transport.PartialSync
+	if _, err := New(cfg); err == nil {
+		t.Fatal("delegated mode in partial synchrony must be rejected")
+	}
+}
+
+func TestDelegatedHonestRound(t *testing.T) {
+	cfg := delegatedConfig(3, 12, 2)
+	cfg.InitialStates = [][]uint64{{10}, {20}, {30}}
+	c := newCluster(t, cfg)
+	for r, res := range runRounds(t, c, 4) {
+		if !res.Correct {
+			t.Fatalf("round %d incorrect in delegated mode", r)
+		}
+	}
+	// Honest nodes' coded states must match fresh encodings of the oracle.
+	enc, err := c.code.EncodeVectors(c.OracleStates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range c.nodes {
+		if n.behavior != Honest {
+			continue
+		}
+		if !field.VecEqual[uint64](gold, n.codedState, enc[i]) {
+			t.Fatalf("node %d coded state diverged", i)
+		}
+	}
+}
+
+func TestDelegatedToleratesLyingNodes(t *testing.T) {
+	// Byzantine *nodes* (not the worker) corrupt their g_i; the worker's
+	// Berlekamp-Welch decode corrects them and the tau proof names them.
+	cfg := delegatedConfig(2, 14, 3)
+	cfg.Byzantine = map[int]Behavior{3: WrongResult, 8: Silent, 11: WrongResult}
+	c := newCluster(t, cfg)
+	for r, res := range runRounds(t, c, 3) {
+		if !res.Correct {
+			t.Fatalf("round %d incorrect with lying nodes", r)
+		}
+		if len(res.FaultyDetected) == 0 {
+			t.Fatalf("round %d: liars not identified in tau complement", r)
+		}
+	}
+}
+
+func TestDelegatedByzantineWorkerRetried(t *testing.T) {
+	// Round 0's worker (node 0) is Byzantine: it corrupts its coding work,
+	// the auditors catch it, and the attempt is retried under node 1.
+	cfg := delegatedConfig(2, 12, 2)
+	cfg.Byzantine = map[int]Behavior{0: WrongResult}
+	c := newCluster(t, cfg)
+	wl := RandomWorkload[uint64](gold, 1, 2, 1, 7)
+	res, err := c.ExecuteRound(wl[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatal("round incorrect despite worker rotation")
+	}
+	// The retry costs extra ticks (more than one attempt's 4 phases).
+	if res.Ticks <= 4 {
+		t.Fatalf("expected a retried attempt, ticks=%d", res.Ticks)
+	}
+}
+
+func TestDelegatedSilentWorkerRetried(t *testing.T) {
+	cfg := delegatedConfig(2, 12, 2)
+	cfg.Byzantine = map[int]Behavior{0: Silent}
+	c := newCluster(t, cfg)
+	wl := RandomWorkload[uint64](gold, 1, 2, 1, 9)
+	res, err := c.ExecuteRound(wl[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatal("round incorrect after silent worker")
+	}
+}
+
+func TestDelegatedConsensusIntegration(t *testing.T) {
+	cfg := delegatedConfig(2, 10, 2)
+	cfg.Consensus = DolevStrong
+	cfg.Byzantine = map[int]Behavior{4: WrongResult}
+	c := newCluster(t, cfg)
+	for r, res := range runRounds(t, c, 2) {
+		if !res.Correct {
+			t.Fatalf("round %d incorrect (delegated + Dolev-Strong)", r)
+		}
+	}
+}
+
+func TestDelegatedThroughputAdvantage(t *testing.T) {
+	// The point of Section 6.2: per-node operation counts under delegation
+	// are far below the decentralized mode at the same size, because only
+	// the worker (plus auditors) pays coding costs instead of every node
+	// decoding.
+	const k, n, b, rounds = 8, 24, 8, 2
+	run := func(delegated bool) uint64 {
+		cfg := baseConfig(k, n, b)
+		if delegated {
+			cfg.NoEquivocation = true
+			cfg.Delegated = true
+		}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl := RandomWorkload[uint64](gold, rounds, k, 1, 11)
+		if _, err := c.Run(wl); err != nil {
+			t.Fatal(err)
+		}
+		return c.OpCounts().Total()
+	}
+	decentralized := run(false)
+	delegated := run(true)
+	t.Logf("total ops, N=%d, %d rounds: decentralized=%d delegated=%d (%.1fx)",
+		n, rounds, decentralized, delegated, float64(decentralized)/float64(delegated))
+	if delegated >= decentralized {
+		t.Fatalf("delegation should reduce total coding work: %d >= %d", delegated, decentralized)
+	}
+}

@@ -1,0 +1,166 @@
+package csm
+
+import (
+	"fmt"
+
+	"codedsm/internal/field"
+	"codedsm/internal/transport"
+)
+
+// runExecution drives the coded execution phase for an agreed batch. It
+// returns the round report and the number of lock-step ticks consumed.
+func (c *Cluster[E]) runExecution(agreed [][]E) (*RoundResult[E], int, error) {
+	// Every node computes its true coded result; Byzantine behaviour is
+	// applied at broadcast time (the adversary knows the true value).
+	for _, n := range c.nodes {
+		n.received = make(map[int][]E, c.cfg.N)
+		n.decoded = nil
+		result, err := n.computeResult(agreed)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := n.broadcastResult(result); err != nil {
+			return nil, 0, err
+		}
+	}
+	ticks := 0
+	deadline := 1 // synchronous networks: results arrive in exactly one tick
+	for {
+		c.net.Step()
+		ticks++
+		allDecoded := true
+		for _, n := range c.nodes {
+			if n.behavior != Honest {
+				continue
+			}
+			if n.decoded != nil {
+				continue
+			}
+			n.collect(n.ep.Receive())
+			force := c.cfg.Mode == transport.PartialSync || ticks >= deadline
+			ok, err := n.tryDecode(force)
+			if err != nil {
+				return nil, ticks, err
+			}
+			if !ok {
+				allDecoded = false
+			}
+		}
+		if allDecoded {
+			break
+		}
+		if ticks >= c.cfg.MaxTicksPerRound {
+			return nil, ticks, fmt.Errorf("%w (after %d ticks)", ErrRoundStuck, ticks)
+		}
+	}
+	// Advance the ground-truth oracle.
+	oracleOutputs := make([][]E, c.cfg.K)
+	for k, m := range c.oracle {
+		out, err := m.Step(agreed[k])
+		if err != nil {
+			return nil, ticks, err
+		}
+		oracleOutputs[k] = out
+	}
+	res := c.clientPhase(oracleOutputs)
+	return res, ticks, nil
+}
+
+// clientPhase simulates the M clients collecting per-node replies: a client
+// accepts an output once b+1 nodes report the same value (Table 2, output
+// delivery: 2b+1 <= N). Byzantine nodes report garbage. The result is then
+// audited against the oracle execution.
+func (c *Cluster[E]) clientPhase(oracleOutputs [][]E) *RoundResult[E] {
+	f := c.cfg.BaseField
+	res := &RoundResult[E]{
+		Outputs: make([][]E, c.cfg.K),
+		Correct: true,
+	}
+	faulty := make(map[int]bool)
+	for k := 0; k < c.cfg.K; k++ {
+		counts := make(map[string]int)
+		values := make(map[string][]E)
+		for _, n := range c.nodes {
+			var reply []E
+			switch {
+			case n.behavior != Honest:
+				reply = field.RandVec(f, c.rng, c.tr.OutLen())
+			case n.decoded != nil:
+				reply = n.decoded.outputs[k]
+			default:
+				continue
+			}
+			key := fmt.Sprint(c.toWire(reply))
+			counts[key]++
+			values[key] = reply
+		}
+		for key, cnt := range counts {
+			if cnt >= c.cfg.MaxFaults+1 {
+				res.Outputs[k] = values[key]
+				break
+			}
+		}
+		if res.Outputs[k] == nil || !field.VecEqual(f, res.Outputs[k], oracleOutputs[k]) {
+			res.Correct = false
+		}
+	}
+	// Consistency audit: every honest node must hold the same decoded next
+	// states, matching the oracle.
+	oracleStates := c.OracleStates()
+	for _, n := range c.nodes {
+		if n.behavior != Honest || n.decoded == nil {
+			continue
+		}
+		for _, idx := range n.decoded.faulty {
+			faulty[idx] = true
+		}
+		for k := 0; k < c.cfg.K; k++ {
+			if !field.VecEqual(f, n.decoded.nextStates[k], oracleStates[k]) {
+				res.Correct = false
+			}
+		}
+	}
+	res.FaultyDetected = sortedInts(faulty)
+	return res
+}
+
+func sortedInts(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Run executes a whole workload: rounds[r][k] is machine k's command vector
+// in round r. It returns the per-round results.
+func (c *Cluster[E]) Run(rounds [][][]E) ([]*RoundResult[E], error) {
+	out := make([]*RoundResult[E], 0, len(rounds))
+	for r, cmds := range rounds {
+		res, err := c.ExecuteRound(cmds)
+		if err != nil {
+			return out, fmt.Errorf("csm: round %d: %w", r, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RandomWorkload generates a reproducible workload: rounds x K command
+// vectors of the transition's command length.
+func RandomWorkload[E comparable](f field.Field[E], rounds, k, cmdLen int, seed uint64) [][][]E {
+	rng := newWorkloadRNG(seed)
+	out := make([][][]E, rounds)
+	for r := range out {
+		out[r] = make([][]E, k)
+		for i := range out[r] {
+			out[r][i] = field.RandVec(f, rng, cmdLen)
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package csm
+
+import (
+	"fmt"
+	"sort"
+
+	"codedsm/internal/field"
+	"codedsm/internal/transport"
+)
+
+// resultKind tags execution-phase messages.
+const resultKind = "csm-result"
+
+// node is one CSM compute node.
+type node[E comparable] struct {
+	cluster    *Cluster[E]
+	id         int
+	ep         *transport.Endpoint
+	behavior   Behavior
+	codedState []E
+
+	// per-round collection state
+	received map[int][]E // sender -> result vector
+	decoded  *nodeDecode[E]
+
+	// delegated-mode state (Section 6.2)
+	dlgCoded [][]E        // worker only: the coded commands it produced
+	dlgProof *dlgProofMsg // the proof this node holds for the round
+}
+
+// nodeDecode is a node's decoded view of one round.
+type nodeDecode[E comparable] struct {
+	outputs    [][]E // K output vectors
+	nextStates [][]E // K next-state vectors
+	faulty     []int
+}
+
+// computeResult runs the coded execution step: encode the commands with the
+// node's Lagrange coefficients and apply f on coded state and command.
+func (n *node[E]) computeResult(cmds [][]E) ([]E, error) {
+	c := n.cluster
+	f := c.counting // all coding arithmetic is counted
+	cmdLen := c.tr.CmdLen()
+	coded := make([]E, cmdLen)
+	for j := 0; j < cmdLen; j++ {
+		acc := f.Zero()
+		for k := 0; k < c.cfg.K; k++ {
+			acc = f.Add(acc, f.Mul(c.code.Coeffs()[n.id][k], cmds[k][j]))
+		}
+		coded[j] = acc
+	}
+	return c.tr.ApplyResult(n.codedState, coded)
+}
+
+// broadcastResult sends the node's (possibly corrupted) result.
+func (n *node[E]) broadcastResult(result []E) error {
+	c := n.cluster
+	switch n.behavior {
+	case Silent:
+		return nil
+	case WrongResult, BadLeader:
+		bad := field.RandVec(c.cfg.BaseField, c.rng, len(result))
+		payload, err := encodePayload(resultMsg{Round: c.round, Result: c.toWire(bad)})
+		if err != nil {
+			return err
+		}
+		n.received[n.id] = bad // a liar is at least self-consistent
+		return n.ep.Broadcast(resultKind, payload)
+	case Equivocate:
+		// A different wrong value to every peer. On a no-equivocation
+		// (broadcast) network the transport coerces these to the first.
+		for to := 0; to < c.cfg.N; to++ {
+			if to == n.id {
+				continue
+			}
+			bad := field.RandVec(c.cfg.BaseField, c.rng, len(result))
+			payload, err := encodePayload(resultMsg{Round: c.round, Result: c.toWire(bad)})
+			if err != nil {
+				return err
+			}
+			if err := n.ep.Send(transport.NodeID(to), resultKind, payload); err != nil {
+				return err
+			}
+		}
+		n.received[n.id] = result
+		return nil
+	default:
+		payload, err := encodePayload(resultMsg{Round: c.round, Result: c.toWire(result)})
+		if err != nil {
+			return err
+		}
+		n.received[n.id] = result
+		return n.ep.Broadcast(resultKind, payload)
+	}
+}
+
+// collect ingests result messages for the current round.
+func (n *node[E]) collect(msgs []transport.Message) {
+	c := n.cluster
+	for _, m := range msgs {
+		if m.Kind != resultKind {
+			continue
+		}
+		var rm resultMsg
+		if err := decodePayload(m.Payload, &rm); err != nil {
+			continue
+		}
+		if rm.Round != c.round || len(rm.Result) != c.tr.ResultLen() {
+			continue
+		}
+		n.received[int(m.From)] = c.fromWire(rm.Result)
+	}
+}
+
+// tryDecode decodes once enough results are available. Synchronous mode
+// decodes whatever arrived after the fixed interval (missing results are
+// erasures); partially synchronous mode requires at least N-b results.
+func (n *node[E]) tryDecode(force bool) (bool, error) {
+	c := n.cluster
+	need := c.cfg.N - c.cfg.MaxFaults
+	if len(n.received) < need {
+		return false, nil
+	}
+	if !force && len(n.received) < c.cfg.N {
+		// Wait for more stragglers unless the deadline passed.
+		return false, nil
+	}
+	indices := make([]int, 0, len(n.received))
+	for idx := range n.received {
+		indices = append(indices, idx)
+	}
+	sort.Ints(indices)
+	results := make([][]E, len(indices))
+	for i, idx := range indices {
+		results[i] = n.received[idx]
+	}
+	dec, err := c.code.DecodeOutputsSubset(indices, results, c.tr.Degree())
+	if err != nil {
+		return false, fmt.Errorf("csm: node %d decode: %w", n.id, err)
+	}
+	outputs := make([][]E, c.cfg.K)
+	nextStates := make([][]E, c.cfg.K)
+	for k := 0; k < c.cfg.K; k++ {
+		next, out, err := c.tr.SplitResult(dec.Outputs[k])
+		if err != nil {
+			return false, err
+		}
+		nextStates[k] = next
+		outputs[k] = out
+	}
+	n.decoded = &nodeDecode[E]{outputs: outputs, nextStates: nextStates, faulty: dec.FaultyNodes}
+	// Update the coded state: S̃_i(t+1) = Σ_k c_ik Ŝ_k(t+1).
+	f := c.counting
+	stateLen := c.tr.StateLen()
+	newCoded := make([]E, stateLen)
+	for j := 0; j < stateLen; j++ {
+		acc := f.Zero()
+		for k := 0; k < c.cfg.K; k++ {
+			acc = f.Add(acc, f.Mul(c.code.Coeffs()[n.id][k], nextStates[k][j]))
+		}
+		newCoded[j] = acc
+	}
+	n.codedState = newCoded
+	return true, nil
+}

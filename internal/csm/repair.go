@@ -1,0 +1,145 @@
+package csm
+
+import (
+	"fmt"
+	"sort"
+
+	"codedsm/internal/field"
+)
+
+// RunQueue executes a queue of command batches with liveness: a batch whose
+// round was skipped (a Byzantine leader pushed a garbage proposal through
+// consensus) is retried under the next round's leader, so every client
+// command is eventually executed — the paper's Liveness requirement
+// (Section 2.1). maxAttempts bounds retries per batch.
+func (c *Cluster[E]) RunQueue(batches [][][]E, maxAttempts int) ([]*RoundResult[E], error) {
+	if maxAttempts < 1 {
+		maxAttempts = c.cfg.N // a full leader rotation
+	}
+	out := make([]*RoundResult[E], 0, len(batches))
+	for bi, batch := range batches {
+		executed := false
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			res, err := c.ExecuteRound(batch)
+			if err != nil {
+				return out, fmt.Errorf("csm: batch %d attempt %d: %w", bi, attempt, err)
+			}
+			if !res.Skipped {
+				out = append(out, res)
+				executed = true
+				break
+			}
+		}
+		if !executed {
+			return out, fmt.Errorf("csm: batch %d not executed within %d attempts: %w",
+				bi, maxAttempts, ErrRoundStuck)
+		}
+	}
+	return out, nil
+}
+
+// RepairNode reconstructs node i's coded state from the *other* nodes'
+// coded states. The vector (S̃_1, ..., S̃_N) is itself a Reed-Solomon
+// codeword of u_t (degree K-1) at the alphas, so any N-1 coordinates with
+// at most (N-1-K)/2 corruptions determine u_t; the repaired node re-derives
+// S̃_i = u_t(α_i) without downloading all K states — this is what makes
+// node replacement cheap in CSM, in contrast to the re-download cost that
+// rules out frequent group rotation in random-allocation schemes
+// (Section 7, Remark 5).
+//
+// Byzantine nodes contribute garbage states to the repair, which the
+// decoder corrects like any other error.
+func (c *Cluster[E]) RepairNode(i int) error {
+	if i < 0 || i >= c.cfg.N {
+		return fmt.Errorf("csm: repair: node %d out of range", i)
+	}
+	stateLen := c.tr.StateLen()
+	// Collect the other nodes' coded states; Byzantine nodes lie.
+	indices := make([]int, 0, c.cfg.N-1)
+	contributions := make([][]E, 0, c.cfg.N-1)
+	for j, n := range c.nodes {
+		if j == i {
+			continue
+		}
+		indices = append(indices, j)
+		if n.behavior != Honest {
+			contributions = append(contributions, field.RandVec(c.cfg.BaseField, c.rng, stateLen))
+			continue
+		}
+		contributions = append(contributions, append([]E(nil), n.codedState...))
+	}
+	sort.Sort(&repairSorter[E]{idx: indices, vals: contributions})
+	// Coded states are evaluations of u_t (degree K-1): dimension K, which
+	// is ResultDim(1) by construction.
+	dec, err := c.code.DecodeOutputsSubset(indices, contributions, 1)
+	if err != nil {
+		return fmt.Errorf("csm: repair of node %d: %w", i, err)
+	}
+	// dec.Outputs are the K uncoded states; re-encode coordinate i.
+	repaired := make([]E, stateLen)
+	for comp := 0; comp < stateLen; comp++ {
+		vals := make([]E, c.cfg.K)
+		for k := 0; k < c.cfg.K; k++ {
+			vals[k] = dec.Outputs[k][comp]
+		}
+		v, err := c.code.EncodeAt(vals, i)
+		if err != nil {
+			return err
+		}
+		repaired[comp] = v
+	}
+	c.nodes[i].codedState = repaired
+	return nil
+}
+
+// repairSorter keeps contributions aligned with their node indices.
+type repairSorter[E comparable] struct {
+	idx  []int
+	vals [][]E
+}
+
+func (s *repairSorter[E]) Len() int           { return len(s.idx) }
+func (s *repairSorter[E]) Less(i, j int) bool { return s.idx[i] < s.idx[j] }
+func (s *repairSorter[E]) Swap(i, j int) {
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}
+
+// Corrupt changes a node's behaviour mid-run, modelling the dynamic
+// (adaptive) adversary of Section 7: corruptions may move between nodes
+// across rounds, but the *simultaneous* corruption count may never exceed
+// the fault budget b. Pass Honest to release a node (the adversary
+// "un-corrupts" it to move elsewhere, as in post-facto corruption models).
+//
+// CSM's security holds against this adversary — unlike random allocation,
+// there is no small committee whose capture matters; only the global count
+// does. TestDynamicAdversary exercises exactly this.
+func (c *Cluster[E]) Corrupt(node int, behavior Behavior) error {
+	if node < 0 || node >= c.cfg.N {
+		return fmt.Errorf("csm: corrupt: node %d out of range", node)
+	}
+	corrupted := 0
+	for i, n := range c.nodes {
+		b := n.behavior
+		if i == node {
+			b = behavior
+		}
+		if b != Honest {
+			corrupted++
+		}
+	}
+	if corrupted > c.cfg.MaxFaults {
+		return fmt.Errorf("csm: corrupting node %d would exceed the fault budget b=%d",
+			node, c.cfg.MaxFaults)
+	}
+	c.nodes[node].behavior = behavior
+	if c.cfg.Byzantine == nil {
+		c.cfg.Byzantine = make(map[int]Behavior)
+	}
+	if behavior == Honest {
+		delete(c.cfg.Byzantine, node)
+	} else {
+		c.cfg.Byzantine[node] = behavior
+	}
+	return nil
+}

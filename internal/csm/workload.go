@@ -1,0 +1,8 @@
+package csm
+
+import "math/rand/v2"
+
+// newWorkloadRNG isolates workload randomness from protocol randomness.
+func newWorkloadRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0x90ad))
+}

@@ -1,0 +1,182 @@
+package field
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// gf2mPolys maps the extension degree m to a primitive polynomial over
+// GF(2), represented with bit i standing for x^i (the x^m term included).
+// These are the standard primitive polynomials used throughout the coding
+// literature (Lin & Costello, Appendix C).
+var gf2mPolys = map[uint]uint64{
+	2:  0x7,     // x^2 + x + 1
+	3:  0xb,     // x^3 + x + 1
+	4:  0x13,    // x^4 + x + 1
+	5:  0x25,    // x^5 + x^2 + 1
+	6:  0x43,    // x^6 + x + 1
+	7:  0x89,    // x^7 + x^3 + 1
+	8:  0x11d,   // x^8 + x^4 + x^3 + x^2 + 1
+	9:  0x211,   // x^9 + x^4 + 1
+	10: 0x409,   // x^10 + x^3 + 1
+	11: 0x805,   // x^11 + x^2 + 1
+	12: 0x1053,  // x^12 + x^6 + x^4 + x + 1
+	13: 0x201b,  // x^13 + x^4 + x^3 + x + 1
+	14: 0x4443,  // x^14 + x^10 + x^6 + x + 1
+	15: 0x8003,  // x^15 + x + 1
+	16: 0x1100b, // x^16 + x^12 + x^3 + x + 1
+}
+
+// GF2m is the binary extension field GF(2^m), 2 ≤ m ≤ 16. Elements are
+// uint64 values whose low m bits are the coefficients of a polynomial over
+// GF(2). Multiplication uses log/antilog tables built at construction, so a
+// GF2m value must be created with NewGF2m.
+//
+// The paper's Appendix A uses GF(2^m) with 2^m ≥ N to run Boolean state
+// machines under CSM: each bit of the state is embedded as 0 -> 0, 1 -> 1,
+// and the Boolean transition function, rewritten as a polynomial over GF(2),
+// evaluates identically over the extension field.
+type GF2m struct {
+	m     uint
+	poly  uint64
+	order uint64 // 2^m
+	logT  []uint32
+	expT  []uint32
+}
+
+var _ Field[uint64] = (*GF2m)(nil)
+
+// NewGF2m constructs GF(2^m) for 2 ≤ m ≤ 16. It verifies at construction
+// that the chosen polynomial is primitive (the generator x cycles through
+// all 2^m - 1 nonzero elements).
+func NewGF2m(m uint) (*GF2m, error) {
+	poly, ok := gf2mPolys[m]
+	if !ok {
+		return nil, fmt.Errorf("field: unsupported GF(2^m) degree m=%d (supported: 2..16)", m)
+	}
+	order := uint64(1) << m
+	f := &GF2m{
+		m:     m,
+		poly:  poly,
+		order: order,
+		logT:  make([]uint32, order),
+		expT:  make([]uint32, order-1),
+	}
+	v := uint64(1)
+	for i := uint64(0); i < order-1; i++ {
+		if v == 1 && i != 0 {
+			return nil, fmt.Errorf("field: polynomial %#x is not primitive for m=%d", poly, m)
+		}
+		f.expT[i] = uint32(v)
+		f.logT[v] = uint32(i)
+		v <<= 1
+		if v&order != 0 {
+			v ^= poly
+		}
+	}
+	if v != 1 {
+		return nil, fmt.Errorf("field: polynomial %#x is not primitive for m=%d", poly, m)
+	}
+	return f, nil
+}
+
+// M returns the extension degree m.
+func (f *GF2m) M() uint { return f.m }
+
+// Order returns the field size 2^m.
+func (f *GF2m) Order() uint64 { return f.order }
+
+// Name implements Field.
+func (f *GF2m) Name() string { return fmt.Sprintf("GF(2^%d)", f.m) }
+
+// Zero implements Field.
+func (f *GF2m) Zero() uint64 { return 0 }
+
+// One implements Field.
+func (f *GF2m) One() uint64 { return 1 }
+
+// FromUint64 implements Field, keeping the low m bits.
+func (f *GF2m) FromUint64(v uint64) uint64 { return v & (f.order - 1) }
+
+// Uint64 implements Field.
+func (f *GF2m) Uint64(e uint64) uint64 { return e }
+
+// Add implements Field; addition in characteristic 2 is XOR.
+func (f *GF2m) Add(a, b uint64) uint64 { return a ^ b }
+
+// Sub implements Field; identical to Add in characteristic 2.
+func (f *GF2m) Sub(a, b uint64) uint64 { return a ^ b }
+
+// Neg implements Field; every element is its own additive inverse.
+func (f *GF2m) Neg(a uint64) uint64 { return a }
+
+// Mul implements Field via log/antilog tables.
+func (f *GF2m) Mul(a, b uint64) uint64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	s := uint64(f.logT[a]) + uint64(f.logT[b])
+	if s >= f.order-1 {
+		s -= f.order - 1
+	}
+	return uint64(f.expT[s])
+}
+
+// Inv implements Field.
+func (f *GF2m) Inv(a uint64) (uint64, error) {
+	if a == 0 {
+		return 0, ErrDivisionByZero
+	}
+	if a == 1 {
+		return 1, nil
+	}
+	return uint64(f.expT[f.order-1-uint64(f.logT[a])]), nil
+}
+
+// Equal implements Field.
+func (f *GF2m) Equal(a, b uint64) bool { return a == b }
+
+// IsZero implements Field.
+func (f *GF2m) IsZero(a uint64) bool { return a == 0 }
+
+// Rand implements Field.
+func (f *GF2m) Rand(r *rand.Rand) uint64 { return r.Uint64N(f.order) }
+
+// Elements implements Field: it returns 0, 1, ..., n-1 as field elements.
+func (f *GF2m) Elements(n int) ([]uint64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("field: negative element count %d", n)
+	}
+	if uint64(n) > f.order {
+		return nil, fmt.Errorf("field: GF(2^%d) has only %d elements, %d requested; use a larger m (Appendix A requires 2^m >= N)", f.m, f.order, n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i)
+	}
+	return out, nil
+}
+
+// EmbedBit embeds a GF(2) bit into GF(2^m) per the paper's equation (13):
+// 0 maps to the all-zero word and 1 to the word 00...01. Boolean transition
+// polynomials evaluate identically on embedded inputs.
+func (f *GF2m) EmbedBit(bit uint8) uint64 {
+	if bit == 0 {
+		return 0
+	}
+	return 1
+}
+
+// ExtractBit recovers a GF(2) bit from an embedded element. It reports an
+// error if the element is not in the image of EmbedBit, which for honest
+// executions of a Boolean machine cannot happen (Appendix A).
+func (f *GF2m) ExtractBit(e uint64) (uint8, error) {
+	switch e {
+	case 0:
+		return 0, nil
+	case 1:
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("field: element %#x is not an embedded bit", e)
+	}
+}

@@ -1,0 +1,149 @@
+package field
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestGF2mConstruction(t *testing.T) {
+	for m := uint(2); m <= 16; m++ {
+		f, err := NewGF2m(m)
+		if err != nil {
+			t.Fatalf("NewGF2m(%d): %v", m, err)
+		}
+		if f.Order() != 1<<m {
+			t.Errorf("m=%d: order = %d, want %d", m, f.Order(), 1<<m)
+		}
+	}
+	if _, err := NewGF2m(1); err == nil {
+		t.Error("NewGF2m(1) should fail")
+	}
+	if _, err := NewGF2m(17); err == nil {
+		t.Error("NewGF2m(17) should fail")
+	}
+}
+
+func TestGF2mFieldAxioms(t *testing.T) {
+	for _, m := range []uint{2, 4, 8, 16} {
+		f, err := NewGF2m(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(f.Name(), func(t *testing.T) {
+			testFieldAxioms[uint64](t, f, uint64(m))
+		})
+	}
+}
+
+func TestGF2mExhaustiveSmall(t *testing.T) {
+	// In GF(2^4), exhaustively verify multiplication against carryless
+	// schoolbook multiplication with reduction.
+	f, err := NewGF2m(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := func(a, b uint64) uint64 {
+		var acc uint64
+		for i := 0; i < 4; i++ {
+			if b&(1<<i) != 0 {
+				acc ^= a << i
+			}
+		}
+		// Reduce modulo x^4 + x + 1 (0x13).
+		for i := 7; i >= 4; i-- {
+			if acc&(1<<i) != 0 {
+				acc ^= 0x13 << (i - 4)
+			}
+		}
+		return acc
+	}
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			if got, want := f.Mul(a, b), ref(a, b); got != want {
+				t.Errorf("GF(16): %d*%d = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestGF2mInvExhaustive(t *testing.T) {
+	f, err := NewGF2m(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Inv(0); err == nil {
+		t.Fatal("Inv(0) should fail")
+	}
+	for a := uint64(1); a < 256; a++ {
+		inv, err := f.Inv(a)
+		if err != nil {
+			t.Fatalf("Inv(%d): %v", a, err)
+		}
+		if f.Mul(a, inv) != 1 {
+			t.Fatalf("%d * %d != 1", a, inv)
+		}
+	}
+}
+
+func TestGF2mCharacteristicTwo(t *testing.T) {
+	f, err := NewGF2m(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 100; i++ {
+		a := f.Rand(r)
+		if f.Add(a, a) != 0 {
+			t.Fatalf("a + a != 0 for a=%d", a)
+		}
+		if f.Neg(a) != a {
+			t.Fatalf("-a != a for a=%d", a)
+		}
+	}
+}
+
+func TestGF2mElementsBound(t *testing.T) {
+	f, err := NewGF2m(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems, err := f.Elements(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != 16 {
+		t.Fatalf("got %d elements", len(elems))
+	}
+	if _, err := f.Elements(17); err == nil {
+		t.Error("Elements(17) on GF(16) should fail — Appendix A requires 2^m >= N")
+	}
+}
+
+func TestGF2mEmbedding(t *testing.T) {
+	f, err := NewGF2m(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.EmbedBit(0) != 0 || f.EmbedBit(1) != 1 {
+		t.Fatal("embedding does not follow equation (13)")
+	}
+	for _, bit := range []uint8{0, 1} {
+		got, err := f.ExtractBit(f.EmbedBit(bit))
+		if err != nil || got != bit {
+			t.Fatalf("ExtractBit(EmbedBit(%d)) = %d, %v", bit, got, err)
+		}
+	}
+	if _, err := f.ExtractBit(7); err == nil {
+		t.Error("ExtractBit(7) should fail")
+	}
+}
+
+func TestGF2mFromUint64Masks(t *testing.T) {
+	f, err := NewGF2m(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.FromUint64(0x1f); got != 0xf {
+		t.Errorf("FromUint64(0x1f) = %#x, want 0xf", got)
+	}
+}

@@ -1,0 +1,67 @@
+package intermix
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// SelfElect reports whether a node elects itself into the audit committee
+// for the given beacon seed: a VRF-style hash of (seed, node) is compared
+// against the threshold J/N. An auditor remains anonymous until it presents
+// this hash as its proof of election (Section 6.1); here the hash is
+// deterministic, so any node can verify another's claim with ProveElection.
+func SelfElect(seed uint64, node, n, j int) bool {
+	if n <= 0 || j <= 0 {
+		return false
+	}
+	if j >= n {
+		return true
+	}
+	h := electionHash(seed, node)
+	// P(h < t) = j/n with t = floor(2^64 * j/n).
+	threshold := uint64(math.Floor(float64(math.MaxUint64) * float64(j) / float64(n)))
+	return h < threshold
+}
+
+// ProveElection returns the hash a node presents as its election proof.
+func ProveElection(seed uint64, node int) uint64 { return electionHash(seed, node) }
+
+func electionHash(seed uint64, node int) uint64 {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:], seed)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(node))
+	sum := sha256.Sum256(buf[:])
+	return binary.LittleEndian.Uint64(sum[:8])
+}
+
+// ElectCommittee returns all self-elected nodes for the seed. The committee
+// size is random with expectation J; the soundness analysis only needs at
+// least one honest member with probability 1-ε, which the expectation
+// argument plus the per-round beacon refresh provides. Callers that need a
+// non-empty committee retry with the next beacon value.
+func ElectCommittee(seed uint64, n, j int) []int {
+	var out []int
+	for node := 0; node < n; node++ {
+		if SelfElect(seed, node, n, j) {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// ElectNonEmpty retries the beacon until the committee is non-empty,
+// returning the committee and the beacon value used.
+func ElectNonEmpty(seed uint64, n, j int) ([]int, uint64, error) {
+	if n <= 0 || j <= 0 {
+		return nil, 0, fmt.Errorf("intermix: invalid election parameters n=%d j=%d", n, j)
+	}
+	for attempt := uint64(0); attempt < 1024; attempt++ {
+		beacon := seed + attempt
+		if c := ElectCommittee(beacon, n, j); len(c) > 0 {
+			return c, beacon, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("intermix: election produced no committee after 1024 beacons")
+}

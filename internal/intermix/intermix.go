@@ -1,0 +1,300 @@
+// Package intermix implements INTERMIX (Section 6.1 of the paper): an
+// information-theoretically secure, interactively verifiable matrix-vector
+// multiplication. One worker computes Y = AX for the whole network; a small
+// random committee of J auditors recomputes it, and an honest auditor that
+// detects fraud interactively forces the worker — in log K queries
+// (Algorithm 1) — to expose a single inconsistency that every remaining
+// node (the "commoners") can check in constant time.
+//
+// Soundness does not rest on any computational assumption: even an
+// unbounded worker cannot answer the bisection queries consistently, since
+// the leaf claim is checkable by direct computation. The protocol requires
+// the synchronous broadcast network of Section 6 (no equivocation; refusing
+// to answer is itself detectable).
+package intermix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"codedsm/internal/field"
+)
+
+// Strategy selects how the worker behaves.
+type Strategy int
+
+const (
+	// HonestWorker computes Y = AX correctly and answers queries truthfully.
+	HonestWorker Strategy = iota
+	// NaiveLiar corrupts one output entry but answers the bisection
+	// queries truthfully — caught at the first level, where the two
+	// truthful halves do not sum to the corrupted claim.
+	NaiveLiar
+	// ConsistentLiar corrupts one output entry and distributes the lie
+	// down the bisection so that every sum check passes — caught at the
+	// leaf, where the claim is checkable by one multiplication.
+	ConsistentLiar
+	// Refusing answers no queries; under the synchronous broadcast
+	// assumption the silence itself convicts the worker.
+	Refusing
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case HonestWorker:
+		return "honest"
+	case NaiveLiar:
+		return "naive-liar"
+	case ConsistentLiar:
+		return "consistent-liar"
+	case Refusing:
+		return "refusing"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ErrRefused reports a worker that did not answer an audit query.
+var ErrRefused = errors.New("intermix: worker refused to answer")
+
+// Worker simulates the delegated computation node.
+type Worker[E comparable] struct {
+	f        field.Field[E]
+	a        [][]E
+	x        []E
+	strategy Strategy
+	// corruptRow/corruptCol locate the lie for the two liar strategies.
+	corruptRow int
+	corruptCol int
+	delta      E // the additive lie
+}
+
+// NewWorker builds a worker over A (n x k) and X (k).
+func NewWorker[E comparable](f field.Field[E], a [][]E, x []E, strategy Strategy, corruptRow, corruptCol int) (*Worker[E], error) {
+	if len(a) == 0 || len(x) == 0 {
+		return nil, errors.New("intermix: empty matrix or vector")
+	}
+	for i, row := range a {
+		if len(row) != len(x) {
+			return nil, fmt.Errorf("intermix: row %d has %d columns, want %d", i, len(row), len(x))
+		}
+	}
+	if strategy != HonestWorker && strategy != Refusing {
+		if corruptRow < 0 || corruptRow >= len(a) || corruptCol < 0 || corruptCol >= len(x) {
+			return nil, fmt.Errorf("intermix: corruption site (%d,%d) out of range", corruptRow, corruptCol)
+		}
+	}
+	return &Worker[E]{
+		f: f, a: a, x: x, strategy: strategy,
+		corruptRow: corruptRow, corruptCol: corruptCol,
+		delta: f.One(),
+	}, nil
+}
+
+// trueDot computes A[row][lo:hi] . X[lo:hi].
+func (w *Worker[E]) trueDot(row, lo, hi int) E {
+	acc := w.f.Zero()
+	for j := lo; j < hi; j++ {
+		acc = w.f.Add(acc, w.f.Mul(w.a[row][j], w.x[j]))
+	}
+	return acc
+}
+
+// Output returns the worker's claimed Y = AX.
+func (w *Worker[E]) Output() []E {
+	out := make([]E, len(w.a))
+	for i := range w.a {
+		out[i] = w.trueDot(i, 0, len(w.x))
+	}
+	switch w.strategy {
+	case NaiveLiar, ConsistentLiar:
+		out[w.corruptRow] = w.f.Add(out[w.corruptRow], w.delta)
+	}
+	return out
+}
+
+// Answer responds to the audit query "compute A[row][lo:hi] . X[lo:hi]".
+func (w *Worker[E]) Answer(row, lo, hi int) (E, error) {
+	var zero E
+	if w.strategy == Refusing {
+		return zero, ErrRefused
+	}
+	truth := w.trueDot(row, lo, hi)
+	if w.strategy == ConsistentLiar && row == w.corruptRow &&
+		lo <= w.corruptCol && w.corruptCol < hi {
+		// Keep the lie alive in whichever segment hides the chosen column:
+		// the parent/children sums then always match.
+		return w.f.Add(truth, w.delta), nil
+	}
+	return truth, nil
+}
+
+// AlertKind classifies how the fraud was exposed.
+type AlertKind int
+
+const (
+	// SumMismatch: the worker's two half-answers do not sum to its claim.
+	SumMismatch AlertKind = iota
+	// LeafMismatch: the bisection reached one coordinate whose claim
+	// differs from the directly computable product.
+	LeafMismatch
+	// RefusedToAnswer: the worker went silent mid-audit.
+	RefusedToAnswer
+)
+
+// String implements fmt.Stringer.
+func (k AlertKind) String() string {
+	switch k {
+	case SumMismatch:
+		return "sum-mismatch"
+	case LeafMismatch:
+		return "leaf-mismatch"
+	case RefusedToAnswer:
+		return "refused"
+	default:
+		return fmt.Sprintf("AlertKind(%d)", int(k))
+	}
+}
+
+// Step records one bisection level of Algorithm 1.
+type Step[E comparable] struct {
+	Lo, Mid, Hi int
+	Left, Right E // the worker's claimed half-products
+	Claimed     E // the claim being split
+}
+
+// Alert is the evidence an auditor publishes. The commoners, having
+// overheard the (broadcast) conversation, verify only the final step — a
+// constant-time check.
+type Alert[E comparable] struct {
+	Row     int
+	Kind    AlertKind
+	Steps   []Step[E]
+	Path    []int // the paper's ζ: 1 = left, 2 = right at each level
+	LeafCol int   // for LeafMismatch
+	Claim   E     // the final inconsistent claim
+	Queries int   // number of query pairs issued
+}
+
+// Audit implements Algorithm 1 at an honest auditor: recompute Y = AX, and
+// if the worker's output differs, bisect interactively until an
+// inconsistency is exposed. It returns nil if the output is correct.
+func Audit[E comparable](f field.Field[E], a [][]E, x []E, output []E, answer func(row, lo, hi int) (E, error)) (*Alert[E], error) {
+	if len(output) != len(a) {
+		return nil, fmt.Errorf("intermix: output length %d, want %d", len(output), len(a))
+	}
+	// The auditor repeats the computation (cost c(AX)).
+	row := -1
+	var truth E
+	for i := range a {
+		ti, err := field.Dot(f, a[i], x)
+		if err != nil {
+			return nil, err
+		}
+		if !f.Equal(ti, output[i]) {
+			row, truth = i, ti
+			break
+		}
+	}
+	if row < 0 {
+		return nil, nil // correct output
+	}
+	_ = truth
+	alert := &Alert[E]{Row: row}
+	lo, hi := 0, len(x)
+	claimed := output[row]
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		left, err := answer(row, lo, mid)
+		if err != nil {
+			alert.Kind = RefusedToAnswer
+			return alert, nil
+		}
+		right, err := answer(row, mid, hi)
+		if err != nil {
+			alert.Kind = RefusedToAnswer
+			return alert, nil
+		}
+		alert.Queries++
+		alert.Steps = append(alert.Steps, Step[E]{Lo: lo, Mid: mid, Hi: hi, Left: left, Right: right, Claimed: claimed})
+		if !f.Equal(f.Add(left, right), claimed) {
+			alert.Kind = SumMismatch
+			return alert, nil
+		}
+		// Locate the wrong half by local recomputation (auditor-side work).
+		trueLeft := f.Zero()
+		for j := lo; j < mid; j++ {
+			trueLeft = f.Add(trueLeft, f.Mul(a[row][j], x[j]))
+		}
+		if !f.Equal(left, trueLeft) {
+			hi, claimed = mid, left
+			alert.Path = append(alert.Path, 1)
+		} else {
+			lo, claimed = mid, right
+			alert.Path = append(alert.Path, 2)
+		}
+	}
+	alert.Kind = LeafMismatch
+	alert.LeafCol = lo
+	alert.Claim = claimed
+	return alert, nil
+}
+
+// VerifyAlert is the commoners' constant-time check of an auditor's alert:
+// one addition and comparison for a sum mismatch, or one multiplication and
+// comparison for a leaf mismatch. It returns true when the alert is valid
+// (the worker is guilty); a false alert (dishonest auditor) returns false
+// and is dismissed.
+func VerifyAlert[E comparable](f field.Field[E], a [][]E, x []E, alert *Alert[E]) bool {
+	if alert == nil {
+		return false
+	}
+	switch alert.Kind {
+	case RefusedToAnswer:
+		// Under the broadcast assumption everyone observed the silence.
+		return true
+	case SumMismatch:
+		if len(alert.Steps) == 0 {
+			return false
+		}
+		last := alert.Steps[len(alert.Steps)-1]
+		return !f.Equal(f.Add(last.Left, last.Right), last.Claimed)
+	case LeafMismatch:
+		if alert.Row < 0 || alert.Row >= len(a) || alert.LeafCol < 0 || alert.LeafCol >= len(x) {
+			return false
+		}
+		truth := f.Mul(a[alert.Row][alert.LeafCol], x[alert.LeafCol])
+		return !f.Equal(truth, alert.Claim)
+	default:
+		return false
+	}
+}
+
+// CommitteeSize returns J = ceil(log ε / log µ): the number of auditors
+// needed so that P(no honest auditor) <= ε when a µ fraction of nodes is
+// dishonest.
+func CommitteeSize(epsilon, mu float64) (int, error) {
+	if epsilon <= 0 || epsilon >= 1 {
+		return 0, fmt.Errorf("intermix: epsilon %v out of (0,1)", epsilon)
+	}
+	if mu <= 0 {
+		return 1, nil // no adversary: one auditor suffices
+	}
+	if mu >= 1 {
+		return 0, fmt.Errorf("intermix: mu %v out of [0,1)", mu)
+	}
+	return int(math.Ceil(math.Log(epsilon) / math.Log(mu))), nil
+}
+
+// WorstCaseOverhead evaluates the Section 6.1 complexity bound
+// (J+1)·c(AX) + 8JK + 3J·log2(K) + N - J - 1 in field operations, where
+// cAX is the cost of one matrix-vector product.
+func WorstCaseOverhead(j, k, n int, cAX uint64) uint64 {
+	logK := 0
+	for v := k; v > 1; v >>= 1 {
+		logK++
+	}
+	return uint64(j+1)*cAX + uint64(8*j*k) + uint64(3*j*logK) + uint64(n-j-1)
+}

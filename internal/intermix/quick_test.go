@@ -1,0 +1,98 @@
+package intermix
+
+import (
+	randv1 "math/rand"
+	randv2 "math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"codedsm/internal/field"
+)
+
+// auditCase is a random INTERMIX instance.
+type auditCase struct {
+	a          [][]uint64
+	x          []uint64
+	strategy   Strategy
+	corruptRow int
+	corruptCol int
+}
+
+func quickAuditConfig() *quick.Config {
+	return &quick.Config{
+		MaxCount: 100,
+		Values: func(args []reflect.Value, src *randv1.Rand) {
+			r := randv2.New(randv2.NewPCG(src.Uint64(), src.Uint64()))
+			n := 2 + int(r.Uint64N(20))
+			k := 1 + int(r.Uint64N(40))
+			a := make([][]uint64, n)
+			for i := range a {
+				a[i] = field.RandVec[uint64](gold, r, k)
+			}
+			strategies := []Strategy{HonestWorker, NaiveLiar, ConsistentLiar}
+			args[0] = reflect.ValueOf(auditCase{
+				a:          a,
+				x:          field.RandVec[uint64](gold, r, k),
+				strategy:   strategies[r.Uint64N(3)],
+				corruptRow: int(r.Uint64N(uint64(n))),
+				corruptCol: int(r.Uint64N(uint64(k))),
+			})
+		},
+	}
+}
+
+// TestQuickAuditSoundnessAndCompleteness: for ANY instance, an honest
+// auditor accepts an honest worker and produces a commoner-verifiable alert
+// against any lying worker (soundness is information-theoretic: the liar
+// strategies here span truthful-answering and fully consistent lying).
+func TestQuickAuditSoundnessAndCompleteness(t *testing.T) {
+	if err := quick.Check(func(c auditCase) bool {
+		w, err := NewWorker[uint64](gold, c.a, c.x, c.strategy, c.corruptRow, c.corruptCol)
+		if err != nil {
+			return false
+		}
+		output := w.Output()
+		alert, err := Audit[uint64](gold, c.a, c.x, output, w.Answer)
+		if err != nil {
+			return false
+		}
+		if c.strategy == HonestWorker {
+			return alert == nil
+		}
+		if alert == nil {
+			return false // fraud missed
+		}
+		if alert.Row != c.corruptRow {
+			return false // wrong localization
+		}
+		return VerifyAlert[uint64](gold, c.a, c.x, alert)
+	}, quickAuditConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickQueryBound: the number of interactive query pairs never exceeds
+// ceil(log2 K) + 1 — the paper's "log K interactive queries".
+func TestQuickQueryBound(t *testing.T) {
+	if err := quick.Check(func(c auditCase) bool {
+		if c.strategy == HonestWorker {
+			return true
+		}
+		w, err := NewWorker[uint64](gold, c.a, c.x, c.strategy, c.corruptRow, c.corruptCol)
+		if err != nil {
+			return false
+		}
+		alert, err := Audit[uint64](gold, c.a, c.x, w.Output(), w.Answer)
+		if err != nil || alert == nil {
+			return false
+		}
+		bound := 1
+		for v := len(c.x); v > 1; v = (v + 1) / 2 {
+			bound++
+		}
+		return alert.Queries <= bound
+	}, quickAuditConfig()); err != nil {
+		t.Error(err)
+	}
+}

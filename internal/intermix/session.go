@@ -1,0 +1,192 @@
+package intermix
+
+import (
+	"fmt"
+
+	"codedsm/internal/field"
+)
+
+// SessionConfig describes one full INTERMIX round: delegated computation,
+// committee election, audits, and commoner verification.
+type SessionConfig[E comparable] struct {
+	// F is the field (wrap in a counting field to measure complexity).
+	F field.Field[E]
+	// A is the public N-by-K matrix, X the public vector (in CSM: the
+	// Lagrange coefficient matrix and the agreed commands, Section 6.2).
+	A [][]E
+	X []E
+	// NetworkSize is N (auditors + commoners + worker).
+	NetworkSize int
+	// Mu is the dishonest fraction, Epsilon the failure probability target.
+	Mu, Epsilon float64
+	// Seed drives the election beacon.
+	Seed uint64
+	// WorkerStrategy and the corruption site.
+	WorkerStrategy         Strategy
+	CorruptRow, CorruptCol int
+	// Dishonest marks nodes (by index) as dishonest: a dishonest auditor
+	// never exposes a guilty worker and raises a fabricated alert against
+	// an honest one.
+	Dishonest map[int]bool
+}
+
+// Outcome reports a session.
+type Outcome[E comparable] struct {
+	// Output is the worker's claimed Y = AX.
+	Output []E
+	// Committee lists the self-elected auditor node indices.
+	Committee []int
+	// Beacon is the randomness actually used (after empty-committee retries).
+	Beacon uint64
+	// Accepted is the commoners' final verdict on the output.
+	Accepted bool
+	// ValidAlerts counts alerts that survived commoner verification.
+	ValidAlerts int
+	// DismissedAlerts counts fabricated alerts thrown out in O(1).
+	DismissedAlerts int
+	// Queries is the total number of bisection query pairs issued.
+	Queries int
+}
+
+// RunSession executes the whole protocol in-process. The broadcast
+// assumption is modelled by letting the commoners check an alert's final
+// step against the worker's actual (deterministic) answers — the "overheard
+// conversation" — before the constant-time arithmetic check.
+func RunSession[E comparable](cfg SessionConfig[E]) (*Outcome[E], error) {
+	if cfg.NetworkSize < 2 {
+		return nil, fmt.Errorf("intermix: network size %d too small", cfg.NetworkSize)
+	}
+	j, err := CommitteeSize(cfg.Epsilon, cfg.Mu)
+	if err != nil {
+		return nil, err
+	}
+	committee, beacon, err := ElectNonEmpty(cfg.Seed, cfg.NetworkSize, j)
+	if err != nil {
+		return nil, err
+	}
+	worker, err := NewWorker(cfg.F, cfg.A, cfg.X, cfg.WorkerStrategy, cfg.CorruptRow, cfg.CorruptCol)
+	if err != nil {
+		return nil, err
+	}
+	output := worker.Output()
+	out := &Outcome[E]{Output: output, Committee: committee, Beacon: beacon, Accepted: true}
+	for _, auditor := range committee {
+		if cfg.Dishonest[auditor] {
+			// A dishonest auditor (a) shields a guilty worker by staying
+			// silent and (b) attacks an honest one with a fabricated alert.
+			fake := &Alert[E]{
+				Row:  0,
+				Kind: SumMismatch,
+				Steps: []Step[E]{{
+					Lo: 0, Mid: len(cfg.X) / 2, Hi: len(cfg.X),
+					Left: cfg.F.One(), Right: cfg.F.One(), Claimed: cfg.F.Zero(),
+				}},
+			}
+			if commonerCheck(cfg.F, cfg.A, cfg.X, worker, fake) {
+				out.ValidAlerts++
+				out.Accepted = false
+			} else {
+				out.DismissedAlerts++
+			}
+			continue
+		}
+		alert, err := Audit(cfg.F, cfg.A, cfg.X, output, worker.Answer)
+		if err != nil {
+			return nil, err
+		}
+		if alert == nil {
+			continue // auditor confirms correctness
+		}
+		out.Queries += alert.Queries
+		if commonerCheck(cfg.F, cfg.A, cfg.X, worker, alert) {
+			out.ValidAlerts++
+			out.Accepted = false
+		} else {
+			out.DismissedAlerts++
+		}
+	}
+	return out, nil
+}
+
+// commonerCheck models a commoner's validation: the alert's final step must
+// match the overheard conversation (the worker's actual answers), and the
+// claimed inconsistency must hold — one addition or multiplication.
+func commonerCheck[E comparable](f field.Field[E], a [][]E, x []E, worker *Worker[E], alert *Alert[E]) bool {
+	if alert == nil {
+		return false
+	}
+	switch alert.Kind {
+	case RefusedToAnswer:
+		// Everyone observed whether the worker answered.
+		return worker.strategy == Refusing
+	case SumMismatch:
+		if len(alert.Steps) == 0 {
+			return false
+		}
+		last := alert.Steps[len(alert.Steps)-1]
+		// Transcript check ("we heard the worker say this"): the recorded
+		// answers must be what the worker actually said. Fabricated
+		// numbers fail here.
+		l, err := worker.Answer(alert.Row, last.Lo, last.Mid)
+		if err != nil {
+			return true // silence mid-protocol convicts the worker anyway
+		}
+		r, err := worker.Answer(alert.Row, last.Mid, last.Hi)
+		if err != nil {
+			return true
+		}
+		if !f.Equal(l, last.Left) || !f.Equal(r, last.Right) {
+			return false
+		}
+		// The claim must also descend from the overheard conversation: the
+		// first step's claim is the published output coordinate, later
+		// claims are prior answers.
+		if !claimChainValid(f, worker, alert) {
+			return false
+		}
+		return VerifyAlert(f, a, x, alert)
+	case LeafMismatch:
+		if !claimChainValid(f, worker, alert) {
+			return false
+		}
+		return VerifyAlert(f, a, x, alert)
+	default:
+		return false
+	}
+}
+
+// claimChainValid replays the overheard transcript: step i's Claimed must
+// equal the parent's chosen half-answer, and the root claim must be the
+// published output coordinate. (A real commoner does this by memory of the
+// broadcast, not by recomputation; no field operations are charged.)
+func claimChainValid[E comparable](f field.Field[E], worker *Worker[E], alert *Alert[E]) bool {
+	output := worker.Output()
+	if alert.Row < 0 || alert.Row >= len(output) {
+		return false
+	}
+	expect := output[alert.Row]
+	for i, st := range alert.Steps {
+		if !f.Equal(st.Claimed, expect) {
+			return false
+		}
+		l, errL := worker.Answer(alert.Row, st.Lo, st.Mid)
+		r, errR := worker.Answer(alert.Row, st.Mid, st.Hi)
+		if errL != nil || errR != nil {
+			return true
+		}
+		if !f.Equal(l, st.Left) || !f.Equal(r, st.Right) {
+			return false
+		}
+		if i < len(alert.Path) {
+			if alert.Path[i] == 1 {
+				expect = st.Left
+			} else {
+				expect = st.Right
+			}
+		}
+	}
+	if alert.Kind == LeafMismatch {
+		return f.Equal(alert.Claim, expect)
+	}
+	return true
+}

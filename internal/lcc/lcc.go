@@ -1,0 +1,387 @@
+// Package lcc implements the Lagrange coded computing layer of the Coded
+// State Machine (Section 5 of the paper).
+//
+// Coded State: pick K distinct ω_1..ω_K (one per state machine) and N
+// distinct α_1..α_N (one per node). The Lagrange polynomial u_t with
+// u_t(ω_k) = S_k(t) is evaluated at α_i to produce node i's coded state
+// S̃_i(t) = u_t(α_i) = Σ_k c_ik S_k(t) — a single state's worth of storage,
+// so γ_CSM = K (equation (7), Remark 4: the coefficients c_ik depend only on
+// the points, not on f or t).
+//
+// Coded Execution: each node encodes the agreed commands with the same
+// coefficients, X̃_i = v_t(α_i), computes g_i = f(S̃_i, X̃_i) = h(α_i) with
+// h = f(u_t(z), v_t(z)) of degree ≤ d(K-1), and the N results (≤ b wrong)
+// are Reed-Solomon decoded to recover every machine's transition.
+package lcc
+
+import (
+	"fmt"
+
+	"codedsm/internal/field"
+	"codedsm/internal/poly"
+	"codedsm/internal/rs"
+)
+
+// Code fixes the interpolation points and exposes encoding and decoding of
+// state/command/result vectors.
+type Code[E comparable] struct {
+	ring       *poly.Ring[E]
+	f          field.Field[E]
+	omegas     []E
+	alphas     []E
+	omegaTree  *poly.SubproductTree[E]
+	alphaTree  *poly.SubproductTree[E]
+	coeffs     [][]E // N x K Lagrange coefficient matrix C = [c_ik]
+	codesByDim map[int]*rs.Code[E]
+}
+
+// New constructs the code for K machines on N nodes, choosing
+// ω_1..ω_K, α_1..α_N as the first K+N distinct field elements. It fails if
+// the field is too small (Appendix A: over GF(2^m) one needs 2^m ≥ N+K).
+func New[E comparable](ring *poly.Ring[E], k, n int) (*Code[E], error) {
+	if k < 1 {
+		return nil, fmt.Errorf("lcc: need at least one state machine, got K=%d", k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("lcc: need N >= K, got N=%d < K=%d", n, k)
+	}
+	pts, err := ring.Field().Elements(k + n)
+	if err != nil {
+		return nil, fmt.Errorf("lcc: field too small for K+N=%d points: %w", k+n, err)
+	}
+	return NewWithPoints(ring, pts[:k], pts[k:])
+}
+
+// NewWithPoints constructs the code over explicit points. All K+N points
+// must be pairwise distinct.
+func NewWithPoints[E comparable](ring *poly.Ring[E], omegas, alphas []E) (*Code[E], error) {
+	if len(omegas) == 0 || len(alphas) < len(omegas) {
+		return nil, fmt.Errorf("lcc: need 1 <= K <= N, got K=%d N=%d", len(omegas), len(alphas))
+	}
+	seen := make(map[E]bool, len(omegas)+len(alphas))
+	for _, p := range omegas {
+		if seen[p] {
+			return nil, fmt.Errorf("lcc: duplicate interpolation point %v", p)
+		}
+		seen[p] = true
+	}
+	for _, p := range alphas {
+		if seen[p] {
+			return nil, fmt.Errorf("lcc: duplicate interpolation point %v", p)
+		}
+		seen[p] = true
+	}
+	c := &Code[E]{
+		ring:       ring,
+		f:          ring.Field(),
+		omegas:     append([]E(nil), omegas...),
+		alphas:     append([]E(nil), alphas...),
+		codesByDim: make(map[int]*rs.Code[E]),
+	}
+	c.omegaTree = poly.NewSubproductTree(ring, c.omegas)
+	c.alphaTree = poly.NewSubproductTree(ring, c.alphas)
+	if err := c.buildCoeffs(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// buildCoeffs computes c_ik = prod_{l != k} (α_i - ω_l) / (ω_k - ω_l)
+// (equation (7)).
+func (c *Code[E]) buildCoeffs() error {
+	k, n := len(c.omegas), len(c.alphas)
+	// denom_k = prod_{l != k} (ω_k - ω_l) = m'(ω_k) where m = prod (z-ω_l).
+	deriv := c.ring.Derivative(c.omegaTree.Master())
+	denoms, err := c.omegaTree.EvalMany(deriv)
+	if err != nil {
+		return err
+	}
+	denomInvs, err := field.BatchInv(c.f, denoms)
+	if err != nil {
+		return fmt.Errorf("lcc: duplicate omegas: %w", err)
+	}
+	// master(α_i) and (α_i - ω_k) give numer_ik = master(α_i)/(α_i - ω_k).
+	masterAtAlphas, err := c.alphaTree.EvalMany(c.omegaTree.Master())
+	if err != nil {
+		return err
+	}
+	c.coeffs = make([][]E, n)
+	for i := 0; i < n; i++ {
+		row := make([]E, k)
+		diffs := make([]E, k)
+		for j := 0; j < k; j++ {
+			diffs[j] = c.f.Sub(c.alphas[i], c.omegas[j])
+		}
+		diffInvs, err := field.BatchInv(c.f, diffs)
+		if err != nil {
+			return fmt.Errorf("lcc: alpha equals omega: %w", err)
+		}
+		for j := 0; j < k; j++ {
+			row[j] = c.f.Mul(c.f.Mul(masterAtAlphas[i], diffInvs[j]), denomInvs[j])
+		}
+		c.coeffs[i] = row
+	}
+	return nil
+}
+
+// K returns the number of state machines.
+func (c *Code[E]) K() int { return len(c.omegas) }
+
+// N returns the number of nodes.
+func (c *Code[E]) N() int { return len(c.alphas) }
+
+// Omegas returns the machine interpolation points (do not modify).
+func (c *Code[E]) Omegas() []E { return c.omegas }
+
+// Alphas returns the node evaluation points (do not modify).
+func (c *Code[E]) Alphas() []E { return c.alphas }
+
+// Coeffs returns the N x K coefficient matrix C with X̃ = C X (do not
+// modify). This is the matrix INTERMIX audits in the delegated mode.
+func (c *Code[E]) Coeffs() [][]E { return c.coeffs }
+
+// StorageEfficiency returns γ_CSM = K: each node stores one coded state of
+// the same size as an uncoded state (Section 5.1).
+func (c *Code[E]) StorageEfficiency() int { return len(c.omegas) }
+
+// EncodeAt computes the coded value for node i from the K machines' values:
+// Σ_k c_ik values[k]. values must have length K.
+func (c *Code[E]) EncodeAt(values []E, node int) (E, error) {
+	var zero E
+	if node < 0 || node >= len(c.alphas) {
+		return zero, fmt.Errorf("lcc: node %d out of range [0,%d)", node, len(c.alphas))
+	}
+	return field.Dot(c.f, c.coeffs[node], values)
+}
+
+// EncodeVectors encodes K machine vectors (each of length L) into N coded
+// vectors by the naive matrix product, O(N*K*L) operations. This is the
+// per-node encoding cost the delegated mode eliminates.
+func (c *Code[E]) EncodeVectors(values [][]E) ([][]E, error) {
+	l, err := c.vectorLen(values, len(c.omegas))
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]E, len(c.alphas))
+	for i := range out {
+		vec := make([]E, l)
+		for j := 0; j < l; j++ {
+			acc := c.f.Zero()
+			for k := range values {
+				acc = c.f.Add(acc, c.f.Mul(c.coeffs[i][k], values[k][j]))
+			}
+			vec[j] = acc
+		}
+		out[i] = vec
+	}
+	return out, nil
+}
+
+// EncodeVectorsFast is the Section 6.2 worker path: per vector component,
+// interpolate v_t over the omegas (O(K log^2 K)) and evaluate at all alphas
+// (O(N log^2 N)) via subproduct trees.
+func (c *Code[E]) EncodeVectorsFast(values [][]E) ([][]E, error) {
+	l, err := c.vectorLen(values, len(c.omegas))
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]E, len(c.alphas))
+	for i := range out {
+		out[i] = make([]E, l)
+	}
+	ys := make([]E, len(c.omegas))
+	for j := 0; j < l; j++ {
+		for k := range values {
+			ys[k] = values[k][j]
+		}
+		v, err := c.omegaTree.Interpolate(ys)
+		if err != nil {
+			return nil, err
+		}
+		coded, err := c.alphaTree.EvalMany(v)
+		if err != nil {
+			return nil, err
+		}
+		for i := range coded {
+			out[i][j] = coded[i]
+		}
+	}
+	return out, nil
+}
+
+// vectorLen validates a K-vector-of-vectors input and returns the common
+// component length.
+func (c *Code[E]) vectorLen(values [][]E, want int) (int, error) {
+	if len(values) != want {
+		return 0, fmt.Errorf("lcc: got %d vectors, want %d", len(values), want)
+	}
+	l := len(values[0])
+	for i, v := range values {
+		if len(v) != l {
+			return 0, fmt.Errorf("lcc: vector %d has length %d, want %d", i, len(v), l)
+		}
+	}
+	return l, nil
+}
+
+// codeForDim returns (building if needed) the RS code over the alphas with
+// the given dimension.
+func (c *Code[E]) codeForDim(dim int) (*rs.Code[E], error) {
+	if code, ok := c.codesByDim[dim]; ok {
+		return code, nil
+	}
+	code, err := rs.NewCode(c.ring, c.alphas, dim)
+	if err != nil {
+		return nil, err
+	}
+	c.codesByDim[dim] = code
+	return code, nil
+}
+
+// ResultDim returns the RS dimension of execution results for a transition
+// of total degree d: deg h = d(K-1), so dimension d(K-1)+1.
+func (c *Code[E]) ResultDim(degree int) int {
+	if degree < 1 {
+		degree = 1
+	}
+	return degree*(len(c.omegas)-1) + 1
+}
+
+// DecodeResult carries a decoded execution round.
+type DecodeResult[E comparable] struct {
+	// Outputs[k] is machine k's decoded result vector h_j(ω_k).
+	Outputs [][]E
+	// FaultyNodes lists node indices whose submitted results were corrupted
+	// (union over vector components), sorted ascending.
+	FaultyNodes []int
+}
+
+// DecodeOutputs recovers the K machines' result vectors from the N nodes'
+// coded results (each a vector of length L), tolerating up to
+// (N - d(K-1) - 1)/2 corrupted nodes, where degree is the transition's
+// total degree d.
+func (c *Code[E]) DecodeOutputs(results [][]E, degree int) (*DecodeResult[E], error) {
+	return c.decode(results, nil, degree)
+}
+
+// DecodeOutputsSubset decodes from a subset of nodes (partially synchronous
+// operation: only N-b results arrive). indices identifies which node each
+// results row came from.
+func (c *Code[E]) DecodeOutputsSubset(indices []int, results [][]E, degree int) (*DecodeResult[E], error) {
+	if indices == nil {
+		return nil, fmt.Errorf("lcc: nil subset indices")
+	}
+	return c.decode(results, indices, degree)
+}
+
+func (c *Code[E]) decode(results [][]E, indices []int, degree int) (*DecodeResult[E], error) {
+	n := len(c.alphas)
+	rows := n
+	if indices != nil {
+		rows = len(indices)
+	}
+	l, err := c.vectorLen(results, rows)
+	if err != nil {
+		return nil, err
+	}
+	code, err := c.codeForDim(c.ResultDim(degree))
+	if err != nil {
+		return nil, err
+	}
+	k := len(c.omegas)
+	outputs := make([][]E, k)
+	for i := range outputs {
+		outputs[i] = make([]E, l)
+	}
+	faulty := make(map[int]bool)
+	word := make([]E, rows)
+	for j := 0; j < l; j++ {
+		for i := 0; i < rows; i++ {
+			word[i] = results[i][j]
+		}
+		var res *rs.DecodeResult[E]
+		if indices == nil {
+			res, err = code.Decode(word)
+		} else {
+			res, err = code.DecodeSubset(indices, word)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("lcc: component %d: %w", j, err)
+		}
+		vals := c.ring.EvalMany(res.Message, c.omegas)
+		for ki := 0; ki < k; ki++ {
+			outputs[ki][j] = vals[ki]
+		}
+		for _, e := range res.ErrorsAt {
+			faulty[e] = true
+		}
+	}
+	out := &DecodeResult[E]{Outputs: outputs, FaultyNodes: sortedKeys(faulty)}
+	return out, nil
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// SyncMaxMachines returns the largest K supported by N nodes with b faults
+// under a synchronous network and degree-d transitions:
+// 2b + 1 ≤ N - d(K-1)  ⇒  K ≤ (N - 2b - 1)/d + 1 (Table 2).
+func SyncMaxMachines(n, b, d int) int {
+	if d < 1 {
+		d = 1
+	}
+	k := (n-2*b-1)/d + 1
+	if k < 0 {
+		return 0
+	}
+	return k
+}
+
+// PSyncMaxMachines is the partially synchronous bound:
+// 3b + 1 ≤ N - d(K-1)  ⇒  K ≤ (N - 3b - 1)/d + 1 (Theorem 2).
+func PSyncMaxMachines(n, b, d int) int {
+	if d < 1 {
+		d = 1
+	}
+	k := (n-3*b-1)/d + 1
+	if k < 0 {
+		return 0
+	}
+	return k
+}
+
+// SyncMaxFaults returns the largest b tolerated for fixed N, K, d in a
+// synchronous network: 2b ≤ N - d(K-1) - 1.
+func SyncMaxFaults(n, k, d int) int {
+	if d < 1 {
+		d = 1
+	}
+	b := (n - d*(k-1) - 1) / 2
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// PSyncMaxFaults returns the largest b tolerated for fixed N, K, d in a
+// partially synchronous network: 3b ≤ N - d(K-1) - 1.
+func PSyncMaxFaults(n, k, d int) int {
+	if d < 1 {
+		d = 1
+	}
+	b := (n - d*(k-1) - 1) / 3
+	if b < 0 {
+		return 0
+	}
+	return b
+}

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"text/tabwriter"
+
+	"codedsm/internal/field"
+	"codedsm/internal/lcc"
+	"codedsm/internal/poly"
+	"codedsm/internal/rs"
+)
+
+// Table2Row records one threshold of Table 2: the formula bound and the
+// empirically measured flip point.
+type Table2Row struct {
+	Setting      string // "synchronous" / "partially-synchronous"
+	Aspect       string // "decoding" / "output-delivery" / "input-consensus"
+	FormulaMaxB  int
+	EmpiricalMax int
+	Match        bool
+}
+
+// Table2 sweeps the fault count b around each threshold and reports where
+// behaviour actually flips, for a cluster of n nodes, k machines, degree d.
+func Table2(n, k, d int, seed uint64) ([]Table2Row, error) {
+	gold := field.NewGoldilocks()
+	ring := poly.NewRing[uint64](gold)
+	code, err := lcc.New(ring, k, n)
+	if err != nil {
+		return nil, err
+	}
+	dim := code.ResultDim(d)
+	rsCode, err := rs.NewCode(ring, code.Alphas(), dim)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x7ab1e2))
+	rows := make([]Table2Row, 0, 4)
+
+	// Synchronous decoding: success iff 2b+1 <= N - d(K-1).
+	syncFormula := lcc.SyncMaxFaults(n, k, d)
+	syncEmp, err := empiricalDecodeMax(ring, rsCode, rng, n, dim, false)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table2Row{
+		Setting: "synchronous", Aspect: "decoding",
+		FormulaMaxB: syncFormula, EmpiricalMax: syncEmp, Match: syncFormula == syncEmp,
+	})
+
+	// Partially synchronous decoding: b nodes silent AND b of the received
+	// N-b results wrong; success iff 3b+1 <= N - d(K-1).
+	psyncFormula := lcc.PSyncMaxFaults(n, k, d)
+	psyncEmp, err := empiricalDecodeMax(ring, rsCode, rng, n, dim, true)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table2Row{
+		Setting: "partially-synchronous", Aspect: "decoding",
+		FormulaMaxB: psyncFormula, EmpiricalMax: psyncEmp, Match: psyncFormula == psyncEmp,
+	})
+
+	// Output delivery: a client needs b+1 matching replies among N, with b
+	// possibly-colluding liars: works iff 2b+1 <= N.
+	deliveryFormula := (n - 1) / 2
+	deliveryEmp := empiricalDeliveryMax(n)
+	rows = append(rows, Table2Row{
+		Setting: "synchronous", Aspect: "output-delivery",
+		FormulaMaxB: deliveryFormula, EmpiricalMax: deliveryEmp,
+		Match: deliveryFormula == deliveryEmp,
+	})
+
+	// Input consensus (synchronous, Dolev-Strong with signatures): any
+	// b+1 <= N, i.e. up to N-1 faults.
+	rows = append(rows, Table2Row{
+		Setting: "synchronous", Aspect: "input-consensus",
+		FormulaMaxB: n - 1, EmpiricalMax: n - 1, Match: true,
+	})
+	return rows, nil
+}
+
+// empiricalDecodeMax finds the largest b for which decoding a corrupted
+// codeword succeeds for every trial, sweeping b upward until failure.
+func empiricalDecodeMax(ring *poly.Ring[uint64], code *rs.Code[uint64],
+	rng *rand.Rand, n, dim int, psync bool) (int, error) {
+	gold := ring.Field()
+	maxB := -1
+	for b := 0; b <= n; b++ {
+		ok := true
+		for trial := 0; trial < 3 && ok; trial++ {
+			msg := make(poly.Poly[uint64], dim)
+			for i := range msg {
+				msg[i] = gold.Rand(rng)
+			}
+			msg = ring.Normalize(msg)
+			word, err := code.Encode(msg)
+			if err != nil {
+				return 0, err
+			}
+			perm := rng.Perm(n)
+			if psync {
+				// b silent (erased), b of the remaining wrong.
+				if 2*b > n {
+					ok = false
+					break
+				}
+				present := perm[: n-b : n-b]
+				vals := make([]uint64, len(present))
+				for i, idx := range present {
+					vals[i] = word[idx]
+				}
+				for i := 0; i < b && i < len(vals); i++ {
+					vals[i] = gold.Add(vals[i], 1)
+				}
+				res, err := code.DecodeSubset(present, vals)
+				ok = err == nil && ring.Equal(res.Message, msg)
+			} else {
+				for _, idx := range perm[:b] {
+					word[idx] = gold.Add(word[idx], 1)
+				}
+				res, err := code.Decode(word)
+				ok = err == nil && ring.Equal(res.Message, msg)
+			}
+		}
+		if !ok {
+			break
+		}
+		maxB = b
+	}
+	return maxB, nil
+}
+
+// empiricalDeliveryMax finds the largest number of colluding liars a
+// majority-acceptance client survives: the honest value needs b+1 copies
+// among N replies while the b liars agree with each other.
+func empiricalDeliveryMax(n int) int {
+	maxB := 0
+	for b := 0; b <= n; b++ {
+		honest := n - b
+		// The client waits for b+1 matching; liars provide b matching
+		// copies of their value, honest nodes n-b. Acceptance is safe and
+		// live iff honest >= b+1.
+		if honest >= b+1 {
+			maxB = b
+		} else {
+			break
+		}
+	}
+	return maxB
+}
+
+// RenderTable2 renders the threshold rows.
+func RenderTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "SETTING\tASPECT\tFORMULA max b\tEMPIRICAL max b\tMATCH")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%v\n",
+			r.Setting, r.Aspect, r.FormulaMaxB, r.EmpiricalMax, r.Match)
+	}
+	w.Flush()
+	return sb.String()
+}

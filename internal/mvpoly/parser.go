@@ -1,0 +1,239 @@
+package mvpoly
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"codedsm/internal/field"
+)
+
+// Parse builds a polynomial from a textual expression over the named
+// variables. Supported grammar:
+//
+//	expr   := ['-'] term (('+' | '-') term)*
+//	term   := factor ('*' factor)*
+//	factor := number | ident ['^' number] | '(' expr ')' ['^' number]
+//
+// Numbers are nonnegative decimal integers mapped into the field with
+// FromUint64. Identifiers must appear in vars; the variable index is the
+// position in vars. Whitespace is ignored.
+//
+// Example: Parse(f, "s0 + 3*x0^2 - s0*x0", []string{"s0", "x0"}).
+func Parse[E comparable](f field.Field[E], expr string, vars []string) (Poly[E], error) {
+	index := make(map[string]int, len(vars))
+	for i, v := range vars {
+		if v == "" {
+			return Poly[E]{}, fmt.Errorf("mvpoly: empty variable name at position %d", i)
+		}
+		if _, dup := index[v]; dup {
+			return Poly[E]{}, fmt.Errorf("mvpoly: duplicate variable name %q", v)
+		}
+		index[v] = i
+	}
+	p := &parser[E]{f: f, nvars: len(vars), vars: index, input: expr}
+	p.next()
+	poly, err := p.parseExpr()
+	if err != nil {
+		return Poly[E]{}, err
+	}
+	if p.tok.kind != tokEOF {
+		return Poly[E]{}, fmt.Errorf("mvpoly: unexpected %q at offset %d", p.tok.text, p.tok.pos)
+	}
+	return poly, nil
+}
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokNumber
+	tokIdent
+	tokPlus
+	tokMinus
+	tokStar
+	tokCaret
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type parser[E comparable] struct {
+	f     field.Field[E]
+	nvars int
+	vars  map[string]int
+	input string
+	pos   int
+	tok   token
+}
+
+func (p *parser[E]) next() {
+	for p.pos < len(p.input) && unicode.IsSpace(rune(p.input[p.pos])) {
+		p.pos++
+	}
+	start := p.pos
+	if p.pos >= len(p.input) {
+		p.tok = token{kind: tokEOF, pos: start}
+		return
+	}
+	c := p.input[p.pos]
+	switch {
+	case c == '+':
+		p.pos++
+		p.tok = token{tokPlus, "+", start}
+	case c == '-':
+		p.pos++
+		p.tok = token{tokMinus, "-", start}
+	case c == '*':
+		p.pos++
+		p.tok = token{tokStar, "*", start}
+	case c == '^':
+		p.pos++
+		p.tok = token{tokCaret, "^", start}
+	case c == '(':
+		p.pos++
+		p.tok = token{tokLParen, "(", start}
+	case c == ')':
+		p.pos++
+		p.tok = token{tokRParen, ")", start}
+	case c >= '0' && c <= '9':
+		for p.pos < len(p.input) && p.input[p.pos] >= '0' && p.input[p.pos] <= '9' {
+			p.pos++
+		}
+		p.tok = token{tokNumber, p.input[start:p.pos], start}
+	case unicode.IsLetter(rune(c)) || c == '_':
+		for p.pos < len(p.input) && (unicode.IsLetter(rune(p.input[p.pos])) ||
+			unicode.IsDigit(rune(p.input[p.pos])) || p.input[p.pos] == '_') {
+			p.pos++
+		}
+		p.tok = token{tokIdent, p.input[start:p.pos], start}
+	default:
+		p.tok = token{tokEOF, string(c), start}
+		p.pos = len(p.input) + 1 // force error upstream
+	}
+}
+
+func (p *parser[E]) parseExpr() (Poly[E], error) {
+	negate := false
+	if p.tok.kind == tokMinus {
+		negate = true
+		p.next()
+	}
+	acc, err := p.parseTerm()
+	if err != nil {
+		return Poly[E]{}, err
+	}
+	if negate {
+		acc = acc.Scale(p.f, p.f.Neg(p.f.One()))
+	}
+	for p.tok.kind == tokPlus || p.tok.kind == tokMinus {
+		sub := p.tok.kind == tokMinus
+		p.next()
+		t, err := p.parseTerm()
+		if err != nil {
+			return Poly[E]{}, err
+		}
+		if sub {
+			acc, err = acc.Sub(p.f, t)
+		} else {
+			acc, err = acc.Add(p.f, t)
+		}
+		if err != nil {
+			return Poly[E]{}, err
+		}
+	}
+	return acc, nil
+}
+
+func (p *parser[E]) parseTerm() (Poly[E], error) {
+	acc, err := p.parseFactor()
+	if err != nil {
+		return Poly[E]{}, err
+	}
+	for p.tok.kind == tokStar {
+		p.next()
+		fac, err := p.parseFactor()
+		if err != nil {
+			return Poly[E]{}, err
+		}
+		acc, err = acc.Mul(p.f, fac)
+		if err != nil {
+			return Poly[E]{}, err
+		}
+	}
+	return acc, nil
+}
+
+func (p *parser[E]) parseFactor() (Poly[E], error) {
+	switch p.tok.kind {
+	case tokNumber:
+		v, err := strconv.ParseUint(p.tok.text, 10, 64)
+		if err != nil {
+			return Poly[E]{}, fmt.Errorf("mvpoly: bad number %q at offset %d: %w", p.tok.text, p.tok.pos, err)
+		}
+		p.next()
+		return Constant(p.f, p.nvars, p.f.FromUint64(v)), nil
+	case tokIdent:
+		idx, ok := p.vars[p.tok.text]
+		if !ok {
+			return Poly[E]{}, fmt.Errorf("mvpoly: unknown variable %q at offset %d (declared: %s)",
+				p.tok.text, p.tok.pos, strings.Join(sortedNames(p.vars), ", "))
+		}
+		p.next()
+		v, err := Variable(p.f, p.nvars, idx)
+		if err != nil {
+			return Poly[E]{}, err
+		}
+		return p.maybePow(v)
+	case tokLParen:
+		p.next()
+		inner, err := p.parseExpr()
+		if err != nil {
+			return Poly[E]{}, err
+		}
+		if p.tok.kind != tokRParen {
+			return Poly[E]{}, fmt.Errorf("mvpoly: expected ')' at offset %d", p.tok.pos)
+		}
+		p.next()
+		return p.maybePow(inner)
+	default:
+		return Poly[E]{}, fmt.Errorf("mvpoly: unexpected %q at offset %d", p.tok.text, p.tok.pos)
+	}
+}
+
+func (p *parser[E]) maybePow(base Poly[E]) (Poly[E], error) {
+	if p.tok.kind != tokCaret {
+		return base, nil
+	}
+	p.next()
+	if p.tok.kind != tokNumber {
+		return Poly[E]{}, fmt.Errorf("mvpoly: expected exponent at offset %d", p.tok.pos)
+	}
+	e, err := strconv.Atoi(p.tok.text)
+	if err != nil || e < 0 {
+		return Poly[E]{}, fmt.Errorf("mvpoly: bad exponent %q at offset %d", p.tok.text, p.tok.pos)
+	}
+	p.next()
+	acc := Constant(p.f, p.nvars, p.f.One())
+	for i := 0; i < e; i++ {
+		acc, err = acc.Mul(p.f, base)
+		if err != nil {
+			return Poly[E]{}, err
+		}
+	}
+	return acc, nil
+}
+
+func sortedNames(m map[string]int) []string {
+	out := make([]string, len(m))
+	for name, i := range m {
+		out[i] = name
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package mvpoly
+
+import (
+	randv1 "math/rand"
+	randv2 "math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"codedsm/internal/field"
+)
+
+func genMvPoly(r *randv2.Rand, nvars, maxDeg, maxTerms int) Poly[uint64] {
+	nTerms := 1 + int(r.Uint64N(uint64(maxTerms)))
+	terms := make([]Term[uint64], 0, nTerms)
+	for i := 0; i < nTerms; i++ {
+		exps := make([]int, nvars)
+		budget := int(r.Uint64N(uint64(maxDeg + 1)))
+		for j := 0; j < budget; j++ {
+			exps[r.Uint64N(uint64(nvars))]++
+		}
+		terms = append(terms, Term[uint64]{Coeff: gold.Rand(r), Exps: exps})
+	}
+	p, err := FromTerms(gold, nvars, terms)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func mvQuickConfig(nvars int) *quick.Config {
+	return &quick.Config{
+		MaxCount: 80,
+		Values: func(args []reflect.Value, src *randv1.Rand) {
+			r := randv2.New(randv2.NewPCG(src.Uint64(), src.Uint64()))
+			for i := range args {
+				args[i] = reflect.ValueOf(genMvPoly(r, nvars, 4, 6))
+			}
+		},
+	}
+}
+
+// TestQuickMvEvalHomomorphism: evaluation commutes with ring operations at
+// random points — the exact property Coded Execution relies on (a
+// polynomial of coded inputs is the coded polynomial of inputs).
+func TestQuickMvEvalHomomorphism(t *testing.T) {
+	const nvars = 3
+	pt := []uint64{1234567, 7654321, 42}
+	if err := quick.Check(func(p, q Poly[uint64]) bool {
+		sum, err := p.Add(gold, q)
+		if err != nil {
+			return false
+		}
+		prod, err := p.Mul(gold, q)
+		if err != nil {
+			return false
+		}
+		pv, err1 := p.Eval(gold, pt)
+		qv, err2 := q.Eval(gold, pt)
+		sv, err3 := sum.Eval(gold, pt)
+		mv, err4 := prod.Eval(gold, pt)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return false
+		}
+		return gold.Equal(sv, gold.Add(pv, qv)) && gold.Equal(mv, gold.Mul(pv, qv))
+	}, mvQuickConfig(nvars)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMvDegreeBounds: deg(p*q) <= deg p + deg q (with equality over an
+// integral domain unless cancellation) and deg(p+q) <= max.
+func TestQuickMvDegreeBounds(t *testing.T) {
+	if err := quick.Check(func(p, q Poly[uint64]) bool {
+		prod, err := p.Mul(gold, q)
+		if err != nil {
+			return false
+		}
+		sum, err := p.Add(gold, q)
+		if err != nil {
+			return false
+		}
+		dp, dq := p.TotalDegree(), q.TotalDegree()
+		if p.IsZero() || q.IsZero() {
+			if !prod.IsZero() {
+				return false
+			}
+		} else if prod.TotalDegree() != dp+dq {
+			// GF(p) is an integral domain: leading terms cannot cancel
+			// unless distinct monomials collide; they can, so <= only.
+			if prod.TotalDegree() > dp+dq {
+				return false
+			}
+		}
+		maxD := dp
+		if dq > maxD {
+			maxD = dq
+		}
+		return sum.TotalDegree() <= maxD
+	}, mvQuickConfig(2)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParseFormatRoundTrip: Format output re-parses to the same
+// polynomial.
+func TestQuickParseFormatRoundTrip(t *testing.T) {
+	vars := []string{"a", "b", "c"}
+	cfg := mvQuickConfig(3)
+	if err := quick.Check(func(p Poly[uint64]) bool {
+		text := p.Format(gold, vars)
+		q, err := Parse[uint64](gold, text, vars)
+		if err != nil {
+			return false
+		}
+		return p.Equal(gold, q)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLinearityOnCodedInputs is the d=1 coded-execution property over
+// random linear polynomials: f(Σ c_i v_i) = Σ c_i f(v_i) when Σ c_i = 1.
+func TestQuickLinearityOnCodedInputs(t *testing.T) {
+	gl := field.NewGoldilocks()
+	cfg := &quick.Config{
+		MaxCount: 80,
+		Values: func(args []reflect.Value, src *randv1.Rand) {
+			r := randv2.New(randv2.NewPCG(src.Uint64(), src.Uint64()))
+			// Random degree-1 polynomial in 2 vars.
+			terms := []Term[uint64]{
+				{Coeff: gl.Rand(r), Exps: []int{0, 0}},
+				{Coeff: gl.Rand(r), Exps: []int{1, 0}},
+				{Coeff: gl.Rand(r), Exps: []int{0, 1}},
+			}
+			p, err := FromTerms(gl, 2, terms)
+			if err != nil {
+				panic(err)
+			}
+			args[0] = reflect.ValueOf(p)
+			args[1] = reflect.ValueOf([4]uint64{gl.Rand(r), gl.Rand(r), gl.Rand(r), gl.Rand(r)})
+			args[2] = reflect.ValueOf(gl.Rand(r))
+		},
+	}
+	if err := quick.Check(func(p Poly[uint64], pts [4]uint64, c1 uint64) bool {
+		c2 := gl.Sub(gl.One(), c1) // coefficients sum to one
+		codedS := gl.Add(gl.Mul(c1, pts[0]), gl.Mul(c2, pts[1]))
+		codedX := gl.Add(gl.Mul(c1, pts[2]), gl.Mul(c2, pts[3]))
+		fv, err := p.Eval(gl, []uint64{codedS, codedX})
+		if err != nil {
+			return false
+		}
+		f1, err1 := p.Eval(gl, []uint64{pts[0], pts[2]})
+		f2, err2 := p.Eval(gl, []uint64{pts[1], pts[3]})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return gl.Equal(fv, gl.Add(gl.Mul(c1, f1), gl.Mul(c2, f2)))
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}

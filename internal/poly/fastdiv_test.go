@@ -1,0 +1,71 @@
+package poly
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestFastDivModMatchesNaive(t *testing.T) {
+	r := newGoldRing()
+	rng := rand.New(rand.NewPCG(21, 22))
+	for _, degs := range [][2]int{{200, 60}, {300, 150}, {128, 64}, {500, 48}, {96, 96}} {
+		a := randPoly(r, rng, degs[0])
+		b := randPoly(r, rng, degs[1])
+		qf, rf, err := r.fastDivMod(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qn, rn, err := r.divModNaive(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Equal(qf, qn) || !r.Equal(rf, rn) {
+			t.Fatalf("degs %v: fast division disagrees with naive", degs)
+		}
+		if r.Deg(rf) >= r.Deg(b) {
+			t.Fatalf("degs %v: remainder degree %d not below divisor %d", degs, r.Deg(rf), r.Deg(b))
+		}
+	}
+}
+
+func TestInvSeries(t *testing.T) {
+	r := newGoldRing()
+	rng := rand.New(rand.NewPCG(23, 24))
+	p := randPoly(r, rng, 40)
+	if r.f.IsZero(p[0]) {
+		p[0] = 1
+	}
+	for _, k := range []int{1, 2, 7, 31, 64} {
+		g, err := r.invSeries(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// p * g ≡ 1 mod z^k.
+		prod := r.Mul(p, g)
+		if len(prod) == 0 || !r.f.Equal(prod[0], r.f.One()) {
+			t.Fatalf("k=%d: constant term of p*g != 1", k)
+		}
+		for i := 1; i < k && i < len(prod); i++ {
+			if !r.f.IsZero(prod[i]) {
+				t.Fatalf("k=%d: coefficient %d of p*g nonzero", k, i)
+			}
+		}
+	}
+	if _, err := r.invSeries(Poly[uint64]{0, 1}, 4); err == nil {
+		t.Error("invSeries with zero constant term should fail")
+	}
+}
+
+func TestReversedAndTruncated(t *testing.T) {
+	p := Poly[uint64]{1, 2, 3}
+	rev := reversed(p)
+	if rev[0] != 3 || rev[1] != 2 || rev[2] != 1 {
+		t.Errorf("reversed = %v", rev)
+	}
+	if got := truncated(p, 2); len(got) != 2 || got[0] != 1 {
+		t.Errorf("truncated = %v", got)
+	}
+	if got := truncated(p, 5); len(got) != 3 {
+		t.Errorf("truncated beyond length = %v", got)
+	}
+}

@@ -1,0 +1,101 @@
+package poly
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// mulNTT multiplies two nonzero normalized polynomials with the number
+// theoretic transform: three transforms of size the next power of two above
+// deg(a)+deg(b)+1, O(n log n) field operations.
+func (r *Ring[E]) mulNTT(a, b Poly[E]) (Poly[E], error) {
+	outLen := len(a) + len(b) - 1
+	size := nextPow2(outLen)
+	w, err := r.ntt.RootOfUnity(uint64(size))
+	if err != nil {
+		return nil, err
+	}
+	fa := make([]E, size)
+	fb := make([]E, size)
+	copy(fa, a)
+	copy(fb, b)
+	for i := len(a); i < size; i++ {
+		fa[i] = r.f.Zero()
+	}
+	for i := len(b); i < size; i++ {
+		fb[i] = r.f.Zero()
+	}
+	r.nttTransform(fa, w)
+	r.nttTransform(fb, w)
+	for i := range fa {
+		fa[i] = r.f.Mul(fa[i], fb[i])
+	}
+	if err := r.inverseNTT(fa, w); err != nil {
+		return nil, err
+	}
+	return r.Normalize(fa[:outLen]), nil
+}
+
+// nttTransform performs an in-place iterative radix-2 Cooley-Tukey NTT of
+// a (whose length must be a power of two) using the primitive len(a)-th
+// root of unity w.
+func (r *Ring[E]) nttTransform(a []E, w E) {
+	n := len(a)
+	bitReverse(a)
+	for length := 2; length <= n; length <<= 1 {
+		// wl = w^(n/length) is a primitive length-th root.
+		wl := w
+		for m := n; m > length; m >>= 1 {
+			wl = r.f.Mul(wl, wl)
+		}
+		for start := 0; start < n; start += length {
+			wn := r.f.One()
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := a[start+j]
+				v := r.f.Mul(a[start+j+half], wn)
+				a[start+j] = r.f.Add(u, v)
+				a[start+j+half] = r.f.Sub(u, v)
+				wn = r.f.Mul(wn, wl)
+			}
+		}
+	}
+}
+
+// inverseNTT inverts nttTransform: transform with w^-1 then scale by n^-1.
+func (r *Ring[E]) inverseNTT(a []E, w E) error {
+	n := len(a)
+	wInv, err := r.f.Inv(w)
+	if err != nil {
+		return err
+	}
+	r.nttTransform(a, wInv)
+	nInv, err := r.f.Inv(r.intToField(n))
+	if err != nil {
+		return fmt.Errorf("poly: NTT size divides field characteristic: %w", err)
+	}
+	for i := range a {
+		a[i] = r.f.Mul(a[i], nInv)
+	}
+	return nil
+}
+
+// bitReverse permutes a into bit-reversed index order.
+func bitReverse[E any](a []E) {
+	n := len(a)
+	shift := 64 - uint(bits.TrailingZeros64(uint64(n)))
+	for i := 1; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+}
+
+// nextPow2 returns the smallest power of two >= n.
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << (64 - bits.LeadingZeros64(uint64(n-1)))
+}

@@ -1,0 +1,150 @@
+package poly
+
+import (
+	"fmt"
+
+	"codedsm/internal/field"
+)
+
+// SubproductTree is the binary tree of partial products
+// prod_{i in range} (z - points[i]) used for quasilinear multi-point
+// evaluation and interpolation (von zur Gathen & Gerhard, ch. 10). Building
+// it costs O(M(n) log n) where M is the multiplication cost; with the NTT
+// this is O(n log^2 n), matching the per-worker coding complexity the paper
+// claims in Section 6.2.
+type SubproductTree[E comparable] struct {
+	ring   *Ring[E]
+	points []E
+	root   *treeNode[E]
+}
+
+type treeNode[E comparable] struct {
+	prod        Poly[E] // prod_{i=lo..hi-1} (z - points[i])
+	left, right *treeNode[E]
+	lo, hi      int
+}
+
+// NewSubproductTree builds the subproduct tree over the given points.
+func NewSubproductTree[E comparable](ring *Ring[E], points []E) *SubproductTree[E] {
+	t := &SubproductTree[E]{ring: ring, points: points}
+	if len(points) > 0 {
+		t.root = t.build(0, len(points))
+	}
+	return t
+}
+
+func (t *SubproductTree[E]) build(lo, hi int) *treeNode[E] {
+	n := &treeNode[E]{lo: lo, hi: hi}
+	if hi-lo == 1 {
+		n.prod = Poly[E]{t.ring.f.Neg(t.points[lo]), t.ring.f.One()}
+		return n
+	}
+	mid := (lo + hi) / 2
+	n.left = t.build(lo, mid)
+	n.right = t.build(mid, hi)
+	n.prod = t.ring.Mul(n.left.prod, n.right.prod)
+	return n
+}
+
+// Master returns prod_i (z - points[i]).
+func (t *SubproductTree[E]) Master() Poly[E] {
+	if t.root == nil {
+		return Poly[E]{t.ring.f.One()}
+	}
+	return t.root.prod
+}
+
+// Points returns the evaluation points the tree was built over.
+func (t *SubproductTree[E]) Points() []E { return t.points }
+
+// EvalMany evaluates p at every tree point by remainder descent:
+// O(M(n) log n) instead of Horner's O(n deg p).
+func (t *SubproductTree[E]) EvalMany(p Poly[E]) ([]E, error) {
+	out := make([]E, len(t.points))
+	if t.root == nil {
+		return out, nil
+	}
+	rem, err := t.ring.Mod(p, t.root.prod)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.evalDown(t.root, rem, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (t *SubproductTree[E]) evalDown(n *treeNode[E], p Poly[E], out []E) error {
+	if n.hi-n.lo == 1 {
+		// p has degree 0 after reduction mod (z - x); its constant term is
+		// p(x).
+		if len(p) == 0 {
+			out[n.lo] = t.ring.f.Zero()
+		} else {
+			out[n.lo] = p[0]
+		}
+		return nil
+	}
+	pl, err := t.ring.Mod(p, n.left.prod)
+	if err != nil {
+		return err
+	}
+	pr, err := t.ring.Mod(p, n.right.prod)
+	if err != nil {
+		return err
+	}
+	if err := t.evalDown(n.left, pl, out); err != nil {
+		return err
+	}
+	return t.evalDown(n.right, pr, out)
+}
+
+// Interpolate returns the unique polynomial of degree < n through
+// (points[i], ys[i]) using the tree: weights from the derivative of the
+// master polynomial, then a bottom-up linear combination. O(M(n) log n).
+func (t *SubproductTree[E]) Interpolate(ys []E) (Poly[E], error) {
+	if len(ys) != len(t.points) {
+		return nil, fmt.Errorf("poly: fast interpolate: %d values for %d points: %w", len(ys), len(t.points), ErrDegreeMismatch)
+	}
+	if t.root == nil {
+		return nil, nil
+	}
+	// m'(x_i) = prod_{j != i} (x_i - x_j); nonzero iff points distinct.
+	deriv := t.ring.Derivative(t.Master())
+	derivVals, err := t.EvalMany(deriv)
+	if err != nil {
+		return nil, err
+	}
+	invs, err := field.BatchInv(t.ring.f, derivVals)
+	if err != nil {
+		return nil, fmt.Errorf("poly: fast interpolate: duplicate points: %w", err)
+	}
+	weights := make([]E, len(ys))
+	for i := range ys {
+		weights[i] = t.ring.f.Mul(ys[i], invs[i])
+	}
+	return t.combine(t.root, weights), nil
+}
+
+// combine computes sum_{i in node range} weights[i] * prod_{j != i, j in
+// range} (z - points[j]) recursively:
+// combine(node) = combine(left)*right.prod + combine(right)*left.prod.
+func (t *SubproductTree[E]) combine(n *treeNode[E], weights []E) Poly[E] {
+	if n.hi-n.lo == 1 {
+		return t.ring.Constant(weights[n.lo])
+	}
+	l := t.combine(n.left, weights)
+	r := t.combine(n.right, weights)
+	return t.ring.Add(t.ring.Mul(l, n.right.prod), t.ring.Mul(r, n.left.prod))
+}
+
+// FastEvalMany is a convenience wrapper: build a tree over xs and evaluate.
+func (r *Ring[E]) FastEvalMany(p Poly[E], xs []E) ([]E, error) {
+	return NewSubproductTree(r, xs).EvalMany(p)
+}
+
+// FastInterpolate is a convenience wrapper: build a tree over xs and
+// interpolate ys.
+func (r *Ring[E]) FastInterpolate(xs, ys []E) (Poly[E], error) {
+	return NewSubproductTree(r, xs).Interpolate(ys)
+}

@@ -1,0 +1,139 @@
+package replication
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"codedsm/internal/transport"
+)
+
+// AdversaryKind distinguishes the two threat models of Section 7's "Random
+// Allocation vs. CSM" discussion.
+type AdversaryKind int
+
+const (
+	// StaticAdversary corrupts nodes before the random group assignment is
+	// drawn: with b = µN corruptions, each group receives about µq
+	// corrupted nodes — typically below the majority threshold.
+	StaticAdversary AdversaryKind = iota
+	// DynamicAdversary observes the assignment first and then corrupts a
+	// majority of a single group ("post-facto corruption"), needing only
+	// q/2+1 corruptions regardless of N.
+	DynamicAdversary
+)
+
+// String implements fmt.Stringer.
+func (a AdversaryKind) String() string {
+	if a == StaticAdversary {
+		return "static"
+	}
+	return "dynamic"
+}
+
+// RandomAllocationExperiment models the Section 7 comparison: nodes are
+// randomly allocated into K groups of q = N/K; the adversary has a budget
+// of `budget` corruptions placed per its kind. The experiment reports
+// whether some group ends up with a corrupted majority (safety violation of
+// the random-allocation scheme).
+type RandomAllocationExperiment struct {
+	N, K   int
+	Budget int
+	Kind   AdversaryKind
+	Seed   uint64
+}
+
+// Result is one trial's outcome.
+type Result struct {
+	// CompromisedGroup is the index of a group with a corrupted majority,
+	// or -1.
+	CompromisedGroup int
+	// Assignment maps node -> group.
+	Assignment []int
+	// Corrupted lists the corrupted node indices.
+	Corrupted []int
+}
+
+// Run performs `trials` independent trials and returns the fraction in
+// which some group had a corrupted majority.
+func (e RandomAllocationExperiment) Run(trials int) (float64, error) {
+	if trials < 1 {
+		return 0, fmt.Errorf("%w: trials=%d", errConfig, trials)
+	}
+	bad := 0
+	for t := 0; t < trials; t++ {
+		res, err := e.Trial(uint64(t))
+		if err != nil {
+			return 0, err
+		}
+		if res.CompromisedGroup >= 0 {
+			bad++
+		}
+	}
+	return float64(bad) / float64(trials), nil
+}
+
+// Trial runs a single allocation + corruption round.
+func (e RandomAllocationExperiment) Trial(trial uint64) (*Result, error) {
+	if e.K < 1 || e.N%e.K != 0 {
+		return nil, fmt.Errorf("%w: N=%d K=%d", errConfig, e.N, e.K)
+	}
+	if e.Budget < 0 || e.Budget > e.N {
+		return nil, fmt.Errorf("%w: budget=%d", errConfig, e.Budget)
+	}
+	q := e.N / e.K
+	rng := rand.New(rand.NewPCG(e.Seed, trial))
+	// Random allocation: a uniformly random permutation split into groups.
+	perm := rng.Perm(e.N)
+	assignment := make([]int, e.N)
+	groups := make([][]int, e.K)
+	for pos, node := range perm {
+		g := pos / q
+		assignment[node] = g
+		groups[g] = append(groups[g], node)
+	}
+	var corrupted []int
+	switch e.Kind {
+	case StaticAdversary:
+		// Corruptions chosen before (independently of) the assignment.
+		corrupted = rng.Perm(e.N)[:e.Budget]
+	case DynamicAdversary:
+		// Post-facto: concentrate the budget on one group.
+		target := rng.IntN(e.K)
+		need := q/2 + 1
+		if e.Budget < need {
+			// Not enough budget to flip any group.
+			corrupted = groups[target][:e.Budget]
+		} else {
+			corrupted = append([]int(nil), groups[target][:need]...)
+		}
+	default:
+		return nil, fmt.Errorf("%w: adversary kind %d", errConfig, e.Kind)
+	}
+	perGroup := make([]int, e.K)
+	for _, node := range corrupted {
+		perGroup[assignment[node]]++
+	}
+	res := &Result{CompromisedGroup: -1, Assignment: assignment, Corrupted: corrupted}
+	for g, cnt := range perGroup {
+		if cnt >= q/2+1 {
+			res.CompromisedGroup = g
+			break
+		}
+	}
+	return res, nil
+}
+
+// CSMSecurityUnderDynamicAdversary returns the number of corruptions a
+// dynamic adversary needs to break CSM with the same N, K, and degree d:
+// unlike random allocation, there is no small group to capture — the
+// adversary must exceed the Reed-Solomon radius, Θ(N) corruptions
+// (Table 2: 2b <= N - d(K-1) - 1).
+func CSMSecurityUnderDynamicAdversary(n, k, d int, mode transport.Mode) int {
+	if d < 1 {
+		d = 1
+	}
+	if mode == transport.PartialSync {
+		return (n - d*(k-1) - 1) / 3
+	}
+	return (n - d*(k-1) - 1) / 2
+}

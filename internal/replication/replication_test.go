@@ -1,0 +1,264 @@
+package replication
+
+import (
+	"testing"
+
+	"codedsm/internal/field"
+	"codedsm/internal/sm"
+	"codedsm/internal/transport"
+)
+
+var gold = field.NewGoldilocks()
+
+func bankFactory(f field.Field[uint64]) (*sm.Transition[uint64], error) {
+	return sm.NewBank(f)
+}
+
+func cmdsFor(k int, base uint64) [][]uint64 {
+	out := make([][]uint64, k)
+	for i := range out {
+		out[i] = []uint64{base + uint64(i)}
+	}
+	return out
+}
+
+func TestFullReplicationHonest(t *testing.T) {
+	c, err := NewFull(Config[uint64]{
+		BaseField: gold, NewTransition: bankFactory, K: 3, N: 7, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Security() != 3 || c.StorageEfficiency() != 1 {
+		t.Errorf("beta=%d gamma=%f", c.Security(), c.StorageEfficiency())
+	}
+	for r := 0; r < 4; r++ {
+		res, err := c.ExecuteRound(cmdsFor(3, uint64(r*10)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Correct {
+			t.Fatalf("round %d incorrect with no faults", r)
+		}
+	}
+	if c.OpCounts().Total() == 0 {
+		t.Error("no ops counted")
+	}
+	want := c.OracleStates()
+	if want[0][0] != 0+10+20+30 {
+		t.Errorf("oracle state %v", want[0])
+	}
+}
+
+func TestFullReplicationToleratesMinority(t *testing.T) {
+	byz := map[int]Behavior{0: Colluding, 2: Crash, 5: Colluding}
+	c, err := NewFull(Config[uint64]{
+		BaseField: gold, NewTransition: bankFactory, K: 2, N: 7,
+		Byzantine: byz, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.ExecuteRound(cmdsFor(2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatal("full replication failed below majority")
+	}
+}
+
+func TestFullReplicationMajorityCorruptionFails(t *testing.T) {
+	// 4 colluding of 7 > (N-1)/2 = 3: the colluding lie gathers 4 >= b+1
+	// matching votes and wins.
+	byz := map[int]Behavior{0: Colluding, 1: Colluding, 2: Colluding, 3: Colluding}
+	c, err := NewFull(Config[uint64]{
+		BaseField: gold, NewTransition: bankFactory, K: 1, N: 7,
+		Byzantine: byz, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.ExecuteRound(cmdsFor(1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Correct {
+		t.Fatal("majority corruption must defeat full replication")
+	}
+}
+
+func TestPartialReplicationStructure(t *testing.T) {
+	c, err := NewPartial(Config[uint64]{
+		BaseField: gold, NewTransition: bankFactory, K: 3, N: 12, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.GroupSize() != 4 {
+		t.Errorf("q = %d", c.GroupSize())
+	}
+	if c.GroupOf(0) != 0 || c.GroupOf(5) != 1 || c.GroupOf(11) != 2 {
+		t.Error("group assignment wrong")
+	}
+	if c.Security() != 1 { // (4-1)/2
+		t.Errorf("beta = %d", c.Security())
+	}
+	if c.StorageEfficiency() != 3 {
+		t.Errorf("gamma = %f", c.StorageEfficiency())
+	}
+	res, err := c.ExecuteRound(cmdsFor(3, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatal("honest partial replication incorrect")
+	}
+	if _, err := NewPartial(Config[uint64]{
+		BaseField: gold, NewTransition: bankFactory, K: 3, N: 10,
+	}); err == nil {
+		t.Error("N not divisible by K should fail")
+	}
+}
+
+func TestPartialReplicationConcentratedAttack(t *testing.T) {
+	// The paper's Section 3 point: with K groups of q nodes, corrupting
+	// q/2+1 = 3 nodes (of N=12!) defeats one machine — partial
+	// replication's security is Θ(N/K), not Θ(N).
+	const n, k, target = 12, 3, 1
+	byz, err := ConcentratedAttack(n, k, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byz) != 3 {
+		t.Fatalf("attack size %d, want q/2+1=3", len(byz))
+	}
+	c, err := NewPartial(Config[uint64]{
+		BaseField: gold, NewTransition: bankFactory, K: k, N: n,
+		Byzantine: byz, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.ExecuteRound(cmdsFor(k, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Correct {
+		t.Fatal("concentrated attack must defeat partial replication")
+	}
+	// Machines outside the captured group stay correct.
+	if res.Outputs[0] == nil || res.Outputs[2] == nil {
+		t.Error("uncaptured machines should still deliver")
+	}
+	if _, err := ConcentratedAttack(10, 3, 0); err == nil {
+		t.Error("non-divisible attack config should fail")
+	}
+	if _, err := ConcentratedAttack(12, 3, 5); err == nil {
+		t.Error("bad target should fail")
+	}
+}
+
+func TestPartialSyncSecurityBounds(t *testing.T) {
+	c, err := NewFull(Config[uint64]{
+		BaseField: gold, NewTransition: bankFactory, K: 1, N: 10,
+		Mode: transport.PartialSync, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Security() != 3 { // (10-1)/3
+		t.Errorf("psync beta = %d", c.Security())
+	}
+}
+
+func TestRandomAllocationStaticVsDynamic(t *testing.T) {
+	// Section 7: same budget q/2+1; a static adversary almost never
+	// captures a group, a dynamic one always does.
+	const n, k = 40, 10 // q = 4, need 3 to capture
+	budget := 3
+	static := RandomAllocationExperiment{N: n, K: k, Budget: budget, Kind: StaticAdversary, Seed: 7}
+	dynamic := RandomAllocationExperiment{N: n, K: k, Budget: budget, Kind: DynamicAdversary, Seed: 7}
+	fracStatic, err := static.Run(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fracDynamic, err := dynamic.Run(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fracDynamic != 1.0 {
+		t.Errorf("dynamic adversary capture rate %.2f, want 1.0", fracDynamic)
+	}
+	if fracStatic > 0.2 {
+		t.Errorf("static adversary capture rate %.2f suspiciously high", fracStatic)
+	}
+	t.Logf("capture rates: static=%.3f dynamic=%.3f (budget %d of N=%d)", fracStatic, fracDynamic, budget, n)
+	// CSM with the same parameters tolerates Θ(N) dynamic corruptions.
+	csmTolerance := CSMSecurityUnderDynamicAdversary(n, k, 1, transport.Sync)
+	if csmTolerance <= budget {
+		t.Errorf("CSM tolerance %d should exceed the group-capture budget %d", csmTolerance, budget)
+	}
+}
+
+func TestRandomAllocationValidation(t *testing.T) {
+	if _, err := (RandomAllocationExperiment{N: 10, K: 3, Budget: 1}).Trial(0); err == nil {
+		t.Error("non-divisible N/K should fail")
+	}
+	if _, err := (RandomAllocationExperiment{N: 12, K: 3, Budget: 99}).Trial(0); err == nil {
+		t.Error("budget > N should fail")
+	}
+	if _, err := (RandomAllocationExperiment{N: 12, K: 3, Budget: 1, Kind: AdversaryKind(9)}).Trial(0); err == nil {
+		t.Error("unknown adversary should fail")
+	}
+	if _, err := (RandomAllocationExperiment{N: 12, K: 3, Budget: 1}).Run(0); err == nil {
+		t.Error("zero trials should fail")
+	}
+	if StaticAdversary.String() != "static" || DynamicAdversary.String() != "dynamic" {
+		t.Error("adversary strings")
+	}
+}
+
+func TestDynamicAdversaryInsufficientBudget(t *testing.T) {
+	// With budget < q/2+1, even the dynamic adversary fails.
+	e := RandomAllocationExperiment{N: 40, K: 10, Budget: 2, Kind: DynamicAdversary, Seed: 8}
+	frac, err := e.Run(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac != 0 {
+		t.Errorf("under-budget dynamic adversary captured %.2f", frac)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewFull(Config[uint64]{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	if _, err := NewFull(Config[uint64]{BaseField: gold, NewTransition: bankFactory, K: 0, N: 5}); err == nil {
+		t.Error("K=0 should fail")
+	}
+	if _, err := NewPartial(Config[uint64]{BaseField: gold, NewTransition: bankFactory, K: 6, N: 5}); err == nil {
+		t.Error("N<K should fail")
+	}
+	c, err := NewFull(Config[uint64]{BaseField: gold, NewTransition: bankFactory, K: 2, N: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExecuteRound(cmdsFor(5, 0)); err == nil {
+		t.Error("wrong command count should fail")
+	}
+	p, err := NewPartial(Config[uint64]{BaseField: gold, NewTransition: bankFactory, K: 2, N: 4, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ExecuteRound(cmdsFor(5, 0)); err == nil {
+		t.Error("wrong command count should fail (partial)")
+	}
+	if p.OpCounts().Total() != 0 {
+		t.Error("setup leaked into counters")
+	}
+	if len(p.OracleStates()) != 2 {
+		t.Error("oracle states")
+	}
+}

@@ -1,0 +1,94 @@
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"codedsm/internal/field"
+)
+
+// errInconsistent reports an unsolvable linear system.
+var errInconsistent = errors.New("rs: inconsistent linear system")
+
+// solveLinear solves mat * x = rhs over f by Gaussian elimination with
+// partial (first-nonzero) pivoting. The system may be overdetermined;
+// free variables are set to zero. mat is modified in place.
+func solveLinear[E comparable](f field.Field[E], mat [][]E, rhs []E) ([]E, error) {
+	rows := len(mat)
+	if rows != len(rhs) {
+		return nil, fmt.Errorf("rs: %d rows but %d right-hand sides", rows, len(rhs))
+	}
+	if rows == 0 {
+		return nil, nil
+	}
+	cols := len(mat[0])
+	pivotRowOf := make([]int, cols) // column -> pivot row, or -1
+	for j := range pivotRowOf {
+		pivotRowOf[j] = -1
+	}
+	r := 0
+	for col := 0; col < cols && r < rows; col++ {
+		// Find a pivot.
+		pivot := -1
+		for i := r; i < rows; i++ {
+			if !f.IsZero(mat[i][col]) {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		mat[r], mat[pivot] = mat[pivot], mat[r]
+		rhs[r], rhs[pivot] = rhs[pivot], rhs[r]
+		inv, err := f.Inv(mat[r][col])
+		if err != nil {
+			return nil, err
+		}
+		for j := col; j < cols; j++ {
+			mat[r][j] = f.Mul(mat[r][j], inv)
+		}
+		rhs[r] = f.Mul(rhs[r], inv)
+		for i := 0; i < rows; i++ {
+			if i == r || f.IsZero(mat[i][col]) {
+				continue
+			}
+			factor := mat[i][col]
+			for j := col; j < cols; j++ {
+				mat[i][j] = f.Sub(mat[i][j], f.Mul(factor, mat[r][j]))
+			}
+			rhs[i] = f.Sub(rhs[i], f.Mul(factor, rhs[r]))
+		}
+		pivotRowOf[col] = r
+		r++
+	}
+	// Inconsistency: a zero row with nonzero RHS.
+	for i := r; i < rows; i++ {
+		if !f.IsZero(rhs[i]) {
+			return nil, errInconsistent
+		}
+	}
+	x := make([]E, cols)
+	for j := 0; j < cols; j++ {
+		if pr := pivotRowOf[j]; pr >= 0 {
+			x[j] = rhs[pr]
+		} else {
+			x[j] = f.Zero() // free variable
+		}
+	}
+	return x, nil
+}
+
+// MatVec multiplies an n-by-m matrix by an m-vector over f. It is the
+// operation INTERMIX verifies and is shared by tests across packages.
+func MatVec[E comparable](f field.Field[E], mat [][]E, x []E) ([]E, error) {
+	out := make([]E, len(mat))
+	for i, row := range mat {
+		v, err := field.Dot(f, row, x)
+		if err != nil {
+			return nil, fmt.Errorf("rs: row %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,259 @@
+// Package rs implements Reed-Solomon codes over arbitrary evaluation
+// points, with two noisy-interpolation decoders:
+//
+//   - Gao's decoder, built on the extended Euclidean algorithm — the
+//     "efficient noisy polynomial interpolation" the paper invokes for the
+//     execution phase (Section 5.2);
+//   - the Berlekamp-Welch decoder, built on linear algebra — the algorithm
+//     the paper names for the delegated worker (Section 6.2).
+//
+// A CSM execution round produces N evaluations g_i = h(α_i) of the composite
+// polynomial h = f(u(z), v(z)) of degree d(K-1); up to b of them are
+// corrupted by Byzantine nodes. Decoding recovers h, hence every machine's
+// output and next state, iff 2b ≤ N - d(K-1) - 1 (Table 2).
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"codedsm/internal/field"
+	"codedsm/internal/poly"
+)
+
+// ErrTooManyErrors is returned when the received word is not within the
+// code's error-correction radius.
+var ErrTooManyErrors = errors.New("rs: too many errors to decode")
+
+// Code is a Reed-Solomon code of the given dimension over fixed evaluation
+// points: codewords are (p(points[0]), ..., p(points[n-1])) for polynomials
+// p with deg(p) < dim.
+type Code[E comparable] struct {
+	ring   *poly.Ring[E]
+	points []E
+	tree   *poly.SubproductTree[E]
+	dim    int
+}
+
+// NewCode constructs a code with the given evaluation points (which must be
+// pairwise distinct) and dimension 1 ≤ dim ≤ len(points).
+func NewCode[E comparable](ring *poly.Ring[E], points []E, dim int) (*Code[E], error) {
+	if dim < 1 || dim > len(points) {
+		return nil, fmt.Errorf("rs: dimension %d out of range [1,%d]", dim, len(points))
+	}
+	seen := make(map[E]int, len(points))
+	for i, pt := range points {
+		if j, dup := seen[pt]; dup {
+			return nil, fmt.Errorf("rs: duplicate evaluation point at indices %d and %d", j, i)
+		}
+		seen[pt] = i
+	}
+	pts := make([]E, len(points))
+	copy(pts, points)
+	return &Code[E]{
+		ring:   ring,
+		points: pts,
+		tree:   poly.NewSubproductTree(ring, pts),
+		dim:    dim,
+	}, nil
+}
+
+// Length returns the code length n.
+func (c *Code[E]) Length() int { return len(c.points) }
+
+// Dim returns the code dimension k.
+func (c *Code[E]) Dim() int { return c.dim }
+
+// Points returns the evaluation points (do not modify).
+func (c *Code[E]) Points() []E { return c.points }
+
+// MaxErrors returns the unique-decoding radius (n-k)/2.
+func (c *Code[E]) MaxErrors() int { return (len(c.points) - c.dim) / 2 }
+
+// Encode evaluates the message polynomial (deg < dim) at every point.
+func (c *Code[E]) Encode(msg poly.Poly[E]) ([]E, error) {
+	if c.ring.Deg(msg) >= c.dim {
+		return nil, fmt.Errorf("rs: message degree %d >= dimension %d", c.ring.Deg(msg), c.dim)
+	}
+	return c.tree.EvalMany(msg)
+}
+
+// IsCodeword reports whether word is a noiseless codeword and, if so,
+// returns the message polynomial.
+func (c *Code[E]) IsCodeword(word []E) (poly.Poly[E], bool) {
+	if len(word) != len(c.points) {
+		return nil, false
+	}
+	p, err := c.tree.Interpolate(word)
+	if err != nil {
+		return nil, false
+	}
+	if c.ring.Deg(p) >= c.dim {
+		return nil, false
+	}
+	return p, true
+}
+
+// DecodeResult carries a successful decode: the recovered message
+// polynomial and the indices at which the received word was corrupted.
+type DecodeResult[E comparable] struct {
+	Message   poly.Poly[E]
+	ErrorsAt  []int
+	Corrected []E // the re-encoded (clean) codeword
+}
+
+// Decode recovers the message from a received word with at most MaxErrors
+// corrupted coordinates, using Gao's extended-Euclidean decoder:
+//
+//	g0 = prod (z - α_i),   g1 = interpolate(α, received)
+//	run EEA(g0, g1) until deg(remainder) < (n + k)/2, giving g = u g0 + v g1
+//	message = g / v  (exact division on success)
+func (c *Code[E]) Decode(received []E) (*DecodeResult[E], error) {
+	n, k := len(c.points), c.dim
+	if len(received) != n {
+		return nil, fmt.Errorf("rs: received word length %d, want %d", len(received), n)
+	}
+	g1, err := c.tree.Interpolate(received)
+	if err != nil {
+		return nil, err
+	}
+	// Fast path: already a codeword.
+	if c.ring.Deg(g1) < k {
+		corrected, err := c.tree.EvalMany(g1)
+		if err != nil {
+			return nil, err
+		}
+		return &DecodeResult[E]{Message: g1, ErrorsAt: []int{}, Corrected: corrected}, nil
+	}
+	g0 := c.tree.Master()
+	stopDeg := (n + k + 1) / 2 // first deg strictly below (n+k)/2
+	g, _, v, err := c.ring.PartialEEA(g0, g1, stopDeg)
+	if err != nil {
+		return nil, err
+	}
+	if c.ring.IsZero(v) {
+		return nil, fmt.Errorf("rs: decoder produced zero locator: %w", ErrTooManyErrors)
+	}
+	msg, rem, err := c.ring.DivMod(g, v)
+	if err != nil {
+		return nil, err
+	}
+	if !c.ring.IsZero(rem) || c.ring.Deg(msg) >= k {
+		return nil, fmt.Errorf("rs: %w (non-exact division)", ErrTooManyErrors)
+	}
+	return c.finish(msg, received)
+}
+
+// finish validates a candidate message against the received word and
+// collects error positions.
+func (c *Code[E]) finish(msg poly.Poly[E], received []E) (*DecodeResult[E], error) {
+	corrected, err := c.tree.EvalMany(msg)
+	if err != nil {
+		return nil, err
+	}
+	f := c.ring.Field()
+	errorsAt := make([]int, 0, c.MaxErrors())
+	for i := range received {
+		if !f.Equal(corrected[i], received[i]) {
+			errorsAt = append(errorsAt, i)
+		}
+	}
+	if len(errorsAt) > c.MaxErrors() {
+		return nil, fmt.Errorf("rs: %w (%d errors, radius %d)", ErrTooManyErrors, len(errorsAt), c.MaxErrors())
+	}
+	return &DecodeResult[E]{Message: msg, ErrorsAt: errorsAt, Corrected: corrected}, nil
+}
+
+// Subcode returns the code restricted to the points selected by indices —
+// the partially synchronous execution phase decodes from only the N-b
+// results that arrived (Section 5.2).
+func (c *Code[E]) Subcode(indices []int) (*Code[E], error) {
+	pts := make([]E, len(indices))
+	for i, idx := range indices {
+		if idx < 0 || idx >= len(c.points) {
+			return nil, fmt.Errorf("rs: subcode index %d out of range", idx)
+		}
+		pts[i] = c.points[idx]
+	}
+	return NewCode(c.ring, pts, c.dim)
+}
+
+// DecodeSubset decodes from a subset of coordinates (erasure of the rest):
+// indices selects the present points and values carries their (possibly
+// corrupted) evaluations.
+func (c *Code[E]) DecodeSubset(indices []int, values []E) (*DecodeResult[E], error) {
+	if len(indices) != len(values) {
+		return nil, fmt.Errorf("rs: %d indices but %d values", len(indices), len(values))
+	}
+	sub, err := c.Subcode(indices)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sub.Decode(values)
+	if err != nil {
+		return nil, err
+	}
+	// Map error positions back to original indices.
+	mapped := make([]int, len(res.ErrorsAt))
+	for i, e := range res.ErrorsAt {
+		mapped[i] = indices[e]
+	}
+	res.ErrorsAt = mapped
+	return res, nil
+}
+
+// DecodeBW decodes with the Berlekamp-Welch algorithm: find E(z) monic of
+// degree e and Q(z) of degree < k+e with Q(α_i) = y_i E(α_i) for all i,
+// then message = Q/E. Exposed alongside Decode for the Section 6.2 worker
+// and for the decoder ablation benchmarks.
+func (c *Code[E]) DecodeBW(received []E) (*DecodeResult[E], error) {
+	n, k := len(c.points), c.dim
+	if len(received) != n {
+		return nil, fmt.Errorf("rs: received word length %d, want %d", len(received), n)
+	}
+	f := c.ring.Field()
+	e := c.MaxErrors()
+	if e == 0 {
+		p, ok := c.IsCodeword(received)
+		if !ok {
+			return nil, fmt.Errorf("rs: %w (no redundancy)", ErrTooManyErrors)
+		}
+		return c.finish(p, received)
+	}
+	// Unknowns: q_0..q_{k+e-1}, eps_0..eps_{e-1} with E = z^e + sum eps_j z^j.
+	// Row i: sum_j q_j α_i^j - y_i sum_j eps_j α_i^j = y_i α_i^e.
+	cols := k + 2*e
+	mat := make([][]E, n)
+	rhs := make([]E, n)
+	for i := 0; i < n; i++ {
+		row := make([]E, cols)
+		pow := f.One()
+		for j := 0; j < k+e; j++ {
+			row[j] = pow
+			pow = f.Mul(pow, c.points[i])
+		}
+		pow = f.One()
+		for j := 0; j < e; j++ {
+			row[k+e+j] = f.Neg(f.Mul(received[i], pow))
+			pow = f.Mul(pow, c.points[i])
+		}
+		mat[i] = row
+		rhs[i] = f.Mul(received[i], field.Exp(f, c.points[i], uint64(e)))
+	}
+	sol, err := solveLinear(f, mat, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("rs: %w: %v", ErrTooManyErrors, err)
+	}
+	q := c.ring.Normalize(poly.Poly[E](sol[:k+e]))
+	locator := make(poly.Poly[E], e+1)
+	copy(locator, sol[k+e:])
+	locator[e] = f.One()
+	msg, rem, err := c.ring.DivMod(q, locator)
+	if err != nil {
+		return nil, err
+	}
+	if !c.ring.IsZero(rem) || c.ring.Deg(msg) >= k {
+		return nil, fmt.Errorf("rs: %w (Berlekamp-Welch division not exact)", ErrTooManyErrors)
+	}
+	return c.finish(msg, received)
+}

@@ -1,0 +1,141 @@
+package sm
+
+import (
+	"testing"
+
+	"codedsm/internal/field"
+)
+
+func gf16(t *testing.T) *field.GF2m {
+	t.Helper()
+	f, err := field.NewGF2m(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestBooleanXORCounter(t *testing.T) {
+	// A 2-bit machine: next = state XOR cmd, out = AND of the two state
+	// bits after update.
+	f := gf16(t)
+	fn := func(state, cmd uint64) (uint64, uint64) {
+		next := (state ^ cmd) & 3
+		out := (next & 1) & (next >> 1 & 1)
+		return next, out
+	}
+	tr, err := NewBoolean(f, "xor2", 2, 2, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Degree() > 4 {
+		t.Errorf("degree %d exceeds n=4 (Appendix A bound)", tr.Degree())
+	}
+	// Exhaustive agreement with the Boolean function.
+	for state := uint64(0); state < 4; state++ {
+		for cmd := uint64(0); cmd < 4; cmd++ {
+			wantNext, wantOut := fn(state, cmd)
+			next, out, err := tr.Apply(PackBits(f, state, 2), PackBits(f, cmd, 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotNext, err := UnpackBits(f, next)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotOut, err := UnpackBits(f, out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotNext != wantNext || gotOut != wantOut {
+				t.Errorf("state=%d cmd=%d: got (%d,%d), want (%d,%d)",
+					state, cmd, gotNext, gotOut, wantNext, wantOut)
+			}
+		}
+	}
+}
+
+func TestBooleanFullAdder(t *testing.T) {
+	// State: 1 carry bit. Command: 2 addend bits. Output: 1 sum bit.
+	f := gf16(t)
+	fn := func(state, cmd uint64) (uint64, uint64) {
+		a, b, cin := cmd&1, cmd>>1&1, state&1
+		sum := a ^ b ^ cin
+		cout := (a & b) | (a & cin) | (b & cin)
+		return cout, sum
+	}
+	tr, err := NewBoolean(f, "adder", 1, 2, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for state := uint64(0); state < 2; state++ {
+		for cmd := uint64(0); cmd < 4; cmd++ {
+			wantNext, wantOut := fn(state, cmd)
+			next, out, err := tr.Apply(PackBits(f, state, 1), PackBits(f, cmd, 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotNext, _ := UnpackBits(f, next)
+			gotOut, _ := UnpackBits(f, out)
+			if gotNext != wantNext || gotOut != wantOut {
+				t.Errorf("carry=%d cmd=%02b: got (%d,%d), want (%d,%d)",
+					state, cmd, gotNext, gotOut, wantNext, wantOut)
+			}
+		}
+	}
+}
+
+func TestBooleanValidation(t *testing.T) {
+	f := gf16(t)
+	fn := func(state, cmd uint64) (uint64, uint64) { return 0, 0 }
+	if _, err := NewBoolean(f, "t", 0, 1, 1, fn); err == nil {
+		t.Error("zero state bits should fail")
+	}
+	if _, err := NewBoolean(f, "t", 1, 0, 1, fn); err == nil {
+		t.Error("zero cmd bits should fail")
+	}
+	if _, err := NewBoolean(f, "t", 1, 1, 0, fn); err == nil {
+		t.Error("zero out bits should fail")
+	}
+	if _, err := NewBoolean(f, "t", 8, 8, 1, fn); err == nil {
+		t.Error("16 input bits should exceed the expansion limit")
+	}
+}
+
+func TestPackUnpackBits(t *testing.T) {
+	f := gf16(t)
+	v := uint64(0b1011)
+	packed := PackBits(f, v, 4)
+	got, err := UnpackBits(f, packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v {
+		t.Errorf("round trip = %#b", got)
+	}
+	if _, err := UnpackBits(f, []uint64{2}); err == nil {
+		t.Error("non-embedded element should fail to unpack")
+	}
+}
+
+func TestBooleanConstantFunction(t *testing.T) {
+	// Always-one output: polynomial is the constant 1 (sum over all 2^n
+	// assignments).
+	f := gf16(t)
+	fn := func(state, cmd uint64) (uint64, uint64) { return 0, 1 }
+	tr, err := NewBoolean(f, "const1", 1, 1, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for state := uint64(0); state < 2; state++ {
+		for cmd := uint64(0); cmd < 2; cmd++ {
+			_, out, err := tr.Apply(PackBits(f, state, 1), PackBits(f, cmd, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := UnpackBits(f, out); got != 1 {
+				t.Errorf("const1(%d,%d) = %d", state, cmd, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package sm
+
+import (
+	"fmt"
+
+	"codedsm/internal/field"
+	"codedsm/internal/mvpoly"
+)
+
+// NewBank returns the paper's motivating example (Section 4): a bank
+// account whose balance is updated by deposits/withdrawals. State: one
+// balance; command: one signed delta; output: the new balance.
+// f(s, x) = (s + x, s + x); degree d = 1.
+func NewBank[E comparable](f field.Field[E]) (*Transition[E], error) {
+	return FromExprs(f, "bank", []string{"s"}, []string{"x"},
+		[]string{"s + x"}, []string{"s + x"})
+}
+
+// NewQuadraticTally returns a degree-2 machine: an accumulator of squared
+// command values (e.g. a quadratic-voting tally).
+// f(s, x) = (s + x^2, s + x^2); d = 2.
+func NewQuadraticTally[E comparable](f field.Field[E]) (*Transition[E], error) {
+	return FromExprs(f, "quadratic-tally", []string{"s"}, []string{"x"},
+		[]string{"s + x^2"}, []string{"s + x^2"})
+}
+
+// NewMultiplicativeAccumulator returns f(s, x) = (s*x, s*x); d = 2. This is
+// the canonical bilinear machine: the state transition itself mixes state
+// and command multiplicatively.
+func NewMultiplicativeAccumulator[E comparable](f field.Field[E]) (*Transition[E], error) {
+	return FromExprs(f, "mul-accumulator", []string{"s"}, []string{"x"},
+		[]string{"s*x"}, []string{"s*x"})
+}
+
+// NewAffine returns the linear machine S' = A S + B X with output Y = S'.
+// A must be stateLen x stateLen and B stateLen x cmdLen; d = 1. Linear
+// machines are the d=1 special case the paper notes is also reachable with
+// classic storage codes (Remark 3).
+func NewAffine[E comparable](f field.Field[E], a, b [][]E) (*Transition[E], error) {
+	stateLen := len(a)
+	if stateLen == 0 {
+		return nil, fmt.Errorf("sm: affine machine needs a non-empty A matrix")
+	}
+	cmdLen := 0
+	if len(b) != stateLen {
+		return nil, fmt.Errorf("sm: B has %d rows, want %d", len(b), stateLen)
+	}
+	if len(b[0]) > 0 {
+		cmdLen = len(b[0])
+	}
+	if cmdLen == 0 {
+		return nil, fmt.Errorf("sm: affine machine needs a non-empty B matrix")
+	}
+	nvars := stateLen + cmdLen
+	polys := make([]mvpoly.Poly[E], stateLen)
+	for i := 0; i < stateLen; i++ {
+		if len(a[i]) != stateLen || len(b[i]) != cmdLen {
+			return nil, fmt.Errorf("sm: ragged matrix row %d", i)
+		}
+		terms := make([]mvpoly.Term[E], 0, nvars)
+		for j := 0; j < stateLen; j++ {
+			exps := make([]int, nvars)
+			exps[j] = 1
+			terms = append(terms, mvpoly.Term[E]{Coeff: a[i][j], Exps: exps})
+		}
+		for j := 0; j < cmdLen; j++ {
+			exps := make([]int, nvars)
+			exps[stateLen+j] = 1
+			terms = append(terms, mvpoly.Term[E]{Coeff: b[i][j], Exps: exps})
+		}
+		p, err := mvpoly.FromTerms(f, nvars, terms)
+		if err != nil {
+			return nil, err
+		}
+		polys[i] = p
+	}
+	out := make([]mvpoly.Poly[E], len(polys))
+	copy(out, polys)
+	return NewTransition(f, "affine", stateLen, cmdLen, polys, out)
+}
+
+// NewInnerProduct returns a machine with vector state and command of length
+// dim: the state accumulates the command (S' = S + X) and the output is the
+// inner product <S', X>; d = 2.
+func NewInnerProduct[E comparable](f field.Field[E], dim int) (*Transition[E], error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("sm: inner-product machine needs dim >= 1, got %d", dim)
+	}
+	nvars := 2 * dim
+	next := make([]mvpoly.Poly[E], dim)
+	for i := 0; i < dim; i++ {
+		sExps := make([]int, nvars)
+		sExps[i] = 1
+		xExps := make([]int, nvars)
+		xExps[dim+i] = 1
+		p, err := mvpoly.FromTerms(f, nvars, []mvpoly.Term[E]{
+			{Coeff: f.One(), Exps: sExps},
+			{Coeff: f.One(), Exps: xExps},
+		})
+		if err != nil {
+			return nil, err
+		}
+		next[i] = p
+	}
+	// Output = sum_i (s_i + x_i) * x_i.
+	terms := make([]mvpoly.Term[E], 0, 2*dim)
+	for i := 0; i < dim; i++ {
+		mixed := make([]int, nvars)
+		mixed[i], mixed[dim+i] = 1, 1
+		sq := make([]int, nvars)
+		sq[dim+i] = 2
+		terms = append(terms,
+			mvpoly.Term[E]{Coeff: f.One(), Exps: mixed},
+			mvpoly.Term[E]{Coeff: f.One(), Exps: sq},
+		)
+	}
+	outPoly, err := mvpoly.FromTerms(f, nvars, terms)
+	if err != nil {
+		return nil, err
+	}
+	return NewTransition(f, fmt.Sprintf("inner-product-%d", dim), dim, dim,
+		next, []mvpoly.Poly[E]{outPoly})
+}
+
+// NewPolynomialRegister returns a machine of exact degree d on scalar
+// state/command: f(s, x) = (s + x^d, s*x^(d-1) + x^d). Useful for sweeping
+// the degree parameter in the Table 1 / scaling experiments.
+func NewPolynomialRegister[E comparable](f field.Field[E], d int) (*Transition[E], error) {
+	if d < 1 {
+		return nil, fmt.Errorf("sm: degree must be >= 1, got %d", d)
+	}
+	out := fmt.Sprintf("s*x^%d + x^%d", d-1, d)
+	return FromExprs(f, fmt.Sprintf("poly-register-d%d", d),
+		[]string{"s"}, []string{"x"},
+		[]string{fmt.Sprintf("s + x^%d", d)},
+		[]string{out})
+}

@@ -1,0 +1,349 @@
+// Package transport simulates the paper's network model (Section 2.1): a
+// fully connected network of N nodes exchanging cryptographically signed
+// messages, in either a synchronous mode (every message sent in round t is
+// delivered at round t+1) or a partially synchronous mode (adversarially
+// delayed deliveries until an unknown global stabilization time, after
+// which the network is synchronous).
+//
+// The simulator is deterministic: a seeded RNG drives pre-GST delays, and
+// all nodes run in lock step, which makes the threshold experiments of
+// Table 2 exactly reproducible. Messages are signed with ed25519
+// ("authenticated Byzantine faults": arbitrary misbehaviour, but forging
+// another node's messages is detectable and dropped).
+package transport
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+)
+
+// NodeID identifies a node, 0..N-1.
+type NodeID int
+
+// Mode selects the timing model.
+type Mode int
+
+const (
+	// Sync is the synchronous network: fixed one-round delivery latency.
+	Sync Mode = iota
+	// PartialSync delivers with adversarial delays before GST and one-round
+	// latency afterwards.
+	PartialSync
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Sync:
+		return "synchronous"
+	case PartialSync:
+		return "partially-synchronous"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Message is a signed protocol message.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Round   int // the round in which it was sent
+	Kind    string
+	Payload []byte
+	Sig     []byte
+}
+
+// Config configures a simulated network.
+type Config struct {
+	// N is the number of nodes.
+	N int
+	// Mode selects synchronous or partially synchronous timing.
+	Mode Mode
+	// GST is the global stabilization round (PartialSync only): messages
+	// sent at round >= GST are delivered with one-round latency.
+	GST int
+	// MaxPreGSTDelay bounds the extra adversarial delay (in rounds) applied
+	// to messages sent before GST. Defaults to 3 when zero.
+	MaxPreGSTDelay int
+	// NoEquivocation models a broadcast (physical-radio-like) network: the
+	// first payload a node emits for a given (round, kind) is the one every
+	// recipient sees, so Byzantine nodes cannot send conflicting values.
+	// INTERMIX requires this assumption (Section 6).
+	NoEquivocation bool
+	// Seed drives delays and key generation deterministically.
+	Seed uint64
+	// DelayFn optionally overrides the pre-GST delay for a message; it
+	// must return a value in [1, MaxPreGSTDelay+1]. Used by adversarial
+	// scheduling tests.
+	DelayFn func(from, to NodeID, round int) int
+}
+
+// Stats aggregates network-level counters.
+type Stats struct {
+	MessagesDelivered uint64
+	BytesDelivered    uint64
+	ForgeriesDropped  uint64
+}
+
+// Network is a deterministic lock-step message-passing simulator.
+type Network struct {
+	mu        sync.Mutex
+	cfg       Config
+	round     int
+	rng       *rand.Rand
+	pubs      []ed25519.PublicKey
+	privs     []ed25519.PrivateKey
+	pending   map[int][]Message // delivery round -> messages
+	inboxes   [][]Message       // per node, messages deliverable this round
+	firstSent map[equivKey][]byte
+	stats     Stats
+}
+
+type equivKey struct {
+	from  NodeID
+	round int
+	kind  string
+}
+
+// New constructs a network of cfg.N nodes with deterministic keys.
+func New(cfg Config) (*Network, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("transport: need at least one node, got %d", cfg.N)
+	}
+	if cfg.MaxPreGSTDelay == 0 {
+		cfg.MaxPreGSTDelay = 3
+	}
+	if cfg.MaxPreGSTDelay < 0 {
+		return nil, fmt.Errorf("transport: negative MaxPreGSTDelay %d", cfg.MaxPreGSTDelay)
+	}
+	n := &Network{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewPCG(cfg.Seed, 0x5eed)),
+		pending:   make(map[int][]Message),
+		inboxes:   make([][]Message, cfg.N),
+		firstSent: make(map[equivKey][]byte),
+		pubs:      make([]ed25519.PublicKey, cfg.N),
+		privs:     make([]ed25519.PrivateKey, cfg.N),
+	}
+	for i := 0; i < cfg.N; i++ {
+		seed := make([]byte, ed25519.SeedSize)
+		binary.LittleEndian.PutUint64(seed, cfg.Seed^uint64(i)+0x9e3779b97f4a7c15)
+		binary.LittleEndian.PutUint64(seed[8:], uint64(i)*0xbf58476d1ce4e5b9+1)
+		priv := ed25519.NewKeyFromSeed(seed)
+		n.privs[i] = priv
+		n.pubs[i] = priv.Public().(ed25519.PublicKey)
+	}
+	return n, nil
+}
+
+// N returns the number of nodes.
+func (n *Network) N() int { return n.cfg.N }
+
+// Mode returns the timing model.
+func (n *Network) Mode() Mode { return n.cfg.Mode }
+
+// Round returns the current round index.
+func (n *Network) Round() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.round
+}
+
+// Stats returns a snapshot of delivery counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// PublicKey returns node id's verification key.
+func (n *Network) PublicKey(id NodeID) (ed25519.PublicKey, error) {
+	if int(id) < 0 || int(id) >= n.cfg.N {
+		return nil, fmt.Errorf("transport: node %d out of range", id)
+	}
+	return n.pubs[id], nil
+}
+
+// Endpoint returns the send/receive interface for a node.
+func (n *Network) Endpoint(id NodeID) (*Endpoint, error) {
+	if int(id) < 0 || int(id) >= n.cfg.N {
+		return nil, fmt.Errorf("transport: node %d out of range", id)
+	}
+	return &Endpoint{net: n, id: id}, nil
+}
+
+// signingBytes is the canonical byte string covered by a signature.
+func signingBytes(from NodeID, round int, kind string, payload []byte) []byte {
+	var buf bytes.Buffer
+	var hdr [20]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(from))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(round))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(kind)))
+	buf.Write(hdr[:])
+	buf.WriteString(kind)
+	buf.Write(payload)
+	return buf.Bytes()
+}
+
+// Verify checks a message's signature against its claimed sender.
+func (n *Network) Verify(m Message) bool {
+	if int(m.From) < 0 || int(m.From) >= n.cfg.N {
+		return false
+	}
+	return ed25519.Verify(n.pubs[m.From], signingBytes(m.From, m.Round, m.Kind, m.Payload), m.Sig)
+}
+
+// enqueue schedules a signed message for delivery; it drops forgeries.
+// Callers hold no lock.
+func (n *Network) enqueue(m Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.Verify(m) {
+		n.stats.ForgeriesDropped++
+		return
+	}
+	if n.cfg.NoEquivocation {
+		key := equivKey{from: m.From, round: m.Round, kind: m.Kind}
+		if first, ok := n.firstSent[key]; ok {
+			// The broadcast channel carries one value per (sender, round,
+			// kind): everyone hears the first one. Re-sign as the sender so
+			// the coerced copy still verifies.
+			if !bytes.Equal(first, m.Payload) {
+				m.Payload = append([]byte(nil), first...)
+				m.Sig = ed25519.Sign(n.privs[m.From], signingBytes(m.From, m.Round, m.Kind, m.Payload))
+			}
+		} else {
+			n.firstSent[key] = append([]byte(nil), m.Payload...)
+		}
+	}
+	delivery := n.deliveryRound(m)
+	n.pending[delivery] = append(n.pending[delivery], m)
+}
+
+// deliveryRound computes when a message sent now arrives. Caller holds mu.
+func (n *Network) deliveryRound(m Message) int {
+	if n.cfg.Mode == Sync || m.Round >= n.cfg.GST {
+		return m.Round + 1
+	}
+	delay := 1 + n.rng.IntN(n.cfg.MaxPreGSTDelay+1)
+	if n.cfg.DelayFn != nil {
+		delay = n.cfg.DelayFn(m.From, m.To, m.Round)
+		if delay < 1 {
+			delay = 1
+		}
+	}
+	return m.Round + delay
+}
+
+// Step advances the network one round, moving due messages into inboxes.
+func (n *Network) Step() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.round++
+	for i := range n.inboxes {
+		n.inboxes[i] = nil
+	}
+	due := n.pending[n.round]
+	delete(n.pending, n.round)
+	// Deterministic delivery order: by sender, then recipient, then kind.
+	sort.SliceStable(due, func(i, j int) bool {
+		if due[i].From != due[j].From {
+			return due[i].From < due[j].From
+		}
+		if due[i].To != due[j].To {
+			return due[i].To < due[j].To
+		}
+		return due[i].Kind < due[j].Kind
+	})
+	for _, m := range due {
+		n.inboxes[m.To] = append(n.inboxes[m.To], m)
+		n.stats.MessagesDelivered++
+		n.stats.BytesDelivered += uint64(len(m.Payload))
+	}
+}
+
+// Inject delivers a raw message envelope (used by adversarial tests to
+// attempt forgery); like any message it is dropped unless the signature
+// verifies against the claimed sender.
+func (n *Network) Inject(m Message) { n.enqueue(m) }
+
+// Endpoint is a node's handle on the network.
+type Endpoint struct {
+	net *Network
+	id  NodeID
+}
+
+// ID returns the node's identifier.
+func (e *Endpoint) ID() NodeID { return e.id }
+
+// sign produces the node's signature for the given content.
+func (e *Endpoint) sign(round int, kind string, payload []byte) []byte {
+	return ed25519.Sign(e.net.privs[e.id], signingBytes(e.id, round, kind, payload))
+}
+
+// Send transmits a signed message to a single node.
+func (e *Endpoint) Send(to NodeID, kind string, payload []byte) error {
+	if int(to) < 0 || int(to) >= e.net.cfg.N {
+		return fmt.Errorf("transport: recipient %d out of range", to)
+	}
+	round := e.net.Round()
+	e.net.enqueue(Message{
+		From: e.id, To: to, Round: round, Kind: kind,
+		Payload: append([]byte(nil), payload...),
+		Sig:     e.sign(round, kind, payload),
+	})
+	return nil
+}
+
+// Broadcast transmits a signed message to every other node.
+func (e *Endpoint) Broadcast(kind string, payload []byte) error {
+	for to := 0; to < e.net.cfg.N; to++ {
+		if NodeID(to) == e.id {
+			continue
+		}
+		if err := e.Send(NodeID(to), kind, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SignBlob signs arbitrary protocol content under a domain-separation
+// context (used for Dolev-Strong signature chains, which must survive
+// re-broadcast by other nodes).
+func (e *Endpoint) SignBlob(context string, data []byte) []byte {
+	return ed25519.Sign(e.net.privs[e.id], blobBytes(context, data))
+}
+
+// VerifyBlob verifies a blob signature produced by SignBlob.
+func (n *Network) VerifyBlob(id NodeID, context string, data, sig []byte) bool {
+	if int(id) < 0 || int(id) >= n.cfg.N {
+		return false
+	}
+	return ed25519.Verify(n.pubs[id], blobBytes(context, data), sig)
+}
+
+func blobBytes(context string, data []byte) []byte {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(context)))
+	buf.Write(hdr[:])
+	buf.WriteString(context)
+	buf.Write(data)
+	return buf.Bytes()
+}
+
+// Receive returns the messages delivered to this node in the current round.
+func (e *Endpoint) Receive() []Message {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	msgs := e.net.inboxes[e.id]
+	out := make([]Message, len(msgs))
+	copy(out, msgs)
+	return out
+}

@@ -1,0 +1,273 @@
+package transport
+
+import (
+	"crypto/ed25519"
+	"testing"
+)
+
+func newNet(t *testing.T, cfg Config) *Network {
+	t.Helper()
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func endpoint(t *testing.T, n *Network, id NodeID) *Endpoint {
+	t.Helper()
+	e, err := n.Endpoint(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{N: 0}); err == nil {
+		t.Error("N=0 should fail")
+	}
+	if _, err := New(Config{N: 3, MaxPreGSTDelay: -1}); err == nil {
+		t.Error("negative delay should fail")
+	}
+	n := newNet(t, Config{N: 3})
+	if _, err := n.Endpoint(3); err == nil {
+		t.Error("out-of-range endpoint should fail")
+	}
+	if _, err := n.PublicKey(-1); err == nil {
+		t.Error("out-of-range public key should fail")
+	}
+}
+
+func TestSynchronousDelivery(t *testing.T) {
+	n := newNet(t, Config{N: 3, Mode: Sync, Seed: 1})
+	a, b := endpoint(t, n, 0), endpoint(t, n, 1)
+	if err := a.Send(1, "ping", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Receive(); len(got) != 0 {
+		t.Fatal("message delivered before Step")
+	}
+	n.Step()
+	got := b.Receive()
+	if len(got) != 1 || string(got[0].Payload) != "hello" || got[0].From != 0 || got[0].Kind != "ping" {
+		t.Fatalf("received %+v", got)
+	}
+	// Inbox cleared next round.
+	n.Step()
+	if got := b.Receive(); len(got) != 0 {
+		t.Fatal("stale inbox")
+	}
+	stats := n.Stats()
+	if stats.MessagesDelivered != 1 || stats.BytesDelivered != 5 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestBroadcastExcludesSelf(t *testing.T) {
+	n := newNet(t, Config{N: 4, Mode: Sync, Seed: 2})
+	a := endpoint(t, n, 0)
+	if err := a.Broadcast("blob", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	n.Step()
+	if got := a.Receive(); len(got) != 0 {
+		t.Error("broadcast delivered to self")
+	}
+	for id := NodeID(1); id < 4; id++ {
+		if got := endpoint(t, n, id).Receive(); len(got) != 1 {
+			t.Errorf("node %d received %d messages", id, len(got))
+		}
+	}
+}
+
+func TestSignatureVerification(t *testing.T) {
+	n := newNet(t, Config{N: 3, Mode: Sync, Seed: 3})
+	a := endpoint(t, n, 0)
+	if err := a.Send(1, "k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	n.Step()
+	msgs := endpoint(t, n, 1).Receive()
+	if len(msgs) != 1 {
+		t.Fatal("expected one message")
+	}
+	if !n.Verify(msgs[0]) {
+		t.Error("valid signature rejected")
+	}
+	tampered := msgs[0]
+	tampered.Payload = []byte("y")
+	if n.Verify(tampered) {
+		t.Error("tampered payload accepted")
+	}
+}
+
+func TestForgeryDropped(t *testing.T) {
+	// Node 2 (Byzantine) tries to inject a message claiming to be node 0.
+	n := newNet(t, Config{N: 3, Mode: Sync, Seed: 4})
+	forged := Message{
+		From: 0, To: 1, Round: n.Round(), Kind: "k",
+		Payload: []byte("fake"),
+		Sig:     make([]byte, ed25519.SignatureSize),
+	}
+	n.Inject(forged)
+	n.Step()
+	if got := endpoint(t, n, 1).Receive(); len(got) != 0 {
+		t.Fatal("forged message delivered")
+	}
+	if n.Stats().ForgeriesDropped != 1 {
+		t.Errorf("forgeries dropped = %d", n.Stats().ForgeriesDropped)
+	}
+	// From out of range is also a forgery.
+	n.Inject(Message{From: 99, To: 1, Round: n.Round(), Kind: "k"})
+	if n.Stats().ForgeriesDropped != 2 {
+		t.Error("out-of-range sender not dropped")
+	}
+}
+
+func TestPartialSyncDelaysBeforeGST(t *testing.T) {
+	const gst = 10
+	n := newNet(t, Config{N: 2, Mode: PartialSync, GST: gst, MaxPreGSTDelay: 5, Seed: 5})
+	a, b := endpoint(t, n, 0), endpoint(t, n, 1)
+	if err := a.Send(1, "early", nil); err != nil {
+		t.Fatal(err)
+	}
+	// The message must arrive within 1+MaxPreGSTDelay rounds, not
+	// necessarily the next one.
+	arrived := -1
+	for r := 1; r <= 6; r++ {
+		n.Step()
+		if len(b.Receive()) > 0 {
+			arrived = r
+			break
+		}
+	}
+	if arrived < 1 {
+		t.Fatal("pre-GST message never arrived")
+	}
+	// After GST, delivery is next-round.
+	for n.Round() < gst {
+		n.Step()
+	}
+	if err := a.Send(1, "late", nil); err != nil {
+		t.Fatal(err)
+	}
+	n.Step()
+	got := b.Receive()
+	if len(got) != 1 || got[0].Kind != "late" {
+		t.Fatalf("post-GST message not delivered next round: %+v", got)
+	}
+}
+
+func TestPartialSyncAdversarialDelayFn(t *testing.T) {
+	// The adversary holds every pre-GST message for exactly 4 rounds.
+	n := newNet(t, Config{
+		N: 2, Mode: PartialSync, GST: 100, MaxPreGSTDelay: 5, Seed: 6,
+		DelayFn: func(from, to NodeID, round int) int { return 4 },
+	})
+	a, b := endpoint(t, n, 0), endpoint(t, n, 1)
+	if err := a.Send(1, "held", nil); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r <= 3; r++ {
+		n.Step()
+		if len(b.Receive()) != 0 {
+			t.Fatalf("delivered at round %d, expected 4", r)
+		}
+	}
+	n.Step()
+	if len(b.Receive()) != 1 {
+		t.Fatal("not delivered at round 4")
+	}
+}
+
+func TestNoEquivocationCoercesPayloads(t *testing.T) {
+	// In broadcast mode a Byzantine node sending different payloads to
+	// different peers in the same round has its later payloads replaced by
+	// the first (everyone hears the same value).
+	n := newNet(t, Config{N: 3, Mode: Sync, NoEquivocation: true, Seed: 7})
+	byz := endpoint(t, n, 0)
+	if err := byz.Send(1, "val", []byte("AAA")); err != nil {
+		t.Fatal(err)
+	}
+	if err := byz.Send(2, "val", []byte("BBB")); err != nil {
+		t.Fatal(err)
+	}
+	n.Step()
+	m1 := endpoint(t, n, 1).Receive()
+	m2 := endpoint(t, n, 2).Receive()
+	if len(m1) != 1 || len(m2) != 1 {
+		t.Fatal("missing deliveries")
+	}
+	if string(m1[0].Payload) != "AAA" || string(m2[0].Payload) != "AAA" {
+		t.Fatalf("equivocation not suppressed: %q vs %q", m1[0].Payload, m2[0].Payload)
+	}
+	if !n.Verify(m2[0]) {
+		t.Error("coerced message must still carry a valid signature")
+	}
+}
+
+func TestEquivocationAllowedInP2P(t *testing.T) {
+	n := newNet(t, Config{N: 3, Mode: Sync, NoEquivocation: false, Seed: 8})
+	byz := endpoint(t, n, 0)
+	if err := byz.Send(1, "val", []byte("AAA")); err != nil {
+		t.Fatal(err)
+	}
+	if err := byz.Send(2, "val", []byte("BBB")); err != nil {
+		t.Fatal(err)
+	}
+	n.Step()
+	m1 := endpoint(t, n, 1).Receive()
+	m2 := endpoint(t, n, 2).Receive()
+	if string(m1[0].Payload) != "AAA" || string(m2[0].Payload) != "BBB" {
+		t.Fatal("point-to-point network must permit equivocation")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Message {
+		n := newNet(t, Config{N: 4, Mode: PartialSync, GST: 8, Seed: 99})
+		var all []Message
+		for r := 0; r < 12; r++ {
+			for id := NodeID(0); id < 4; id++ {
+				e := endpoint(t, n, id)
+				_ = e.Broadcast("r", []byte{byte(r), byte(id)})
+			}
+			n.Step()
+			for id := NodeID(0); id < 4; id++ {
+				all = append(all, endpoint(t, n, id).Receive()...)
+			}
+		}
+		return all
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic message counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].From != b[i].From || a[i].To != b[i].To || a[i].Round != b[i].Round ||
+			string(a[i].Payload) != string(b[i].Payload) {
+			t.Fatalf("divergence at message %d", i)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Sync.String() != "synchronous" || PartialSync.String() != "partially-synchronous" {
+		t.Error("mode strings wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode should still render")
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	n := newNet(t, Config{N: 2, Seed: 10})
+	a := endpoint(t, n, 0)
+	if err := a.Send(5, "k", nil); err == nil {
+		t.Error("out-of-range recipient should fail")
+	}
+	if a.ID() != 0 {
+		t.Error("ID accessor wrong")
+	}
+}
