@@ -173,6 +173,42 @@ func BenchmarkScalingCSM(b *testing.B) {
 	}
 }
 
+// --- Parallel execution engine: worker-count sweep ---
+
+// BenchmarkClusterRoundParallel quantifies the execution-phase speedup of
+// the worker-pool engine: identical clusters (µ = 1/3 wrong-result nodes
+// injected) swept over N and worker counts. Rounds are bit-identical across
+// worker counts (see internal/csm TestParallelRoundsBitIdenticalToSequential),
+// so the only difference is wall-clock. On a single-core machine all worker
+// counts collapse to sequential speed; on >= 4 cores the 8-worker N=32
+// configuration runs >= 2x faster than 1 worker.
+func BenchmarkClusterRoundParallel(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		faults := n / 3
+		k := SyncMaxMachines(n, faults, 1)
+		byz := map[int]Behavior{}
+		for i := 0; len(byz) < faults; i++ {
+			byz[(i*5+2)%n] = WrongResult
+		}
+		for _, workers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("N=%d/K=%d/workers=%d", n, k, workers), func(b *testing.B) {
+				c, err := NewCluster(ClusterConfig[uint64]{
+					BaseField:     gold,
+					NewTransition: NewBank[uint64],
+					K:             k, N: n, MaxFaults: faults,
+					Mode: Synchronous, Consensus: OracleConsensus,
+					Byzantine: byz, Seed: 1,
+					Parallelism: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				runWorkload(b, c, k)
+			})
+		}
+	}
+}
+
 // --- Section 6.2 coding ablation: naive vs fast, encode and decode ---
 
 func BenchmarkCodingNaiveEncode(b *testing.B) {

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"codedsm"
 )
@@ -43,6 +44,7 @@ func run(args []string) error {
 		n           = fs.Int("n", 24, "network size for Table 1 (must make K=N/3 integral at mu=1/3, d=1)")
 		rounds      = fs.Int("rounds", 3, "measured rounds per experiment")
 		seed        = fs.Uint64("seed", 2019, "experiment seed")
+		workers     = fs.Int("workers", runtime.GOMAXPROCS(0), "execution-phase worker goroutines per cluster (results are identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,9 +67,9 @@ func run(args []string) error {
 		name    string
 		f       func() error
 	}{
-		{*table1, "Table 1: scheme comparison", func() error { return runTable1(*n, *rounds, *seed) }},
+		{*table1, "Table 1: scheme comparison", func() error { return runTable1(*n, *rounds, *seed, *workers) }},
 		{*table2, "Table 2: fault thresholds", func() error { return runTable2(*seed) }},
-		{*scaling, "Theorem 1: scaling series", func() error { return runScaling(*rounds, *seed) }},
+		{*scaling, "Theorem 1: scaling series", func() error { return runScaling(*rounds, *seed, *workers) }},
 		{*fig2, "Figure 2: K=2 machines, minimal cluster", func() error { return runFig2(*seed) }},
 		{*fig3, "Figure 3: coded execution trace", runFig3},
 		{*fig4, "Figure 4: delegated coding round", runFig4},
@@ -86,9 +88,10 @@ func run(args []string) error {
 	return nil
 }
 
-func runTable1(n, rounds int, seed uint64) error {
+func runTable1(n, rounds int, seed uint64, workers int) error {
 	rows, err := codedsm.Table1(codedsm.Table1Config{
 		N: n, Mu: 1.0 / 3.0, D: 1, Rounds: rounds, Seed: seed,
+		Parallelism: workers,
 	})
 	if err != nil {
 		return err
@@ -109,8 +112,8 @@ func runTable2(seed uint64) error {
 	return nil
 }
 
-func runScaling(rounds int, seed uint64) error {
-	rows, err := codedsm.Scaling([]int{12, 24, 48, 96}, 1.0/3.0, 1, rounds, seed)
+func runScaling(rounds int, seed uint64, workers int) error {
+	rows, err := codedsm.Scaling([]int{12, 24, 48, 96}, 1.0/3.0, 1, rounds, seed, workers)
 	if err != nil {
 		return err
 	}

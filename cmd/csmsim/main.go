@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -40,6 +41,7 @@ func run(args []string) error {
 		delegated = fs.Bool("delegated", false, "delegate coding to a rotating verified worker (Section 6.2; requires synchronous broadcast)")
 		gst       = fs.Int("gst", 0, "global stabilization round (psync)")
 		seed      = fs.Uint64("seed", 1, "random seed")
+		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "execution-phase worker goroutines (rounds are identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,12 +83,13 @@ func run(args []string) error {
 		Mode: mode, GST: *gst, Consensus: ck,
 		Byzantine: byz, Seed: *seed,
 		NoEquivocation: *delegated, Delegated: *delegated,
+		Parallelism: *workers,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("CSM cluster: N=%d K=%d b=%d d=%d mode=%v consensus=%v delegated=%v byzantine=%v\n",
-		*n, *k, *b, *d, mode, ck, *delegated, byz)
+	fmt.Printf("CSM cluster: N=%d K=%d b=%d d=%d mode=%v consensus=%v delegated=%v workers=%d byzantine=%v\n",
+		*n, *k, *b, *d, mode, ck, *delegated, cluster.Parallelism(), byz)
 	wl := codedsm.RandomWorkload[uint64](gold, *rounds, *k, 1, *seed)
 	allCorrect := true
 	totalTicks := 0

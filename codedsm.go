@@ -287,9 +287,11 @@ func RenderTable2(rows []Table2Row) string { return metrics.RenderTable2(rows) }
 // ScalingRow is one point of the Theorem 1 scaling series.
 type ScalingRow = metrics.ScalingRow
 
-// Scaling measures the Theorem 1 series over network sizes.
-func Scaling(ns []int, mu float64, d, rounds int, seed uint64) ([]ScalingRow, error) {
-	return metrics.Scaling(ns, mu, d, rounds, seed)
+// Scaling measures the Theorem 1 series over network sizes. parallelism is
+// the worker count the measured clusters execute with (0 selects
+// runtime.GOMAXPROCS); the op-count metrics are worker-count-independent.
+func Scaling(ns []int, mu float64, d, rounds int, seed uint64, parallelism int) ([]ScalingRow, error) {
+	return metrics.Scaling(ns, mu, d, rounds, seed, parallelism)
 }
 
 // RenderScaling renders the series as text.

@@ -1,0 +1,3 @@
+module codedsm
+
+go 1.24

@@ -139,6 +139,14 @@ type Config[E comparable] struct {
 	Seed uint64
 	// MaxTicksPerRound bounds a single round's lock-step ticks (default 200).
 	MaxTicksPerRound int
+	// Parallelism is the number of worker goroutines the execution phase
+	// fans node-level work onto: the N coded transition computes and the
+	// honest nodes' Reed-Solomon decodes (in delegated mode, the rotating
+	// worker's per-component decodes). Rounds are bit-identical to the
+	// sequential path for any worker count — all randomness and network
+	// interaction stay on the driving goroutine. 1 runs sequentially;
+	// <= 0 selects runtime.GOMAXPROCS(0).
+	Parallelism int
 }
 
 // Cluster is a running CSM deployment.
@@ -226,7 +234,7 @@ func New[E comparable](cfg Config[E]) (*Cluster[E], error) {
 		}
 		oracle[k] = m
 	}
-	codedStates, err := code.EncodeVectors(initial)
+	codedStates, err := code.EncodeVectorsParallel(initial, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}

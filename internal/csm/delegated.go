@@ -77,6 +77,7 @@ func (c *Cluster[E]) committee(attempt int) []int {
 func (c *Cluster[E]) delegatedAttempt(agreed [][]E, worker, attempt int) (*RoundResult[E], int, bool, error) {
 	ticks := 0
 	d := delegate.New(c.ring, c.code, delegate.HonestDelegate)
+	d.Parallelism = c.workers()
 	committee := c.committee(attempt)
 	isAuditor := make(map[int]bool, len(committee))
 	for _, a := range committee {

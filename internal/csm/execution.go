@@ -9,17 +9,22 @@ import (
 
 // runExecution drives the coded execution phase for an agreed batch. It
 // returns the round report and the number of lock-step ticks consumed.
+// Node-level work runs on cfg.Parallelism workers (see parallel.go); the
+// phase split keeps rounds bit-identical to sequential execution.
 func (c *Cluster[E]) runExecution(agreed [][]E) (*RoundResult[E], int, error) {
-	// Every node computes its true coded result; Byzantine behaviour is
-	// applied at broadcast time (the adversary knows the true value).
-	for _, n := range c.nodes {
+	// Compute phase (parallel): every node computes its true coded result;
+	// Byzantine behaviour is applied at broadcast time (the adversary knows
+	// the true value).
+	results, err := c.computeAllResults(agreed)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Broadcast phase (sequential, in node order): Byzantine lies consume
+	// the cluster RNG and messages enter the lock-step network.
+	for i, n := range c.nodes {
 		n.received = make(map[int][]E, c.cfg.N)
 		n.decoded = nil
-		result, err := n.computeResult(agreed)
-		if err != nil {
-			return nil, 0, err
-		}
-		if err := n.broadcastResult(result); err != nil {
+		if err := n.broadcastResult(results[i]); err != nil {
 			return nil, 0, err
 		}
 	}
@@ -28,25 +33,30 @@ func (c *Cluster[E]) runExecution(agreed [][]E) (*RoundResult[E], int, error) {
 	for {
 		c.net.Step()
 		ticks++
-		allDecoded := true
+		// Collect sequentially (inbox draining), then decode in parallel —
+		// the expensive Reed-Solomon work. Only nodes that have reached the
+		// N-b result threshold are fanned out; the rest cannot decode yet
+		// (tryDecode would return immediately), so delay-heavy ticks spawn
+		// no workers at all.
+		need := c.cfg.N - c.cfg.MaxFaults
+		pending := 0
+		ready := make([]*node[E], 0, len(c.nodes))
 		for _, n := range c.nodes {
-			if n.behavior != Honest {
-				continue
-			}
-			if n.decoded != nil {
+			if n.behavior != Honest || n.decoded != nil {
 				continue
 			}
 			n.collect(n.ep.Receive())
-			force := c.cfg.Mode == transport.PartialSync || ticks >= deadline
-			ok, err := n.tryDecode(force)
-			if err != nil {
-				return nil, ticks, err
-			}
-			if !ok {
-				allDecoded = false
+			pending++
+			if len(n.received) >= need {
+				ready = append(ready, n)
 			}
 		}
-		if allDecoded {
+		force := c.cfg.Mode == transport.PartialSync || ticks >= deadline
+		allDecoded, err := c.tryDecodeAll(ready, force)
+		if err != nil {
+			return nil, ticks, err
+		}
+		if allDecoded && len(ready) == pending {
 			break
 		}
 		if ticks >= c.cfg.MaxTicksPerRound {

@@ -1,0 +1,77 @@
+package csm
+
+import (
+	"codedsm/internal/pool"
+)
+
+// The parallel execution engine fans a round's node-level work across
+// worker goroutines while keeping the simulation bit-identical to the
+// sequential path. The round is split into phases by what they touch:
+//
+//   - compute (parallel): every node's coded transition g_i = f(S̃_i, X̃_i)
+//     is a pure function of the node's state and the agreed batch; results
+//     land in index-addressed slots.
+//   - broadcast (sequential): Byzantine lies draw from the cluster RNG and
+//     messages enter the lock-step network, both order-sensitive.
+//   - decode (parallel): each honest node's Reed-Solomon decode of the
+//     collected results is independent; message collection stays on the
+//     driving goroutine so inbox draining is ordered.
+//   - client/audit (sequential): draws from the cluster RNG.
+//
+// Shared structures reached from worker goroutines are safe by
+// construction: field.Counting uses atomic counters (which commute, so op
+// totals are also identical), lcc.Code guards its lazy RS-code cache with
+// a mutex, and poly rings/trees are immutable after construction.
+
+// workers returns the effective worker count for node-level fan-out:
+// cfg.Parallelism, defaulted and clamped to the cluster size.
+func (c *Cluster[E]) workers() int {
+	return pool.Clamp(c.cfg.Parallelism, c.cfg.N)
+}
+
+// Parallelism reports the effective worker count rounds execute with.
+func (c *Cluster[E]) Parallelism() int { return c.workers() }
+
+// computeAllResults runs the compute phase: every node's true coded result
+// for the agreed batch, in parallel, index-aligned with c.nodes.
+func (c *Cluster[E]) computeAllResults(agreed [][]E) ([][]E, error) {
+	results := make([][]E, len(c.nodes))
+	err := pool.Run(c.workers(), len(c.nodes), func(i int) error {
+		r, err := c.nodes[i].computeResult(agreed)
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// tryDecodeAll runs the decode phase for the pending honest nodes in
+// parallel and reports whether every one of them now holds a decode. Every
+// node is attempted even if one fails — a parallel pool races ahead of an
+// error anyway, so the sequential path does the same and the cluster is
+// left in an identical state for any worker count, error or not; the
+// lowest-index error is reported.
+func (c *Cluster[E]) tryDecodeAll(pending []*node[E], force bool) (bool, error) {
+	oks := make([]bool, len(pending))
+	errs := make([]error, len(pending))
+	_ = pool.Run(c.workers(), len(pending), func(i int) error {
+		oks[i], errs[i] = pending[i].tryDecode(force)
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			return false, err
+		}
+	}
+	for _, ok := range oks {
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}

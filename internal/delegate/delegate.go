@@ -69,11 +69,18 @@ type Delegation[E comparable] struct {
 	ring *poly.Ring[E]
 	f    field.Field[E]
 	mode CorruptMode
+
+	// Parallelism fans the worker's per-component Reed-Solomon decodes
+	// across goroutines (the worker is the only node doing coding work in
+	// this mode, so across-node fan-out does not apply). Results are
+	// identical for any value. 1 decodes sequentially; <= 0 selects
+	// runtime.GOMAXPROCS(0).
+	Parallelism int
 }
 
 // New creates a delegation layer over the given code.
 func New[E comparable](ring *poly.Ring[E], code *lcc.Code[E], mode CorruptMode) *Delegation[E] {
-	return &Delegation[E]{code: code, ring: ring, f: ring.Field(), mode: mode}
+	return &Delegation[E]{code: code, ring: ring, f: ring.Field(), mode: mode, Parallelism: 1}
 }
 
 // Mode returns the delegate's corruption mode.
@@ -170,19 +177,25 @@ func (d *Delegation[E]) DecodeWithProof(results [][]E, degree int) (*lcc.DecodeR
 	for k := range outputs {
 		outputs[k] = make([]E, comps)
 	}
-	word := make([]E, d.code.N())
-	faulty := map[int]bool{}
+	// Transpose into per-component words and fan the independent
+	// Reed-Solomon decodes across the worker's goroutines.
+	words := make([][]E, comps)
 	for j := 0; j < comps; j++ {
+		word := make([]E, d.code.N())
 		for i := range results {
 			if len(results[i]) != comps {
 				return nil, nil, fmt.Errorf("delegate: ragged results")
 			}
 			word[i] = results[i][j]
 		}
-		res, err := code.Decode(word)
-		if err != nil {
-			return nil, nil, err
-		}
+		words[j] = word
+	}
+	decs, err := code.DecodeMany(words, d.Parallelism)
+	if err != nil {
+		return nil, nil, err
+	}
+	faulty := map[int]bool{}
+	for j, res := range decs {
 		proof.Coeffs[j] = res.Message
 		tau := make([]int, 0, d.code.N()-len(res.ErrorsAt))
 		errSet := map[int]bool{}

@@ -16,22 +16,26 @@ package lcc
 
 import (
 	"fmt"
+	"sync"
 
 	"codedsm/internal/field"
 	"codedsm/internal/poly"
+	"codedsm/internal/pool"
 	"codedsm/internal/rs"
 )
 
 // Code fixes the interpolation points and exposes encoding and decoding of
 // state/command/result vectors.
 type Code[E comparable] struct {
-	ring       *poly.Ring[E]
-	f          field.Field[E]
-	omegas     []E
-	alphas     []E
-	omegaTree  *poly.SubproductTree[E]
-	alphaTree  *poly.SubproductTree[E]
-	coeffs     [][]E // N x K Lagrange coefficient matrix C = [c_ik]
+	ring      *poly.Ring[E]
+	f         field.Field[E]
+	omegas    []E
+	alphas    []E
+	omegaTree *poly.SubproductTree[E]
+	alphaTree *poly.SubproductTree[E]
+	coeffs    [][]E // N x K Lagrange coefficient matrix C = [c_ik]
+
+	mu         sync.Mutex // guards codesByDim (nodes decode concurrently)
 	codesByDim map[int]*rs.Code[E]
 }
 
@@ -158,12 +162,20 @@ func (c *Code[E]) EncodeAt(values []E, node int) (E, error) {
 // vectors by the naive matrix product, O(N*K*L) operations. This is the
 // per-node encoding cost the delegated mode eliminates.
 func (c *Code[E]) EncodeVectors(values [][]E) ([][]E, error) {
+	return c.EncodeVectorsParallel(values, 1)
+}
+
+// EncodeVectorsParallel is EncodeVectors with the N output rows fanned
+// across at most workers goroutines (workers <= 0 selects
+// runtime.GOMAXPROCS). Each row i = Σ_k c_ik values[k] is independent, so
+// the result is identical to the sequential product.
+func (c *Code[E]) EncodeVectorsParallel(values [][]E, workers int) ([][]E, error) {
 	l, err := c.vectorLen(values, len(c.omegas))
 	if err != nil {
 		return nil, err
 	}
 	out := make([][]E, len(c.alphas))
-	for i := range out {
+	encErr := pool.Run(workers, len(c.alphas), func(i int) error {
 		vec := make([]E, l)
 		for j := 0; j < l; j++ {
 			acc := c.f.Zero()
@@ -173,6 +185,10 @@ func (c *Code[E]) EncodeVectors(values [][]E) ([][]E, error) {
 			vec[j] = acc
 		}
 		out[i] = vec
+		return nil
+	})
+	if encErr != nil {
+		return nil, encErr
 	}
 	return out, nil
 }
@@ -225,8 +241,11 @@ func (c *Code[E]) vectorLen(values [][]E, want int) (int, error) {
 }
 
 // codeForDim returns (building if needed) the RS code over the alphas with
-// the given dimension.
+// the given dimension. Safe for concurrent use: cluster nodes decode the
+// same round in parallel against one shared Code.
 func (c *Code[E]) codeForDim(dim int) (*rs.Code[E], error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if code, ok := c.codesByDim[dim]; ok {
 		return code, nil
 	}
@@ -261,7 +280,15 @@ type DecodeResult[E comparable] struct {
 // (N - d(K-1) - 1)/2 corrupted nodes, where degree is the transition's
 // total degree d.
 func (c *Code[E]) DecodeOutputs(results [][]E, degree int) (*DecodeResult[E], error) {
-	return c.decode(results, nil, degree)
+	return c.decode(results, nil, degree, 1)
+}
+
+// DecodeOutputsParallel is DecodeOutputs with the L independent
+// vector-component decodes — each a Reed-Solomon error-locator solve —
+// fanned across at most workers goroutines (workers <= 0 selects
+// runtime.GOMAXPROCS). The result is identical to DecodeOutputs.
+func (c *Code[E]) DecodeOutputsParallel(results [][]E, degree, workers int) (*DecodeResult[E], error) {
+	return c.decode(results, nil, degree, workers)
 }
 
 // DecodeOutputsSubset decodes from a subset of nodes (partially synchronous
@@ -271,10 +298,33 @@ func (c *Code[E]) DecodeOutputsSubset(indices []int, results [][]E, degree int) 
 	if indices == nil {
 		return nil, fmt.Errorf("lcc: nil subset indices")
 	}
-	return c.decode(results, indices, degree)
+	return c.decode(results, indices, degree, 1)
 }
 
-func (c *Code[E]) decode(results [][]E, indices []int, degree int) (*DecodeResult[E], error) {
+// DecodeOutputsSubsetParallel is DecodeOutputsSubset with the component
+// decodes fanned across at most workers goroutines.
+func (c *Code[E]) DecodeOutputsSubsetParallel(indices []int, results [][]E, degree, workers int) (*DecodeResult[E], error) {
+	if indices == nil {
+		return nil, fmt.Errorf("lcc: nil subset indices")
+	}
+	return c.decode(results, indices, degree, workers)
+}
+
+// isFullSet reports whether indices is exactly 0..n-1, i.e. the "subset"
+// decode actually has every node's result (the common synchronous case).
+func isFullSet(indices []int, n int) bool {
+	if len(indices) != n {
+		return false
+	}
+	for i, idx := range indices {
+		if idx != i {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Code[E]) decode(results [][]E, indices []int, degree, workers int) (*DecodeResult[E], error) {
 	n := len(c.alphas)
 	rows := n
 	if indices != nil {
@@ -288,36 +338,60 @@ func (c *Code[E]) decode(results [][]E, indices []int, degree int) (*DecodeResul
 	if err != nil {
 		return nil, err
 	}
+	// Resolve the decoding code once, not per component: either the full
+	// code (indices nil or the complete 0..N-1 set) or one shared subcode.
+	target := code
+	if indices != nil && !isFullSet(indices, n) {
+		if target, err = code.Subcode(indices); err != nil {
+			return nil, err
+		}
+	} else {
+		indices = nil
+	}
 	k := len(c.omegas)
 	outputs := make([][]E, k)
 	for i := range outputs {
 		outputs[i] = make([]E, l)
 	}
-	faulty := make(map[int]bool)
-	word := make([]E, rows)
-	for j := 0; j < l; j++ {
+	// Components are independent codewords; decode them concurrently and
+	// merge the per-component faulty sets afterwards in component order.
+	faultyByComponent := make([][]int, l)
+	err = pool.Run(workers, l, func(j int) error {
+		word := make([]E, rows)
 		for i := 0; i < rows; i++ {
 			word[i] = results[i][j]
 		}
-		var res *rs.DecodeResult[E]
-		if indices == nil {
-			res, err = code.Decode(word)
-		} else {
-			res, err = code.DecodeSubset(indices, word)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("lcc: component %d: %w", j, err)
+		res, derr := target.Decode(word)
+		if derr != nil {
+			return fmt.Errorf("lcc: component %d: %w", j, derr)
 		}
 		vals := c.ring.EvalMany(res.Message, c.omegas)
 		for ki := 0; ki < k; ki++ {
 			outputs[ki][j] = vals[ki]
 		}
-		for _, e := range res.ErrorsAt {
+		if len(res.ErrorsAt) > 0 {
+			if indices != nil {
+				mapped := make([]int, len(res.ErrorsAt))
+				for i, e := range res.ErrorsAt {
+					mapped[i] = indices[e]
+				}
+				faultyByComponent[j] = mapped
+			} else {
+				faultyByComponent[j] = res.ErrorsAt
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	faulty := make(map[int]bool)
+	for _, errsAt := range faultyByComponent {
+		for _, e := range errsAt {
 			faulty[e] = true
 		}
 	}
-	out := &DecodeResult[E]{Outputs: outputs, FaultyNodes: sortedKeys(faulty)}
-	return out, nil
+	return &DecodeResult[E]{Outputs: outputs, FaultyNodes: sortedKeys(faulty)}, nil
 }
 
 func sortedKeys(m map[int]bool) []int {

@@ -1,0 +1,208 @@
+package lcc
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"codedsm/internal/field"
+	"codedsm/internal/poly"
+)
+
+// buildRound fabricates one coded execution round: K states and commands,
+// degree-d results at all N nodes, with faults corrupted coordinates.
+func buildRound(t *testing.T, k, n, d, faults int) (*Code[uint64], [][]uint64) {
+	t.Helper()
+	gold := field.NewGoldilocks()
+	ring := poly.NewRing[uint64](gold)
+	code, err := New(ring, k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := make([][]uint64, k)
+	cmds := make([][]uint64, k)
+	for i := 0; i < k; i++ {
+		states[i] = []uint64{uint64(i + 1), uint64(2*i + 1)}
+		cmds[i] = []uint64{uint64(7 * (i + 1)), uint64(i + 3)}
+	}
+	codedStates, err := code.EncodeVectors(states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codedCmds, err := code.EncodeVectors(cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Elementwise degree-d "result": state^d + cmd (componentwise).
+	results := make([][]uint64, n)
+	for i := range results {
+		row := make([]uint64, len(codedStates[i]))
+		for j := range row {
+			v := uint64(1)
+			for e := 0; e < d; e++ {
+				v = gold.Mul(v, codedStates[i][j])
+			}
+			row[j] = gold.Add(v, codedCmds[i][j])
+		}
+		results[i] = row
+	}
+	for i := 0; i < faults; i++ {
+		results[(i*3+1)%n][0]++
+	}
+	return code, results
+}
+
+func TestEncodeVectorsParallelMatchesSequential(t *testing.T) {
+	gold := field.NewGoldilocks()
+	ring := poly.NewRing[uint64](gold)
+	code, err := New(ring, 8, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([][]uint64, 8)
+	for i := range values {
+		values[i] = []uint64{uint64(i + 1), uint64(3 * i), uint64(i * i)}
+	}
+	seq, err := code.EncodeVectors(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 100} {
+		par, err := code.EncodeVectorsParallel(values, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d: parallel encode diverged", workers)
+		}
+	}
+}
+
+func TestDecodeOutputsParallelMatchesSequential(t *testing.T) {
+	const k, n, d = 4, 31, 2
+	faults := SyncMaxFaults(n, k, d)
+	code, results := buildRound(t, k, n, d, faults)
+	seq, err := code.DecodeOutputs(results, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.FaultyNodes) != faults {
+		t.Fatalf("detected %d faulty nodes, injected %d", len(seq.FaultyNodes), faults)
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := code.DecodeOutputsParallel(results, d, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d: parallel decode diverged", workers)
+		}
+	}
+}
+
+func TestDecodeOutputsSubsetParallelMatchesSequential(t *testing.T) {
+	const k, n, d = 3, 24, 1
+	code, results := buildRound(t, k, n, d, 2)
+	// Proper subset: drop the last 4 nodes.
+	indices := make([]int, n-4)
+	sub := make([][]uint64, n-4)
+	for i := range indices {
+		indices[i] = i
+		sub[i] = results[i]
+	}
+	seq, err := code.DecodeOutputsSubset(indices, sub, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := code.DecodeOutputsSubsetParallel(indices, sub, d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("subset parallel decode diverged")
+	}
+	// Full-index "subset" must agree with the plain decode (fast path).
+	full := make([]int, n)
+	for i := range full {
+		full[i] = i
+	}
+	whole, err := code.DecodeOutputs(results, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asSubset, err := code.DecodeOutputsSubsetParallel(full, results, d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(whole, asSubset) {
+		t.Fatal("full-index subset decode diverged from plain decode")
+	}
+	if _, err := code.DecodeOutputsSubsetParallel(nil, results, d, 4); err == nil {
+		t.Fatal("nil indices must fail")
+	}
+}
+
+// TestConcurrentDecodesShareOneCode exercises the codesByDim cache under
+// concurrent decoders — the cluster's nodes decode the same round in
+// parallel against one shared Code (run with -race).
+func TestConcurrentDecodesShareOneCode(t *testing.T) {
+	const k, n, d = 3, 20, 2
+	code, results := buildRound(t, k, n, d, 1)
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Alternate degrees so the cache is hit and populated while
+			// decodes are in flight.
+			if g%2 == 0 {
+				_, errs[g] = code.DecodeOutputs(results, d)
+			} else {
+				_, errs[g] = code.DecodeOutputs(results, d+1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}
+
+func BenchmarkDecodeOutputsParallel(b *testing.B) {
+	const k, n, d = 8, 64, 1
+	gold := field.NewGoldilocks()
+	ring := poly.NewRing[uint64](gold)
+	code, err := New(ring, k, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const l = 16 // wide vectors: 16 component codewords to decode
+	values := make([][]uint64, k)
+	for i := range values {
+		values[i] = make([]uint64, l)
+		for j := range values[i] {
+			values[i][j] = uint64(i*l + j + 1)
+		}
+	}
+	results, err := code.EncodeVectors(values)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < SyncMaxFaults(n, k, 1); i++ {
+		results[(i*3+2)%n][i%l]++
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := code.DecodeOutputsParallel(results, 1, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

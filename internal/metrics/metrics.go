@@ -42,6 +42,10 @@ type Table1Config struct {
 	D      int
 	Rounds int
 	Seed   uint64
+	// Parallelism is the worker count every measured scheme executes with
+	// (csm.Config.Parallelism / replication.Config.Parallelism). Measured
+	// op counts are worker-count-independent; wall-clock is not.
+	Parallelism int
 }
 
 // bankLike returns a degree-d transition factory.
@@ -80,6 +84,7 @@ func Table1(cfg Table1Config) ([]Table1Row, error) {
 	// Full replication.
 	full, err := replication.NewFull(replication.Config[uint64]{
 		BaseField: gold, NewTransition: replFactory(cfg.D), K: k, N: cfg.N, Seed: cfg.Seed,
+		Parallelism: cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -98,6 +103,7 @@ func Table1(cfg Table1Config) ([]Table1Row, error) {
 	// Partial replication.
 	part, err := replication.NewPartial(replication.Config[uint64]{
 		BaseField: gold, NewTransition: replFactory(cfg.D), K: k, N: cfg.N, Seed: cfg.Seed,
+		Parallelism: cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -133,6 +139,7 @@ func Table1(cfg Table1Config) ([]Table1Row, error) {
 		K: k, N: cfg.N, MaxFaults: b,
 		Mode: transport.Sync, Consensus: csm.Oracle,
 		Byzantine: byz, Seed: cfg.Seed,
+		Parallelism: cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err

@@ -97,7 +97,7 @@ func TestTable2OtherShapes(t *testing.T) {
 }
 
 func TestScalingSeries(t *testing.T) {
-	rows, err := Scaling([]int{12, 24}, 1.0/3.0, 1, 2, 3)
+	rows, err := Scaling([]int{12, 24}, 1.0/3.0, 1, 2, 3, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

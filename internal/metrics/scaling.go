@@ -41,7 +41,9 @@ type ScalingRow struct {
 }
 
 // Scaling measures the series for the given network sizes at fraction mu.
-func Scaling(ns []int, mu float64, d int, rounds int, seed uint64) ([]ScalingRow, error) {
+// parallelism is the worker count the measured clusters execute with
+// (csm.Config.Parallelism); op-count metrics are worker-count-independent.
+func Scaling(ns []int, mu float64, d int, rounds int, seed uint64, parallelism int) ([]ScalingRow, error) {
 	out := make([]ScalingRow, 0, len(ns))
 	gold := field.NewGoldilocks()
 	for _, n := range ns {
@@ -59,6 +61,7 @@ func Scaling(ns []int, mu float64, d int, rounds int, seed uint64) ([]ScalingRow
 			K: k, N: n, MaxFaults: b,
 			Mode: transport.Sync, Consensus: csm.Oracle,
 			Byzantine: byz, Seed: seed,
+			Parallelism: parallelism,
 		})
 		if err != nil {
 			return nil, err
@@ -79,6 +82,7 @@ func Scaling(ns []int, mu float64, d int, rounds int, seed uint64) ([]ScalingRow
 			Mode: transport.Sync, Consensus: csm.Oracle,
 			NoEquivocation: true, Delegated: true,
 			Byzantine: byz, Seed: seed,
+			Parallelism: parallelism,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,93 @@
+// Package pool provides the deterministic fork-join worker pool the
+// parallel execution engine is built on. The paper's Theorem 1 claims
+// throughput λ that scales linearly in N; realizing that on real hardware
+// requires fanning the per-node work of a round — coded transition
+// computes, per-dimension encode/decode columns, and the Reed-Solomon
+// error-locator solves — across CPU cores without perturbing the simulated
+// protocol.
+//
+// Determinism contract: Run partitions the index space [0, n) across
+// workers, and callers write each index's result into a caller-owned,
+// index-addressed slot. Because slots are disjoint and every index is
+// processed exactly once, the observable output is bit-identical to the
+// sequential loop regardless of goroutine scheduling. Shared state touched
+// by fn must be either immutable, atomic (e.g. field.Counting's counters,
+// which commute), or mutex-protected.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the default worker count: runtime.GOMAXPROCS(0).
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Clamp normalizes a requested worker count for n independent work items:
+// workers <= 0 selects DefaultWorkers, and the result never exceeds n (a
+// worker with no work is never spawned) nor drops below 1.
+func Clamp(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Run executes fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 selects DefaultWorkers). With one worker — or n < 2 — it
+// degenerates to the plain sequential loop, stopping at the first error.
+//
+// In the parallel regime every index is attempted even if an earlier index
+// fails (workers race ahead), so fn must be safe to run for all indices;
+// the error reported is the one with the lowest index, matching what the
+// sequential loop would have surfaced first.
+func Run(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Clamp(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = n
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						firstErr, errIdx = err, i
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

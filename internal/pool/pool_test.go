@@ -1,0 +1,95 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(4, 100); got != 4 {
+		t.Errorf("Clamp(4, 100) = %d", got)
+	}
+	if got := Clamp(8, 3); got != 3 {
+		t.Errorf("Clamp(8, 3) = %d, want 3", got)
+	}
+	if got := Clamp(0, 100); got != DefaultWorkers() {
+		t.Errorf("Clamp(0, 100) = %d, want DefaultWorkers=%d", got, DefaultWorkers())
+	}
+	if got := Clamp(-1, 100); got != DefaultWorkers() {
+		t.Errorf("Clamp(-1, 100) = %d, want DefaultWorkers=%d", got, DefaultWorkers())
+	}
+	if got := Clamp(5, 0); got != 1 {
+		t.Errorf("Clamp(5, 0) = %d, want 1", got)
+	}
+}
+
+func TestRunCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 1000
+			counts := make([]atomic.Int32, n)
+			out := make([]int, n)
+			err := Run(workers, n, func(i int) error {
+				counts[i].Add(1)
+				out[i] = i * i
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("index %d ran %d times", i, c)
+				}
+				if out[i] != i*i {
+					t.Fatalf("slot %d corrupted: %d", i, out[i])
+				}
+			}
+		})
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if err := Run(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReportsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 8} {
+		err := Run(workers, 100, func(i int) error {
+			switch i {
+			case 13:
+				return errA
+			case 77:
+				return errB
+			}
+			return nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: want lowest-index error %v, got %v", workers, errA, err)
+		}
+	}
+}
+
+func TestRunSequentialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	ran := 0
+	err := Run(1, 10, func(i int) error {
+		ran++
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if ran != 4 {
+		t.Fatalf("sequential path ran %d calls after error, want 4", ran)
+	}
+}

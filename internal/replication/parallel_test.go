@@ -1,0 +1,71 @@
+package replication
+
+import (
+	"fmt"
+	"testing"
+
+	"codedsm/internal/field"
+	"codedsm/internal/sm"
+)
+
+// TestParallelReplicationBitIdentical runs both baselines with 1 and 8
+// workers and requires identical outputs, correctness, and op counts.
+func TestParallelReplicationBitIdentical(t *testing.T) {
+	gold := field.NewGoldilocks()
+	factory := func(f field.Field[uint64]) (*sm.Transition[uint64], error) { return sm.NewBank(f) }
+	cfg := Config[uint64]{
+		BaseField: gold, NewTransition: factory,
+		K: 4, N: 12, Seed: 9,
+		Byzantine: map[int]Behavior{1: Colluding, 5: Crash, 7: Colluding},
+	}
+	cmds := make([][]uint64, cfg.K)
+	for k := range cmds {
+		cmds[k] = []uint64{uint64(3*k + 1)}
+	}
+	type scheme struct {
+		name string
+		run  func(c Config[uint64]) (*RoundResult[uint64], field.OpCounts, error)
+	}
+	schemes := []scheme{
+		{"full", func(c Config[uint64]) (*RoundResult[uint64], field.OpCounts, error) {
+			cl, err := NewFull(c)
+			if err != nil {
+				return nil, field.OpCounts{}, err
+			}
+			res, err := cl.ExecuteRound(cmds)
+			return res, cl.OpCounts(), err
+		}},
+		{"partial", func(c Config[uint64]) (*RoundResult[uint64], field.OpCounts, error) {
+			cl, err := NewPartial(c)
+			if err != nil {
+				return nil, field.OpCounts{}, err
+			}
+			res, err := cl.ExecuteRound(cmds)
+			return res, cl.OpCounts(), err
+		}},
+	}
+	for _, s := range schemes {
+		t.Run(s.name, func(t *testing.T) {
+			seqCfg, parCfg := cfg, cfg
+			seqCfg.Parallelism = 1
+			parCfg.Parallelism = 8
+			seqRes, seqOps, err := s.run(seqCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parRes, parOps, err := s.run(parCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seqRes.Correct != parRes.Correct {
+				t.Fatalf("correctness diverged: %v vs %v", seqRes.Correct, parRes.Correct)
+			}
+			if fmt.Sprint(seqRes.Outputs) != fmt.Sprint(parRes.Outputs) {
+				t.Fatalf("outputs diverged:\nsequential: %v\nparallel:   %v", seqRes.Outputs, parRes.Outputs)
+			}
+			if seqOps != parOps {
+				t.Fatalf("op counts diverged: %+v vs %+v", seqOps, parOps)
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 
 	"codedsm/internal/field"
+	"codedsm/internal/pool"
 	"codedsm/internal/sm"
 )
 
@@ -95,6 +96,24 @@ func (c *PartialCluster[E]) ExecuteRound(cmds [][]E) (*RoundResult[E], error) {
 		return nil, err
 	}
 	lies := lieVectors(c.cfg.BaseField, c.rng, c.cfg.K, len(oracleOut[0]))
+	// Compute phase (parallel): each honest node steps its group's machine;
+	// vote casting stays in node order for determinism.
+	nodeOuts := make([][]E, c.cfg.N)
+	err = pool.Run(c.cfg.Parallelism, c.cfg.N, func(i int) error {
+		switch c.cfg.Byzantine[i] {
+		case Crash, Colluding:
+			return nil
+		}
+		out, serr := c.replicas[i].Step(cmds[c.group[i]])
+		if serr != nil {
+			return serr
+		}
+		nodeOuts[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	votes := make([]map[string]*vote[E], c.cfg.K)
 	for k := range votes {
 		votes[k] = make(map[string]*vote[E])
@@ -107,11 +126,7 @@ func (c *PartialCluster[E]) ExecuteRound(cmds [][]E) (*RoundResult[E], error) {
 		case Colluding:
 			castVote(c.cfg.BaseField, votes[k], lies[k])
 		default:
-			out, err := c.replicas[i].Step(cmds[k])
-			if err != nil {
-				return nil, err
-			}
-			castVote(c.cfg.BaseField, votes[k], out)
+			castVote(c.cfg.BaseField, votes[k], nodeOuts[i])
 		}
 	}
 	return tally(c.cfg.BaseField, votes, oracleOut, c.q/2+1), nil

@@ -17,6 +17,7 @@ import (
 	"math/rand/v2"
 
 	"codedsm/internal/field"
+	"codedsm/internal/pool"
 	"codedsm/internal/sm"
 	"codedsm/internal/transport"
 )
@@ -53,6 +54,12 @@ type Config[E comparable] struct {
 	InitialStates [][]E
 	// Seed drives the adversary's lies.
 	Seed uint64
+	// Parallelism fans the honest replicas' machine steps across worker
+	// goroutines, mirroring csm.Config.Parallelism so Table 1 compares
+	// schemes like-for-like at any worker count. Rounds are bit-identical
+	// for any value. 1 runs sequentially; <= 0 selects
+	// runtime.GOMAXPROCS(0).
+	Parallelism int
 }
 
 // RoundResult reports one replication round.
@@ -121,6 +128,8 @@ func (c *FullCluster[E]) OracleStates() [][]E { return states(c.oracle) }
 
 // ExecuteRound runs one command per machine at every node and simulates
 // client acceptance with the b+1 matching-responses rule, b = Security().
+// Honest replicas step in parallel on cfg.Parallelism workers; vote
+// casting stays in node order so rounds are deterministic.
 func (c *FullCluster[E]) ExecuteRound(cmds [][]E) (*RoundResult[E], error) {
 	if len(cmds) != c.cfg.K {
 		return nil, fmt.Errorf("replication: %d commands for K=%d", len(cmds), c.cfg.K)
@@ -131,6 +140,23 @@ func (c *FullCluster[E]) ExecuteRound(cmds [][]E) (*RoundResult[E], error) {
 	}
 	// One colluding lie per machine per round.
 	lies := lieVectors(c.cfg.BaseField, c.rng, c.cfg.K, len(oracleOut[0]))
+	// Compute phase (parallel): honest nodes step all K replicas.
+	nodeOuts := make([][][]E, c.cfg.N)
+	err = pool.Run(c.cfg.Parallelism, c.cfg.N, func(i int) error {
+		switch c.cfg.Byzantine[i] {
+		case Crash, Colluding:
+			return nil
+		}
+		outs, serr := step(c.replicas[i], cmds)
+		if serr != nil {
+			return serr
+		}
+		nodeOuts[i] = outs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	votes := make([]map[string]*vote[E], c.cfg.K)
 	for k := range votes {
 		votes[k] = make(map[string]*vote[E])
@@ -144,12 +170,8 @@ func (c *FullCluster[E]) ExecuteRound(cmds [][]E) (*RoundResult[E], error) {
 				castVote(c.cfg.BaseField, votes[k], lies[k])
 			}
 		default:
-			outs, err := step(c.replicas[i], cmds)
-			if err != nil {
-				return nil, err
-			}
 			for k := 0; k < c.cfg.K; k++ {
-				castVote(c.cfg.BaseField, votes[k], outs[k])
+				castVote(c.cfg.BaseField, votes[k], nodeOuts[i][k])
 			}
 		}
 	}

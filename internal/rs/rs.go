@@ -19,6 +19,7 @@ import (
 
 	"codedsm/internal/field"
 	"codedsm/internal/poly"
+	"codedsm/internal/pool"
 )
 
 // ErrTooManyErrors is returned when the received word is not within the
@@ -162,6 +163,32 @@ func (c *Code[E]) finish(msg poly.Poly[E], received []E) (*DecodeResult[E], erro
 		return nil, fmt.Errorf("rs: %w (%d errors, radius %d)", ErrTooManyErrors, len(errorsAt), c.MaxErrors())
 	}
 	return &DecodeResult[E]{Message: msg, ErrorsAt: errorsAt, Corrected: corrected}, nil
+}
+
+// DecodeMany decodes len(words) received words against the same code,
+// fanning the independent Gao decodes — each an extended-Euclidean
+// error-locator solve — across at most workers goroutines (workers <= 0
+// selects runtime.GOMAXPROCS). Results are index-aligned with words and
+// identical to decoding each word sequentially; the error reported is the
+// lowest-index failure, wrapped with its word index.
+//
+// A Code is immutable after construction, so concurrent decodes against it
+// are safe; an execution round's L vector components are exactly such a
+// batch (Section 5.2).
+func (c *Code[E]) DecodeMany(words [][]E, workers int) ([]*DecodeResult[E], error) {
+	out := make([]*DecodeResult[E], len(words))
+	err := pool.Run(workers, len(words), func(j int) error {
+		res, err := c.Decode(words[j])
+		if err != nil {
+			return fmt.Errorf("rs: word %d: %w", j, err)
+		}
+		out[j] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Subcode returns the code restricted to the points selected by indices —
