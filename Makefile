@@ -1,7 +1,13 @@
 # Single source of truth for the commands CI and humans run.
 GO ?= go
 
-.PHONY: all build test race bench fmt fmt-check vet ci
+# Benchmarks recorded by bench-json: the cluster rounds the acceptance
+# criteria track plus the kernel-level micro-benchmarks.
+BENCH_JSON_PATTERN = BenchmarkClusterRoundParallel|BenchmarkLCCEncode|BenchmarkLCCDecode|BenchmarkFieldKernels
+# Optional: BASELINE=<old bench text> embeds a before/after comparison.
+BASELINE ?=
+
+.PHONY: all build test race bench bench-json bench-micro fmt fmt-check vet ci
 
 all: build test
 
@@ -18,6 +24,20 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
+# Kernel micro-benchmark smoke run (encode/decode and field kernels).
+bench-micro:
+	$(GO) test -bench='BenchmarkLCCEncode|BenchmarkLCCDecode' -benchtime=1x -run='^$$' ./internal/lcc/
+	$(GO) test -bench='BenchmarkFieldKernels' -benchtime=1x -run='^$$' ./internal/field/
+
+# Machine-readable benchmark baseline: runs the tracked benchmarks and
+# writes BENCH_PR2.json (name, ns/op, B/op, allocs/op). Set BASELINE to a
+# previous raw `go test -bench` text file to embed a before/after section.
+bench-json:
+	$(GO) test -bench='$(BENCH_JSON_PATTERN)' -benchmem -benchtime=3x -run='^$$' . ./internal/lcc/ ./internal/field/ > bench-current.txt
+	$(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) -note "cluster rounds + coding kernels, benchtime=3x" < bench-current.txt > BENCH_PR2.json
+	@rm -f bench-current.txt
+	@echo wrote BENCH_PR2.json
+
 fmt:
 	gofmt -w .
 
@@ -28,4 +48,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build race bench
+ci: fmt-check vet build race bench bench-micro

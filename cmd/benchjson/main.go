@@ -1,0 +1,112 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON baseline (name, ns/op, B/op, allocs/op), the format
+// committed as BENCH_PR2.json to track the performance trajectory across
+// PRs. An optional -baseline flag merges a previous benchmark text file as
+// the "baseline" section, so a single artifact carries before/after.
+//
+// Usage:
+//
+//	go test -bench ... -benchmem | benchjson [-baseline old-bench.txt] > BENCH_PR2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iterations"`
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  float64 `json:"bytes_op,omitempty"`
+	AllocsOp float64 `json:"allocs_op,omitempty"`
+}
+
+// File is the committed artifact layout.
+type File struct {
+	Note      string   `json:"note,omitempty"`
+	Baseline  []Result `json:"baseline,omitempty"`
+	Current   []Result `json:"current"`
+	Generator string   `json:"generator"`
+}
+
+func parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: fields[0], Iters: iters}
+		// Remaining fields come in (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsOp = v
+			case "B/op":
+				res.BytesOp = v
+			case "allocs/op":
+				res.AllocsOp = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "previous `go test -bench` text output to embed as the baseline section")
+	note := flag.String("note", "", "free-form provenance note")
+	flag.Parse()
+
+	current, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	out := File{Note: *note, Current: current, Generator: "make bench-json (cmd/benchjson)"}
+	if *baselinePath != "" {
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		out.Baseline, err = parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	const in = `goos: linux
+goarch: amd64
+pkg: codedsm
+BenchmarkClusterRoundParallel/N=64/K=22/workers=1-8         	       2	 517773358 ns/op	29644680 B/op	  562340 allocs/op
+BenchmarkLCCEncode/K=4/N=12/L=2-8   	      10	       830 ns/op	     608 B/op	       4 allocs/op
+BenchmarkNoMem-8	 1000	 123.5 ns/op
+PASS
+`
+	got, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(got), got)
+	}
+	first := got[0]
+	if first.Name != "BenchmarkClusterRoundParallel/N=64/K=22/workers=1-8" ||
+		first.Iters != 2 || first.NsOp != 517773358 || first.BytesOp != 29644680 || first.AllocsOp != 562340 {
+		t.Fatalf("first result mismatch: %+v", first)
+	}
+	if got[2].NsOp != 123.5 || got[2].AllocsOp != 0 {
+		t.Fatalf("no-benchmem line mismatch: %+v", got[2])
+	}
+}

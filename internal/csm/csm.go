@@ -21,6 +21,7 @@ package csm
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -153,6 +154,7 @@ type Config[E comparable] struct {
 type Cluster[E comparable] struct {
 	cfg      Config[E]
 	counting *field.Counting[E]
+	bulk     field.Bulk[E] // counted bulk kernels: one capability check at build
 	ring     *poly.Ring[E]
 	code     *lcc.Code[E]
 	tr       *sm.Transition[E] // over the counting field
@@ -241,6 +243,7 @@ func New[E comparable](cfg Config[E]) (*Cluster[E], error) {
 	c := &Cluster[E]{
 		cfg:      cfg,
 		counting: counting,
+		bulk:     ring.Bulk(),
 		ring:     ring,
 		code:     code,
 		tr:       tr,
@@ -325,10 +328,43 @@ type batchMsg struct {
 	Cmds  [][]uint64
 }
 
-// resultMsg is an execution-phase result broadcast.
-type resultMsg struct {
-	Round  int
-	Result []uint64
+// Execution-phase result broadcasts use a fixed binary layout instead of
+// gob: every node receives N-1 of them per round, and gob's reflective
+// decoder dominated the steady-state allocation profile. Layout (all
+// little-endian uint64): round, element count, then the canonical field
+// representation of each element.
+const resultHdrLen = 16
+
+// encodeResultPayload serializes a round's result vector.
+func (c *Cluster[E]) encodeResultPayload(round int, result []E) []byte {
+	buf := make([]byte, resultHdrLen+8*len(result))
+	binary.LittleEndian.PutUint64(buf[0:], uint64(round))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(len(result)))
+	for i, e := range result {
+		binary.LittleEndian.PutUint64(buf[resultHdrLen+8*i:], c.cfg.BaseField.Uint64(e))
+	}
+	return buf
+}
+
+// decodeResultPayload parses a result broadcast, converting the wire values
+// straight into field elements. ok is false for malformed payloads (which
+// collect ignores, like any other garbage message).
+func (c *Cluster[E]) decodeResultPayload(data []byte) (round int, result []E, ok bool) {
+	if len(data) < resultHdrLen {
+		return 0, nil, false
+	}
+	count := binary.LittleEndian.Uint64(data[8:])
+	body := len(data) - resultHdrLen
+	// Compare counts, not count*8: a huge attacker-chosen count must not
+	// overflow past the length check into make().
+	if body%8 != 0 || count != uint64(body/8) {
+		return 0, nil, false
+	}
+	result = make([]E, count)
+	for i := range result {
+		result[i] = c.cfg.BaseField.FromUint64(binary.LittleEndian.Uint64(data[resultHdrLen+8*i:]))
+	}
+	return int(binary.LittleEndian.Uint64(data)), result, true
 }
 
 func encodePayload(v any) ([]byte, error) {

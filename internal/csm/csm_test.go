@@ -1,6 +1,7 @@
 package csm
 
 import (
+	"encoding/binary"
 	"errors"
 	"testing"
 
@@ -379,5 +380,32 @@ func TestErrRoundStuck(t *testing.T) {
 	}
 	if !errors.Is(err, ErrRoundStuck) {
 		t.Fatalf("want ErrRoundStuck, got %v", err)
+	}
+}
+
+func TestResultPayloadCodec(t *testing.T) {
+	c := newCluster(t, baseConfig(2, 9, 2))
+	vec := []uint64{5, 0, field.GoldilocksModulus - 1}
+	payload := c.encodeResultPayload(7, vec)
+	round, got, ok := c.decodeResultPayload(payload)
+	if !ok || round != 7 || !field.VecEqual[uint64](field.NewGoldilocks(), got, vec) {
+		t.Fatalf("roundtrip failed: ok=%v round=%d got=%v", ok, round, got)
+	}
+	// Malformed payloads must be rejected, never panic: short, truncated,
+	// trailing garbage, and a huge count whose *8 would overflow the int
+	// length comparison.
+	bad := [][]byte{
+		nil,
+		payload[:8],
+		payload[:len(payload)-3],
+		append(append([]byte(nil), payload...), 1, 2, 3),
+	}
+	huge := make([]byte, 16)
+	binary.LittleEndian.PutUint64(huge[8:], 1<<61)
+	bad = append(bad, huge)
+	for i, p := range bad {
+		if _, _, ok := c.decodeResultPayload(p); ok {
+			t.Errorf("malformed payload %d accepted", i)
+		}
 	}
 }

@@ -1,9 +1,11 @@
 package csm
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"codedsm/internal/field"
+	"codedsm/internal/ints"
 	"codedsm/internal/transport"
 )
 
@@ -87,6 +89,7 @@ func (c *Cluster[E]) clientPhase(oracleOutputs [][]E) *RoundResult[E] {
 		Correct: true,
 	}
 	faulty := make(map[int]bool)
+	var keyBuf []byte
 	for k := 0; k < c.cfg.K; k++ {
 		counts := make(map[string]int)
 		values := make(map[string][]E)
@@ -100,7 +103,13 @@ func (c *Cluster[E]) clientPhase(oracleOutputs [][]E) *RoundResult[E] {
 			default:
 				continue
 			}
-			key := fmt.Sprint(c.toWire(reply))
+			// Tally replies by their canonical wire bytes; formatting the
+			// vector through fmt was a per-node-per-machine allocation storm.
+			keyBuf = keyBuf[:0]
+			for _, e := range reply {
+				keyBuf = binary.LittleEndian.AppendUint64(keyBuf, f.Uint64(e))
+			}
+			key := string(keyBuf)
 			counts[key]++
 			values[key] = reply
 		}
@@ -130,21 +139,8 @@ func (c *Cluster[E]) clientPhase(oracleOutputs [][]E) *RoundResult[E] {
 			}
 		}
 	}
-	res.FaultyDetected = sortedInts(faulty)
+	res.FaultyDetected = ints.SortedKeys(faulty)
 	return res
-}
-
-func sortedInts(m map[int]bool) []int {
-	out := make([]int, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
 }
 
 // Run executes a whole workload: rounds[r][k] is machine k's command vector

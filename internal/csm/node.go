@@ -2,7 +2,7 @@ package csm
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"codedsm/internal/field"
 	"codedsm/internal/transport"
@@ -23,6 +23,15 @@ type node[E comparable] struct {
 	received map[int][]E // sender -> result vector
 	decoded  *nodeDecode[E]
 
+	// Round-to-round scratch: steady-state rounds reuse these instead of
+	// allocating. cmdScratch holds the node's coded commands, stateScratch
+	// double-buffers the re-encoded coded state (it swaps with codedState
+	// each round), and idxScratch/resScratch stage the decode inputs.
+	cmdScratch   []E
+	stateScratch []E
+	idxScratch   []int
+	resScratch   [][]E
+
 	// delegated-mode state (Section 6.2)
 	dlgCoded [][]E        // worker only: the coded commands it produced
 	dlgProof *dlgProofMsg // the proof this node holds for the round
@@ -35,21 +44,33 @@ type nodeDecode[E comparable] struct {
 	faulty     []int
 }
 
+// lagrangeEncodeInto accumulates the node's Lagrange encode Σ_k c_ik
+// vecs[k] into dst — allocated at the given length when nil — on the
+// counted bulk kernels (K ScaleAccVec calls). It returns dst.
+func (n *node[E]) lagrangeEncodeInto(dst []E, length int, vecs [][]E) []E {
+	c := n.cluster
+	if dst == nil {
+		dst = make([]E, length)
+	}
+	zero := c.counting.Zero()
+	for j := range dst {
+		dst[j] = zero
+	}
+	row := c.code.Coeffs()[n.id]
+	for k := range vecs {
+		c.bulk.ScaleAccVec(dst, row[k], vecs[k])
+	}
+	return dst
+}
+
 // computeResult runs the coded execution step: encode the commands with the
-// node's Lagrange coefficients and apply f on coded state and command.
+// node's Lagrange coefficients and apply f on coded state and command. The
+// encode lands in the node's reusable command scratch — Apply copies its
+// inputs, so the scratch never escapes the round.
 func (n *node[E]) computeResult(cmds [][]E) ([]E, error) {
 	c := n.cluster
-	f := c.counting // all coding arithmetic is counted
-	cmdLen := c.tr.CmdLen()
-	coded := make([]E, cmdLen)
-	for j := 0; j < cmdLen; j++ {
-		acc := f.Zero()
-		for k := 0; k < c.cfg.K; k++ {
-			acc = f.Add(acc, f.Mul(c.code.Coeffs()[n.id][k], cmds[k][j]))
-		}
-		coded[j] = acc
-	}
-	return c.tr.ApplyResult(n.codedState, coded)
+	n.cmdScratch = n.lagrangeEncodeInto(n.cmdScratch, c.tr.CmdLen(), cmds)
+	return c.tr.ApplyResult(n.codedState, n.cmdScratch)
 }
 
 // broadcastResult sends the node's (possibly corrupted) result.
@@ -60,12 +81,8 @@ func (n *node[E]) broadcastResult(result []E) error {
 		return nil
 	case WrongResult, BadLeader:
 		bad := field.RandVec(c.cfg.BaseField, c.rng, len(result))
-		payload, err := encodePayload(resultMsg{Round: c.round, Result: c.toWire(bad)})
-		if err != nil {
-			return err
-		}
 		n.received[n.id] = bad // a liar is at least self-consistent
-		return n.ep.Broadcast(resultKind, payload)
+		return n.ep.Broadcast(resultKind, c.encodeResultPayload(c.round, bad))
 	case Equivocate:
 		// A different wrong value to every peer. On a no-equivocation
 		// (broadcast) network the transport coerces these to the first.
@@ -74,23 +91,15 @@ func (n *node[E]) broadcastResult(result []E) error {
 				continue
 			}
 			bad := field.RandVec(c.cfg.BaseField, c.rng, len(result))
-			payload, err := encodePayload(resultMsg{Round: c.round, Result: c.toWire(bad)})
-			if err != nil {
-				return err
-			}
-			if err := n.ep.Send(transport.NodeID(to), resultKind, payload); err != nil {
+			if err := n.ep.Send(transport.NodeID(to), resultKind, c.encodeResultPayload(c.round, bad)); err != nil {
 				return err
 			}
 		}
 		n.received[n.id] = result
 		return nil
 	default:
-		payload, err := encodePayload(resultMsg{Round: c.round, Result: c.toWire(result)})
-		if err != nil {
-			return err
-		}
 		n.received[n.id] = result
-		return n.ep.Broadcast(resultKind, payload)
+		return n.ep.Broadcast(resultKind, c.encodeResultPayload(c.round, result))
 	}
 }
 
@@ -101,14 +110,11 @@ func (n *node[E]) collect(msgs []transport.Message) {
 		if m.Kind != resultKind {
 			continue
 		}
-		var rm resultMsg
-		if err := decodePayload(m.Payload, &rm); err != nil {
+		round, result, ok := c.decodeResultPayload(m.Payload)
+		if !ok || round != c.round || len(result) != c.tr.ResultLen() {
 			continue
 		}
-		if rm.Round != c.round || len(rm.Result) != c.tr.ResultLen() {
-			continue
-		}
-		n.received[int(m.From)] = c.fromWire(rm.Result)
+		n.received[int(m.From)] = result
 	}
 }
 
@@ -125,15 +131,17 @@ func (n *node[E]) tryDecode(force bool) (bool, error) {
 		// Wait for more stragglers unless the deadline passed.
 		return false, nil
 	}
-	indices := make([]int, 0, len(n.received))
+	indices := n.idxScratch[:0]
 	for idx := range n.received {
 		indices = append(indices, idx)
 	}
-	sort.Ints(indices)
-	results := make([][]E, len(indices))
-	for i, idx := range indices {
-		results[i] = n.received[idx]
+	slices.Sort(indices)
+	n.idxScratch = indices
+	results := n.resScratch[:0]
+	for _, idx := range indices {
+		results = append(results, n.received[idx])
 	}
+	n.resScratch = results
 	dec, err := c.code.DecodeOutputsSubset(indices, results, c.tr.Degree())
 	if err != nil {
 		return false, fmt.Errorf("csm: node %d decode: %w", n.id, err)
@@ -149,17 +157,12 @@ func (n *node[E]) tryDecode(force bool) (bool, error) {
 		outputs[k] = out
 	}
 	n.decoded = &nodeDecode[E]{outputs: outputs, nextStates: nextStates, faulty: dec.FaultyNodes}
-	// Update the coded state: S̃_i(t+1) = Σ_k c_ik Ŝ_k(t+1).
-	f := c.counting
-	stateLen := c.tr.StateLen()
-	newCoded := make([]E, stateLen)
-	for j := 0; j < stateLen; j++ {
-		acc := f.Zero()
-		for k := 0; k < c.cfg.K; k++ {
-			acc = f.Add(acc, f.Mul(c.code.Coeffs()[n.id][k], nextStates[k][j]))
-		}
-		newCoded[j] = acc
-	}
+	// Update the coded state: S̃_i(t+1) = Σ_k c_ik Ŝ_k(t+1), re-encoded into
+	// the state double-buffer (the outgoing coded state becomes next round's
+	// buffer; nothing else retains it — external readers go through
+	// NodeCodedState, which copies).
+	newCoded := n.lagrangeEncodeInto(n.stateScratch, c.tr.StateLen(), nextStates)
+	n.stateScratch = n.codedState
 	n.codedState = newCoded
 	return true, nil
 }

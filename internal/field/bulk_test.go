@@ -1,0 +1,235 @@
+package field
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+)
+
+// scalarOnly hides any Bulk implementation of the wrapped field, forcing
+// AsBulk onto the generic adapter.
+type scalarOnly[E comparable] struct{ Field[E] }
+
+// refKernels applies every kernel the slow, obviously-correct way through
+// the scalar Field interface.
+type refKernels[E comparable] struct{ f Field[E] }
+
+func (r refKernels[E]) addVec(a, b []E) []E {
+	out := make([]E, len(a))
+	for i := range a {
+		out[i] = r.f.Add(a[i], b[i])
+	}
+	return out
+}
+
+func (r refKernels[E]) subVec(a, b []E) []E {
+	out := make([]E, len(a))
+	for i := range a {
+		out[i] = r.f.Sub(a[i], b[i])
+	}
+	return out
+}
+
+func (r refKernels[E]) mulVec(a, b []E) []E {
+	out := make([]E, len(a))
+	for i := range a {
+		out[i] = r.f.Mul(a[i], b[i])
+	}
+	return out
+}
+
+func bulkFieldsUnderTest(t *testing.T) map[string]Bulk[uint64] {
+	t.Helper()
+	gold := NewGoldilocks()
+	gf8, err := NewGF2m(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf3, err := NewGF2m(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Bulk[uint64]{
+		"goldilocks":          gold,
+		"gf2m8":               gf8,
+		"gf2m3":               gf3,
+		"counting/goldilocks": AsBulk[uint64](NewCounting[uint64](gold)),
+		"counting/gf2m8":      AsBulk[uint64](NewCounting[uint64](gf8)),
+		"generic/goldilocks":  AsBulk[uint64](scalarOnly[uint64]{gold}),
+		"generic/gf2m8":       AsBulk[uint64](scalarOnly[uint64]{gf8}),
+	}
+}
+
+// TestBulkKernelsMatchScalar proves every kernel is bit-identical to the
+// per-element scalar loops, for native, counting, and generic-adapter
+// resolutions, including the dst-aliases-input cases the hot paths rely on.
+func TestBulkKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 43))
+	for name, bf := range bulkFieldsUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			ref := refKernels[uint64]{bf}
+			for _, n := range []int{0, 1, 2, 3, 17, 64} {
+				a := RandVec[uint64](bf, rng, n)
+				b := RandVec[uint64](bf, rng, n)
+				c := bf.Rand(rng)
+				check := func(kernel string, got, want []uint64) {
+					t.Helper()
+					if !VecEqual[uint64](bf, got, want) {
+						t.Fatalf("n=%d %s: got %v want %v", n, kernel, got, want)
+					}
+				}
+				dst := make([]uint64, n)
+
+				bf.AddVec(dst, a, b)
+				check("AddVec", dst, ref.addVec(a, b))
+				bf.SubVec(dst, a, b)
+				check("SubVec", dst, ref.subVec(a, b))
+				bf.MulVec(dst, a, b)
+				check("MulVec", dst, ref.mulVec(a, b))
+
+				bf.ScaleVec(dst, c, a)
+				check("ScaleVec", dst, ref.mulVec(repeat(c, n), a))
+				bf.ScaleVec(dst, 0, a)
+				check("ScaleVec(0)", dst, make([]uint64, n))
+
+				acc := append([]uint64(nil), b...)
+				bf.ScaleAccVec(acc, c, a)
+				check("ScaleAccVec", acc, ref.addVec(b, ref.mulVec(repeat(c, n), a)))
+
+				acc = append([]uint64(nil), b...)
+				bf.SubScaleVec(acc, c, a)
+				check("SubScaleVec", acc, ref.subVec(b, ref.mulVec(repeat(c, n), a)))
+
+				wantDot := bf.Zero()
+				for i := range a {
+					wantDot = bf.Add(wantDot, bf.Mul(a[i], b[i]))
+				}
+				if got := bf.DotVec(a, b); got != wantDot {
+					t.Fatalf("n=%d DotVec: got %v want %v", n, got, wantDot)
+				}
+
+				bf.SubScalarVec(dst, a, c)
+				check("SubScalarVec", dst, ref.subVec(a, repeat(c, n)))
+				bf.ScalarSubVec(dst, c, a)
+				check("ScalarSubVec", dst, ref.subVec(repeat(c, n), a))
+
+				acc = append([]uint64(nil), b...)
+				bf.HornerVec(acc, a, c)
+				check("HornerVec", acc, ref.addVec(ref.mulVec(b, a), repeat(c, n)))
+
+				// Aliasing: dst == a must behave as if computed out of place.
+				alias := append([]uint64(nil), a...)
+				bf.MulVec(alias, alias, b)
+				check("MulVec(aliased)", alias, ref.mulVec(a, b))
+				alias = append([]uint64(nil), a...)
+				bf.ScaleVec(alias, c, alias)
+				check("ScaleVec(aliased)", alias, ref.mulVec(repeat(c, n), a))
+			}
+		})
+	}
+}
+
+func repeat(c uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}
+
+// TestBatchInvIntoMatchesBatchInv covers success, aliasing, and the
+// error path (zero element) for every bulk resolution.
+func TestBatchInvIntoMatchesBatchInv(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for name, bf := range bulkFieldsUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []int{0, 1, 5, 33} {
+				xs := make([]uint64, n)
+				for i := range xs {
+					for xs[i] == 0 {
+						xs[i] = bf.Rand(rng)
+					}
+				}
+				want := make([]uint64, n)
+				for i, x := range xs {
+					inv, err := bf.Inv(x)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want[i] = inv
+				}
+				dst := make([]uint64, n)
+				if err := bf.BatchInvInto(dst, xs); err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+				if !VecEqual[uint64](bf, dst, want) {
+					t.Fatalf("n=%d: BatchInvInto %v want %v", n, dst, want)
+				}
+				if n > 0 {
+					withZero := append([]uint64(nil), xs...)
+					withZero[n/2] = 0
+					if err := bf.BatchInvInto(dst, withZero); !errors.Is(err, ErrDivisionByZero) {
+						t.Fatalf("n=%d: zero input: got %v", n, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCountingBulkTotalsMatchScalar pins the core accounting invariant: a
+// kernel call on a Counting field charges exactly the operations the
+// replaced scalar loop would have, so the paper's throughput metric is
+// unchanged by the devirtualized path.
+func TestCountingBulkTotalsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	gold := NewGoldilocks()
+	n := 37
+	a := RandVec[uint64](gold, rng, n)
+	b := RandVec[uint64](gold, rng, n)
+	c := gold.Rand(rng)
+	for i := range a {
+		for a[i] == 0 {
+			a[i] = gold.Rand(rng)
+		}
+	}
+
+	scalar := NewCounting[uint64](gold)
+	scalarBulk := AsBulk[uint64](scalarOnly[uint64]{Field[uint64](scalar)})
+	bulk := AsBulk[uint64](NewCounting[uint64](gold))
+	if _, isCounting := bulk.(*Counting[uint64]); !isCounting {
+		t.Fatal("Counting must resolve to its own bulk implementation")
+	}
+
+	dst := make([]uint64, n)
+	run := func(k Bulk[uint64]) {
+		k.AddVec(dst, a, b)
+		k.SubVec(dst, a, b)
+		k.MulVec(dst, a, b)
+		k.ScaleVec(dst, c, a)
+		k.ScaleAccVec(dst, c, a)
+		k.SubScaleVec(dst, c, a)
+		k.DotVec(a, b)
+		k.SubScalarVec(dst, a, c)
+		k.ScalarSubVec(dst, c, a)
+		k.HornerVec(dst, a, c)
+		if err := k.BatchInvInto(dst, a); err != nil {
+			t.Fatal(err)
+		}
+		withZero := append([]uint64(nil), a...)
+		withZero[n/2] = 0
+		if err := k.BatchInvInto(dst, withZero); !errors.Is(err, ErrDivisionByZero) {
+			t.Fatalf("zero input: got %v", err)
+		}
+	}
+	run(scalarBulk) // generic adapter over the counting field: per-element calls
+	run(bulk)       // counting bulk kernels: one charge per vector
+	want := scalar.Counts()
+	got := bulk.(*Counting[uint64]).Counts()
+	if want == (OpCounts{}) {
+		t.Fatal("scalar reference counted nothing")
+	}
+	if got != want {
+		t.Fatalf("bulk counting totals %+v, scalar totals %+v", got, want)
+	}
+}

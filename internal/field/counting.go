@@ -37,16 +37,22 @@ func (c OpCounts) Sub(o OpCounts) OpCounts {
 
 // Counting wraps a Field and counts every arithmetic operation. It is safe
 // for concurrent use. Construct with NewCounting.
+//
+// Counting also implements Bulk: each kernel charges the counters once for
+// the whole vector (the exact totals the per-element scalar calls would
+// have accumulated — atomic counters commute) and then runs the wrapped
+// field's kernel, so measured clusters keep the devirtualized hot path.
 type Counting[E comparable] struct {
-	inner Field[E]
-	adds  atomic.Uint64
-	muls  atomic.Uint64
-	invs  atomic.Uint64
+	inner     Field[E]
+	innerBulk Bulk[E]
+	adds      atomic.Uint64
+	muls      atomic.Uint64
+	invs      atomic.Uint64
 }
 
 // NewCounting returns a counting decorator around f.
 func NewCounting[E comparable](f Field[E]) *Counting[E] {
-	return &Counting[E]{inner: f}
+	return &Counting[E]{inner: f, innerBulk: AsBulk(f)}
 }
 
 var _ Field[uint64] = (*Counting[uint64])(nil)

@@ -93,28 +93,15 @@ func Exp[E comparable](f Field[E], base E, e uint64) E {
 // BatchInv inverts every element of xs using Montgomery's trick: one field
 // inversion plus 3(n-1) multiplications. It returns ErrDivisionByZero if any
 // element is zero (identifying the first offending index in the error).
+// Allocation-sensitive callers should resolve AsBulk once and use
+// Bulk.BatchInvInto directly.
 func BatchInv[E comparable](f Field[E], xs []E) ([]E, error) {
-	n := len(xs)
-	if n == 0 {
+	if len(xs) == 0 {
 		return nil, nil
 	}
-	prefix := make([]E, n)
-	acc := f.One()
-	for i, x := range xs {
-		if f.IsZero(x) {
-			return nil, fmt.Errorf("field: batch inverse of zero at index %d: %w", i, ErrDivisionByZero)
-		}
-		prefix[i] = acc
-		acc = f.Mul(acc, x)
-	}
-	inv, err := f.Inv(acc)
-	if err != nil {
+	out := make([]E, len(xs))
+	if err := AsBulk(f).BatchInvInto(out, xs); err != nil {
 		return nil, err
-	}
-	out := make([]E, n)
-	for i := n - 1; i >= 0; i-- {
-		out[i] = f.Mul(inv, prefix[i])
-		inv = f.Mul(inv, xs[i])
 	}
 	return out, nil
 }
@@ -125,11 +112,7 @@ func Dot[E comparable](f Field[E], a, b []E) (E, error) {
 		var zero E
 		return zero, fmt.Errorf("field: dot product length mismatch %d != %d", len(a), len(b))
 	}
-	acc := f.Zero()
-	for i := range a {
-		acc = f.Add(acc, f.Mul(a[i], b[i]))
-	}
-	return acc, nil
+	return AsBulk(f).DotVec(a, b), nil
 }
 
 // VecAdd returns a + b componentwise.
@@ -138,18 +121,14 @@ func VecAdd[E comparable](f Field[E], a, b []E) ([]E, error) {
 		return nil, fmt.Errorf("field: vector add length mismatch %d != %d", len(a), len(b))
 	}
 	out := make([]E, len(a))
-	for i := range a {
-		out[i] = f.Add(a[i], b[i])
-	}
+	AsBulk(f).AddVec(out, a, b)
 	return out, nil
 }
 
 // VecScale returns c * v componentwise.
 func VecScale[E comparable](f Field[E], c E, v []E) []E {
 	out := make([]E, len(v))
-	for i := range v {
-		out[i] = f.Mul(c, v[i])
-	}
+	AsBulk(f).ScaleVec(out, c, v)
 	return out
 }
 

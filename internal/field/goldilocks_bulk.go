@@ -1,0 +1,119 @@
+package field
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Native bulk kernels for the Goldilocks field. Each loop body is the
+// concrete branch-light uint64 arithmetic of goldilocks.go, inlined by the
+// compiler with no interface dispatch — the devirtualized hot path of the
+// coded-execution engine.
+
+var _ Bulk[uint64] = Goldilocks{}
+
+// AddVec implements Bulk.
+func (g Goldilocks) AddVec(dst, a, b []uint64) {
+	for i := range a {
+		dst[i] = g.Add(a[i], b[i])
+	}
+}
+
+// SubVec implements Bulk.
+func (g Goldilocks) SubVec(dst, a, b []uint64) {
+	for i := range a {
+		dst[i] = g.Sub(a[i], b[i])
+	}
+}
+
+// MulVec implements Bulk.
+func (g Goldilocks) MulVec(dst, a, b []uint64) {
+	for i := range a {
+		hi, lo := bits.Mul64(a[i], b[i])
+		dst[i] = goldReduce(hi, lo)
+	}
+}
+
+// ScaleVec implements Bulk.
+func (g Goldilocks) ScaleVec(dst []uint64, c uint64, a []uint64) {
+	for i := range a {
+		hi, lo := bits.Mul64(c, a[i])
+		dst[i] = goldReduce(hi, lo)
+	}
+}
+
+// ScaleAccVec implements Bulk.
+func (g Goldilocks) ScaleAccVec(dst []uint64, c uint64, a []uint64) {
+	for i := range a {
+		hi, lo := bits.Mul64(c, a[i])
+		dst[i] = g.Add(dst[i], goldReduce(hi, lo))
+	}
+}
+
+// SubScaleVec implements Bulk.
+func (g Goldilocks) SubScaleVec(dst []uint64, c uint64, a []uint64) {
+	for i := range a {
+		hi, lo := bits.Mul64(c, a[i])
+		dst[i] = g.Sub(dst[i], goldReduce(hi, lo))
+	}
+}
+
+// DotVec implements Bulk.
+func (g Goldilocks) DotVec(a, b []uint64) uint64 {
+	var acc uint64
+	for i := range a {
+		hi, lo := bits.Mul64(a[i], b[i])
+		acc = g.Add(acc, goldReduce(hi, lo))
+	}
+	return acc
+}
+
+// SubScalarVec implements Bulk.
+func (g Goldilocks) SubScalarVec(dst, a []uint64, c uint64) {
+	for i := range a {
+		dst[i] = g.Sub(a[i], c)
+	}
+}
+
+// ScalarSubVec implements Bulk.
+func (g Goldilocks) ScalarSubVec(dst []uint64, c uint64, a []uint64) {
+	for i := range a {
+		dst[i] = g.Sub(c, a[i])
+	}
+}
+
+// HornerVec implements Bulk.
+func (g Goldilocks) HornerVec(acc, xs []uint64, c uint64) {
+	for i := range acc {
+		hi, lo := bits.Mul64(acc[i], xs[i])
+		acc[i] = g.Add(goldReduce(hi, lo), c)
+	}
+}
+
+// BatchInvInto implements Bulk.
+func (g Goldilocks) BatchInvInto(dst, xs []uint64) error {
+	n := len(xs)
+	if len(dst) < n {
+		panic(fmt.Sprintf("field: BatchInvInto dst length %d < %d", len(dst), n))
+	}
+	if n == 0 {
+		return nil
+	}
+	acc := uint64(1)
+	for i, x := range xs {
+		if x == 0 {
+			return fmt.Errorf("field: batch inverse of zero at index %d: %w", i, ErrDivisionByZero)
+		}
+		dst[i] = acc
+		acc = g.Mul(acc, x)
+	}
+	inv, err := g.Inv(acc)
+	if err != nil {
+		return err
+	}
+	for i := n - 1; i >= 0; i-- {
+		dst[i] = g.Mul(inv, dst[i])
+		inv = g.Mul(inv, xs[i])
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package field
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+// BenchmarkFieldKernels measures each bulk kernel on the native Goldilocks
+// implementation against the generic per-element adapter over the same
+// field — the devirtualization win in isolation. All kernels are
+// allocation-free; b.ReportAllocs makes a regression there fail review.
+func BenchmarkFieldKernels(b *testing.B) {
+	gold := NewGoldilocks()
+	impls := map[string]Bulk[uint64]{
+		"native":  gold,
+		"generic": AsBulk[uint64](scalarOnly[uint64]{gold}),
+	}
+	rng := rand.New(rand.NewPCG(31, 32))
+	for _, n := range []int{16, 256} {
+		x := RandVec[uint64](gold, rng, n)
+		y := RandVec[uint64](gold, rng, n)
+		for i := range x {
+			for x[i] == 0 {
+				x[i] = gold.Rand(rng)
+			}
+		}
+		c := gold.Rand(rng)
+		dst := make([]uint64, n)
+		for _, impl := range []string{"native", "generic"} {
+			k := impls[impl]
+			kernels := []struct {
+				name string
+				fn   func()
+			}{
+				{"AddVec", func() { k.AddVec(dst, x, y) }},
+				{"MulVec", func() { k.MulVec(dst, x, y) }},
+				{"ScaleAccVec", func() { k.ScaleAccVec(dst, c, x) }},
+				{"DotVec", func() { _ = k.DotVec(x, y) }},
+				{"HornerVec", func() { k.HornerVec(dst, x, c) }},
+				{"BatchInvInto", func() {
+					if err := k.BatchInvInto(dst, x); err != nil {
+						b.Fatal(err)
+					}
+				}},
+			}
+			for _, kn := range kernels {
+				b.Run(fmt.Sprintf("%s/%s/n=%d", kn.name, impl, n), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						kn.fn()
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,15 @@
+// Package ints holds small integer-set helpers shared by the coding layers
+// (lcc's faulty-node sets, csm's client-phase audit sets).
+package ints
+
+import "slices"
+
+// SortedKeys returns the keys of a set in ascending order.
+func SortedKeys(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"codedsm/internal/field"
+	"codedsm/internal/ints"
 	"codedsm/internal/poly"
 	"codedsm/internal/pool"
 	"codedsm/internal/rs"
@@ -29,6 +30,7 @@ import (
 type Code[E comparable] struct {
 	ring      *poly.Ring[E]
 	f         field.Field[E]
+	bulk      field.Bulk[E] // resolved once; drives the encode/decode kernels
 	omegas    []E
 	alphas    []E
 	omegaTree *poly.SubproductTree[E]
@@ -78,6 +80,7 @@ func NewWithPoints[E comparable](ring *poly.Ring[E], omegas, alphas []E) (*Code[
 	c := &Code[E]{
 		ring:       ring,
 		f:          ring.Field(),
+		bulk:       ring.Bulk(),
 		omegas:     append([]E(nil), omegas...),
 		alphas:     append([]E(nil), alphas...),
 		codesByDim: make(map[int]*rs.Code[E]),
@@ -110,19 +113,16 @@ func (c *Code[E]) buildCoeffs() error {
 		return err
 	}
 	c.coeffs = make([][]E, n)
+	diffs := make([]E, k)
+	diffInvs := make([]E, k)
 	for i := 0; i < n; i++ {
 		row := make([]E, k)
-		diffs := make([]E, k)
-		for j := 0; j < k; j++ {
-			diffs[j] = c.f.Sub(c.alphas[i], c.omegas[j])
-		}
-		diffInvs, err := field.BatchInv(c.f, diffs)
-		if err != nil {
+		c.bulk.ScalarSubVec(diffs, c.alphas[i], c.omegas)
+		if err := c.bulk.BatchInvInto(diffInvs, diffs); err != nil {
 			return fmt.Errorf("lcc: alpha equals omega: %w", err)
 		}
-		for j := 0; j < k; j++ {
-			row[j] = c.f.Mul(c.f.Mul(masterAtAlphas[i], diffInvs[j]), denomInvs[j])
-		}
+		c.bulk.ScaleVec(row, masterAtAlphas[i], diffInvs)
+		c.bulk.MulVec(row, row, denomInvs)
 		c.coeffs[i] = row
 	}
 	return nil
@@ -169,20 +169,27 @@ func (c *Code[E]) EncodeVectors(values [][]E) ([][]E, error) {
 // across at most workers goroutines (workers <= 0 selects
 // runtime.GOMAXPROCS). Each row i = Σ_k c_ik values[k] is independent, so
 // the result is identical to the sequential product.
+//
+// The K x L inner product runs as one ScaleAccVec (axpy) kernel per
+// coefficient row entry over a single flat backing array — no per-row
+// allocation and no per-element interface dispatch.
 func (c *Code[E]) EncodeVectorsParallel(values [][]E, workers int) ([][]E, error) {
 	l, err := c.vectorLen(values, len(c.omegas))
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]E, len(c.alphas))
-	encErr := pool.Run(workers, len(c.alphas), func(i int) error {
-		vec := make([]E, l)
-		for j := 0; j < l; j++ {
-			acc := c.f.Zero()
-			for k := range values {
-				acc = c.f.Add(acc, c.f.Mul(c.coeffs[i][k], values[k][j]))
-			}
-			vec[j] = acc
+	n := len(c.alphas)
+	flat := make([]E, n*l)
+	out := make([][]E, n)
+	zero := c.f.Zero()
+	encErr := pool.Run(workers, n, func(i int) error {
+		vec := flat[i*l : (i+1)*l : (i+1)*l] // full slice: append never bleeds across rows
+		for j := range vec {
+			vec[j] = zero
+		}
+		row := c.coeffs[i]
+		for k := range values {
+			c.bulk.ScaleAccVec(vec, row[k], values[k])
 		}
 		out[i] = vec
 		return nil
@@ -349,23 +356,36 @@ func (c *Code[E]) decode(results [][]E, indices []int, degree, workers int) (*De
 		indices = nil
 	}
 	k := len(c.omegas)
+	outFlat := make([]E, k*l)
 	outputs := make([][]E, k)
 	for i := range outputs {
-		outputs[i] = make([]E, l)
+		outputs[i] = outFlat[i*l : (i+1)*l : (i+1)*l]
+	}
+	// Transpose the results matrix column-major once: component j's received
+	// word is then a contiguous slice, replacing the per-component strided
+	// gather (and its allocation) each decode performed before.
+	colMajor := make([]E, l*rows)
+	for i, row := range results {
+		for j, v := range row {
+			colMajor[j*rows+i] = v
+		}
 	}
 	// Components are independent codewords; decode them concurrently and
 	// merge the per-component faulty sets afterwards in component order.
+	// Each worker owns one reusable evaluation scratch buffer.
 	faultyByComponent := make([][]int, l)
-	err = pool.Run(workers, l, func(j int) error {
-		word := make([]E, rows)
-		for i := 0; i < rows; i++ {
-			word[i] = results[i][j]
-		}
+	evalScratch := make([][]E, pool.Clamp(workers, l))
+	err = pool.RunIndexed(workers, l, func(worker, j int) error {
+		word := colMajor[j*rows : (j+1)*rows]
 		res, derr := target.Decode(word)
 		if derr != nil {
 			return fmt.Errorf("lcc: component %d: %w", j, derr)
 		}
-		vals := c.ring.EvalMany(res.Message, c.omegas)
+		if evalScratch[worker] == nil {
+			evalScratch[worker] = make([]E, k)
+		}
+		vals := evalScratch[worker]
+		c.ring.EvalManyInto(vals, res.Message, c.omegas)
 		for ki := 0; ki < k; ki++ {
 			outputs[ki][j] = vals[ki]
 		}
@@ -391,20 +411,7 @@ func (c *Code[E]) decode(results [][]E, indices []int, degree, workers int) (*De
 			faulty[e] = true
 		}
 	}
-	return &DecodeResult[E]{Outputs: outputs, FaultyNodes: sortedKeys(faulty)}, nil
-}
-
-func sortedKeys(m map[int]bool) []int {
-	out := make([]int, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
+	return &DecodeResult[E]{Outputs: outputs, FaultyNodes: ints.SortedKeys(faulty)}, nil
 }
 
 // SyncMaxMachines returns the largest K supported by N nodes with b faults

@@ -27,9 +27,7 @@ func (r *Ring[E]) mulNTT(a, b Poly[E]) (Poly[E], error) {
 	}
 	r.nttTransform(fa, w)
 	r.nttTransform(fb, w)
-	for i := range fa {
-		fa[i] = r.f.Mul(fa[i], fb[i])
-	}
+	r.bulk.MulVec(fa, fa, fb)
 	if err := r.inverseNTT(fa, w); err != nil {
 		return nil, err
 	}
@@ -74,9 +72,7 @@ func (r *Ring[E]) inverseNTT(a []E, w E) error {
 	if err != nil {
 		return fmt.Errorf("poly: NTT size divides field characteristic: %w", err)
 	}
-	for i := range a {
-		a[i] = r.f.Mul(a[i], nInv)
-	}
+	r.bulk.ScaleVec(a, nInv, a)
 	return nil
 }
 

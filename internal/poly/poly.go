@@ -33,6 +33,7 @@ type Poly[E comparable] []E
 // multiplication is used.
 type Ring[E comparable] struct {
 	f            field.Field[E]
+	bulk         field.Bulk[E]     // resolved once: native kernels or adapter
 	ntt          field.NTTField[E] // nil when unsupported
 	nttThreshold int
 }
@@ -41,9 +42,10 @@ type Ring[E comparable] struct {
 // multiplication wins over transform setup costs.
 const defaultNTTThreshold = 64
 
-// NewRing constructs a polynomial ring over f, auto-detecting NTT support.
+// NewRing constructs a polynomial ring over f, auto-detecting NTT support
+// and resolving the field's bulk-kernel capability once.
 func NewRing[E comparable](f field.Field[E]) *Ring[E] {
-	r := &Ring[E]{f: f, nttThreshold: defaultNTTThreshold}
+	r := &Ring[E]{f: f, bulk: field.AsBulk(f), nttThreshold: defaultNTTThreshold}
 	if nf, ok := f.(field.NTTField[E]); ok {
 		// Probe: the field may wrap a non-NTT field (counting decorator).
 		if _, err := nf.RootOfUnity(2); err == nil {
@@ -55,6 +57,11 @@ func NewRing[E comparable](f field.Field[E]) *Ring[E] {
 
 // Field returns the coefficient field.
 func (r *Ring[E]) Field() field.Field[E] { return r.f }
+
+// Bulk returns the field's resolved bulk-kernel capability: the coding hot
+// paths (lcc, rs, csm) share this single resolution instead of re-adapting
+// per call.
+func (r *Ring[E]) Bulk() field.Bulk[E] { return r.bulk }
 
 // HasNTT reports whether fast transform-based multiplication is available.
 func (r *Ring[E]) HasNTT() bool { return r.ntt != nil }
@@ -120,29 +127,24 @@ func (r *Ring[E]) Add(a, b Poly[E]) Poly[E] {
 	}
 	out := make(Poly[E], len(a))
 	copy(out, a)
-	for i := range b {
-		out[i] = r.f.Add(out[i], b[i])
-	}
+	r.bulk.AddVec(out[:len(b)], out[:len(b)], b)
 	return r.Normalize(out)
 }
 
 // Sub returns a - b.
 func (r *Ring[E]) Sub(a, b Poly[E]) Poly[E] {
-	n := len(a)
-	if len(b) > n {
-		n = len(b)
-	}
+	n := max(len(a), len(b))
+	m := min(len(a), len(b))
 	out := make(Poly[E], n)
-	for i := range out {
-		var av, bv E
-		av, bv = r.f.Zero(), r.f.Zero()
-		if i < len(a) {
-			av = a[i]
-		}
-		if i < len(b) {
-			bv = b[i]
-		}
-		out[i] = r.f.Sub(av, bv)
+	r.bulk.SubVec(out[:m], a[:m], b[:m])
+	// One operand is exhausted; the tail subtracts against zero, keeping the
+	// same operation sequence the plain loop performed.
+	zero := r.f.Zero()
+	for i := m; i < len(a); i++ {
+		out[i] = r.f.Sub(a[i], zero)
+	}
+	for i := m; i < len(b); i++ {
+		out[i] = r.f.Sub(zero, b[i])
 	}
 	return r.Normalize(out)
 }
@@ -153,9 +155,7 @@ func (r *Ring[E]) MulScalar(c E, p Poly[E]) Poly[E] {
 		return nil
 	}
 	out := make(Poly[E], len(p))
-	for i := range p {
-		out[i] = r.f.Mul(c, p[i])
-	}
+	r.bulk.ScaleVec(out, c, p)
 	return r.Normalize(out)
 }
 
@@ -173,9 +173,7 @@ func (r *Ring[E]) MulNaive(a, b Poly[E]) Poly[E] {
 		if r.f.IsZero(av) {
 			continue
 		}
-		for j, bv := range b {
-			out[i+j] = r.f.Add(out[i+j], r.f.Mul(av, bv))
-		}
+		r.bulk.ScaleAccVec(out[i:i+len(b)], av, b)
 	}
 	return r.Normalize(out)
 }
@@ -230,9 +228,7 @@ func (r *Ring[E]) divModNaive(a, b Poly[E]) (q, rem Poly[E], err error) {
 		}
 		c := r.f.Mul(remBuf[i], leadInv)
 		q[i-len(b)+1] = c
-		for j := 0; j < len(b); j++ {
-			remBuf[i-len(b)+1+j] = r.f.Sub(remBuf[i-len(b)+1+j], r.f.Mul(c, b[j]))
-		}
+		r.bulk.SubScaleVec(remBuf[i-len(b)+1:i+1], c, b)
 	}
 	return r.Normalize(q), r.Normalize(remBuf[:len(b)-1]), nil
 }
@@ -346,11 +342,23 @@ func (r *Ring[E]) FromRootsNaive(roots []E) Poly[E] {
 	return acc
 }
 
-// EvalMany evaluates p at every point, O(n * deg p) via Horner.
+// EvalMany evaluates p at every point, O(n * deg p) via vectorized Horner.
 func (r *Ring[E]) EvalMany(p Poly[E], xs []E) []E {
 	out := make([]E, len(xs))
-	for i, x := range xs {
-		out[i] = r.Eval(p, x)
-	}
+	r.EvalManyInto(out, p, xs)
 	return out
+}
+
+// EvalManyInto is EvalMany writing into caller-owned scratch (len(out) must
+// be at least len(xs)): each coefficient is folded into every accumulator
+// with one HornerVec kernel call, so the whole evaluation performs
+// len(p) kernel dispatches instead of len(p)*len(xs) scalar ones.
+func (r *Ring[E]) EvalManyInto(out []E, p Poly[E], xs []E) {
+	out = out[:len(xs)]
+	for i := range out {
+		out[i] = r.f.Zero()
+	}
+	for i := len(p) - 1; i >= 0; i-- {
+		r.bulk.HornerVec(out, xs, p[i])
+	}
 }

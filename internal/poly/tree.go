@@ -2,8 +2,7 @@ package poly
 
 import (
 	"fmt"
-
-	"codedsm/internal/field"
+	"sync"
 )
 
 // SubproductTree is the binary tree of partial products
@@ -16,6 +15,15 @@ type SubproductTree[E comparable] struct {
 	ring   *Ring[E]
 	points []E
 	root   *treeNode[E]
+
+	// Interpolation weights 1/m'(x_i) depend only on the points, not on the
+	// interpolated values; they are computed once on first use and shared by
+	// every subsequent Interpolate (each execution round interpolates L
+	// codeword components against the same tree). sync.Once keeps the
+	// lazy computation safe under the parallel decode fan-out.
+	weightsOnce sync.Once
+	invDeriv    []E
+	weightsErr  error
 }
 
 type treeNode[E comparable] struct {
@@ -74,15 +82,18 @@ func (t *SubproductTree[E]) EvalMany(p Poly[E]) ([]E, error) {
 	return out, nil
 }
 
+// evalLeafBlock is the node size at which the remainder descent switches to
+// direct vectorized Horner evaluation: below it, the dominant cost of the
+// two divisions per node is allocation and call overhead, while Horner over
+// the residual degree-<block polynomial runs allocation-free on bulk
+// kernels.
+const evalLeafBlock = 8
+
 func (t *SubproductTree[E]) evalDown(n *treeNode[E], p Poly[E], out []E) error {
-	if n.hi-n.lo == 1 {
-		// p has degree 0 after reduction mod (z - x); its constant term is
-		// p(x).
-		if len(p) == 0 {
-			out[n.lo] = t.ring.f.Zero()
-		} else {
-			out[n.lo] = p[0]
-		}
+	if n.hi-n.lo <= evalLeafBlock {
+		// p is already reduced mod this node's product, so deg(p) < hi-lo:
+		// evaluate it directly at the block's points.
+		t.ring.EvalManyInto(out[n.lo:n.hi], p, t.points[n.lo:n.hi])
 		return nil
 	}
 	pl, err := t.ring.Mod(p, n.left.prod)
@@ -109,21 +120,34 @@ func (t *SubproductTree[E]) Interpolate(ys []E) (Poly[E], error) {
 	if t.root == nil {
 		return nil, nil
 	}
-	// m'(x_i) = prod_{j != i} (x_i - x_j); nonzero iff points distinct.
-	deriv := t.ring.Derivative(t.Master())
-	derivVals, err := t.EvalMany(deriv)
+	invs, err := t.interpWeights()
 	if err != nil {
 		return nil, err
 	}
-	invs, err := field.BatchInv(t.ring.f, derivVals)
-	if err != nil {
-		return nil, fmt.Errorf("poly: fast interpolate: duplicate points: %w", err)
-	}
 	weights := make([]E, len(ys))
-	for i := range ys {
-		weights[i] = t.ring.f.Mul(ys[i], invs[i])
-	}
+	t.ring.bulk.MulVec(weights, ys, invs)
 	return t.combine(t.root, weights), nil
+}
+
+// interpWeights returns (computing on first use) the cached barycentric-style
+// weights 1/m'(x_i), where m'(x_i) = prod_{j != i} (x_i - x_j) is nonzero
+// iff the points are distinct.
+func (t *SubproductTree[E]) interpWeights() ([]E, error) {
+	t.weightsOnce.Do(func() {
+		deriv := t.ring.Derivative(t.Master())
+		derivVals, err := t.EvalMany(deriv)
+		if err != nil {
+			t.weightsErr = err
+			return
+		}
+		invs := make([]E, len(derivVals))
+		if err := t.ring.bulk.BatchInvInto(invs, derivVals); err != nil {
+			t.weightsErr = fmt.Errorf("poly: fast interpolate: duplicate points: %w", err)
+			return
+		}
+		t.invDeriv = invs
+	})
+	return t.invDeriv, t.weightsErr
 }
 
 // combine computes sum_{i in node range} weights[i] * prod_{j != i, j in

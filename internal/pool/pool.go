@@ -49,13 +49,22 @@ func Clamp(workers, n int) int {
 // the error reported is the one with the lowest index, matching what the
 // sequential loop would have surfaced first.
 func Run(workers, n int, fn func(i int) error) error {
+	return RunIndexed(workers, n, func(_, i int) error { return fn(i) })
+}
+
+// RunIndexed is Run with the executing worker's index passed alongside the
+// work index: fn(worker, i) with worker in [0, Clamp(workers, n)). A worker
+// index is held by exactly one goroutine at a time, so fn may use it to
+// address per-worker scratch buffers (the allocation-free decode path's
+// per-worker codeword and evaluation scratch) without synchronization.
+func RunIndexed(workers, n int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	workers = Clamp(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -71,14 +80,14 @@ func Run(workers, n int, fn func(i int) error) error {
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(worker, i); err != nil {
 					mu.Lock()
 					if i < errIdx {
 						firstErr, errIdx = err, i
@@ -86,7 +95,7 @@ func Run(workers, n int, fn func(i int) error) error {
 					mu.Unlock()
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return firstErr

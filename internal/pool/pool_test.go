@@ -93,3 +93,38 @@ func TestRunSequentialStopsAtFirstError(t *testing.T) {
 		t.Fatalf("sequential path ran %d calls after error, want 4", ran)
 	}
 }
+
+func TestRunIndexedWorkerOwnership(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		const n = 200
+		clamped := Clamp(workers, n)
+		// Each worker index must stay within [0, clamped) and be usable as a
+		// scratch slot: per-worker counters poked without synchronization
+		// must add up to exactly n processed items.
+		scratch := make([]int, clamped)
+		seen := make([]int32, n)
+		err := RunIndexed(workers, n, func(worker, i int) error {
+			if worker < 0 || worker >= clamped {
+				return fmt.Errorf("worker index %d out of range [0,%d)", worker, clamped)
+			}
+			scratch[worker]++
+			atomic.AddInt32(&seen[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		total := 0
+		for _, c := range scratch {
+			total += c
+		}
+		if total != n {
+			t.Fatalf("workers=%d: per-worker scratch counted %d items, want %d", workers, total, n)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d processed %d times", workers, i, c)
+			}
+		}
+	}
+}

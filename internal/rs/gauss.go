@@ -12,7 +12,9 @@ var errInconsistent = errors.New("rs: inconsistent linear system")
 
 // solveLinear solves mat * x = rhs over f by Gaussian elimination with
 // partial (first-nonzero) pivoting. The system may be overdetermined;
-// free variables are set to zero. mat is modified in place.
+// free variables are set to zero. mat is modified in place. Row scaling and
+// elimination run on the field's bulk kernels — the O(n^3) inner loops of
+// the Berlekamp-Welch decoder.
 func solveLinear[E comparable](f field.Field[E], mat [][]E, rhs []E) ([]E, error) {
 	rows := len(mat)
 	if rows != len(rhs) {
@@ -21,6 +23,7 @@ func solveLinear[E comparable](f field.Field[E], mat [][]E, rhs []E) ([]E, error
 	if rows == 0 {
 		return nil, nil
 	}
+	bulk := field.AsBulk(f)
 	cols := len(mat[0])
 	pivotRowOf := make([]int, cols) // column -> pivot row, or -1
 	for j := range pivotRowOf {
@@ -45,18 +48,14 @@ func solveLinear[E comparable](f field.Field[E], mat [][]E, rhs []E) ([]E, error
 		if err != nil {
 			return nil, err
 		}
-		for j := col; j < cols; j++ {
-			mat[r][j] = f.Mul(mat[r][j], inv)
-		}
+		bulk.ScaleVec(mat[r][col:], inv, mat[r][col:])
 		rhs[r] = f.Mul(rhs[r], inv)
 		for i := 0; i < rows; i++ {
 			if i == r || f.IsZero(mat[i][col]) {
 				continue
 			}
 			factor := mat[i][col]
-			for j := col; j < cols; j++ {
-				mat[i][j] = f.Sub(mat[i][j], f.Mul(factor, mat[r][j]))
-			}
+			bulk.SubScaleVec(mat[i][col:], factor, mat[r][col:])
 			rhs[i] = f.Sub(rhs[i], f.Mul(factor, rhs[r]))
 		}
 		pivotRowOf[col] = r
@@ -82,13 +81,13 @@ func solveLinear[E comparable](f field.Field[E], mat [][]E, rhs []E) ([]E, error
 // MatVec multiplies an n-by-m matrix by an m-vector over f. It is the
 // operation INTERMIX verifies and is shared by tests across packages.
 func MatVec[E comparable](f field.Field[E], mat [][]E, x []E) ([]E, error) {
+	bulk := field.AsBulk(f)
 	out := make([]E, len(mat))
 	for i, row := range mat {
-		v, err := field.Dot(f, row, x)
-		if err != nil {
-			return nil, fmt.Errorf("rs: row %d: %w", i, err)
+		if len(row) != len(x) {
+			return nil, fmt.Errorf("rs: row %d: field: dot product length mismatch %d != %d", i, len(row), len(x))
 		}
-		out[i] = v
+		out[i] = bulk.DotVec(row, x)
 	}
 	return out, nil
 }

@@ -251,9 +251,10 @@ func (c *Code[E]) DecodeBW(received []E) (*DecodeResult[E], error) {
 	// Row i: sum_j q_j α_i^j - y_i sum_j eps_j α_i^j = y_i α_i^e.
 	cols := k + 2*e
 	mat := make([][]E, n)
+	flat := make([]E, n*cols) // one backing array for all rows
 	rhs := make([]E, n)
 	for i := 0; i < n; i++ {
-		row := make([]E, cols)
+		row := flat[i*cols : (i+1)*cols]
 		pow := f.One()
 		for j := 0; j < k+e; j++ {
 			row[j] = pow
