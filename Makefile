@@ -2,12 +2,16 @@
 GO ?= go
 
 # Benchmarks recorded by bench-json: the cluster rounds the acceptance
-# criteria track plus the kernel-level micro-benchmarks.
-BENCH_JSON_PATTERN = BenchmarkClusterRoundParallel|BenchmarkLCCEncode|BenchmarkLCCDecode|BenchmarkFieldKernels
-# Optional: BASELINE=<old bench text> embeds a before/after comparison.
+# criteria track (parallel + pipelined/batched engines) plus the
+# kernel-level micro-benchmarks.
+BENCH_JSON_PATTERN = BenchmarkClusterRoundParallel|BenchmarkClusterRoundPipelined|BenchmarkLCCEncode|BenchmarkLCCDecode|BenchmarkFieldKernels
+# BASELINE: previous run to embed as the before section — either a raw
+# `go test -bench` text file or a committed benchjson artifact.
 BASELINE ?=
+# BENCH_OUT: artifact the bench-json target writes.
+BENCH_OUT ?= BENCH_PR3.json
 
-.PHONY: all build test race bench bench-json bench-micro fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json bench-micro bench-pr3 smoke-pipeline fmt fmt-check vet ci
 
 all: build test
 
@@ -30,13 +34,24 @@ bench-micro:
 	$(GO) test -bench='BenchmarkFieldKernels' -benchtime=1x -run='^$$' ./internal/field/
 
 # Machine-readable benchmark baseline: runs the tracked benchmarks and
-# writes BENCH_PR2.json (name, ns/op, B/op, allocs/op). Set BASELINE to a
-# previous raw `go test -bench` text file to embed a before/after section.
+# writes $(BENCH_OUT) (name, ns/op, B/op, allocs/op). Set BASELINE to a
+# previous raw `go test -bench` text file or benchjson artifact to embed a
+# before/after section.
 bench-json:
 	$(GO) test -bench='$(BENCH_JSON_PATTERN)' -benchmem -benchtime=3x -run='^$$' . ./internal/lcc/ ./internal/field/ > bench-current.txt
-	$(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) -note "cluster rounds + coding kernels, benchtime=3x" < bench-current.txt > BENCH_PR2.json
+	$(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) -note "cluster rounds (parallel + pipeline x batch sweep) + coding kernels, benchtime=3x" < bench-current.txt > $(BENCH_OUT)
 	@rm -f bench-current.txt
-	@echo wrote BENCH_PR2.json
+	@echo wrote $(BENCH_OUT)
+
+# Regenerate BENCH_PR3.json: the pipeline x batch sweep measured against
+# the committed BENCH_PR2.json baseline.
+bench-pr3:
+	$(MAKE) bench-json BENCH_OUT=BENCH_PR3.json BASELINE=BENCH_PR2.json
+
+# One pipelined + batched end-to-end configuration (CI smoke): Byzantine
+# nodes, Dolev-Strong consensus, pipeline depth 4, 4-round batches.
+smoke-pipeline:
+	$(GO) run ./cmd/csmsim -n 16 -b 3 -byz 1,5,9 -rounds 8 -consensus dolev-strong -pipeline 4 -batch 4
 
 fmt:
 	gofmt -w .
@@ -48,4 +63,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build race bench bench-micro
+ci: fmt-check vet build race bench bench-micro smoke-pipeline

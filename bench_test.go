@@ -209,6 +209,67 @@ func BenchmarkClusterRoundParallel(b *testing.B) {
 	}
 }
 
+// --- Pipelined engine: batch x pipeline sweep ---
+
+// BenchmarkClusterRoundPipelined measures the batched + pipelined engine
+// against the sequential one on the PR2 reference cluster (N=64, µ = 1/3
+// wrong-result nodes, oracle consensus — the paper's throughput setting).
+// Each op executes an 8-round workload, so commands/sec =
+// 8*K / (ns_op * 1e-9); the BENCH_PR2.json N=64 rows are per single round
+// (commands/sec = K / (ns_op * 1e-9)). Outputs are identical across all
+// configurations (TestPipelinedBitIdenticalToSequential,
+// TestBatchedMatchesSequentialOutputs); the batched configurations win by
+// priming steady-state decodes with the previous micro-step's faulty set,
+// and pipelining overlaps the client stage with the next rounds'
+// execution.
+func BenchmarkClusterRoundPipelined(b *testing.B) {
+	const n, roundsPerOp = 64, 8
+	faults := n / 3
+	k := SyncMaxMachines(n, faults, 1)
+	byz := map[int]Behavior{}
+	for i := 0; len(byz) < faults; i++ {
+		byz[(i*5+2)%n] = WrongResult
+	}
+	for _, tc := range []struct {
+		name            string
+		batch, pipeline int
+	}{
+		{"sequential/B=1", 1, 0},
+		{"pipelined/B=1", 1, 4},
+		{"pipelined/B=4", 4, 4},
+		{"pipelined/B=8", 8, 4},
+	} {
+		b.Run(fmt.Sprintf("N=%d/K=%d/%s/workers=8", n, k, tc.name), func(b *testing.B) {
+			c, err := NewCluster(ClusterConfig[uint64]{
+				BaseField:     gold,
+				NewTransition: NewBank[uint64],
+				K:             k, N: n, MaxFaults: faults,
+				Mode: Synchronous, Consensus: OracleConsensus,
+				Byzantine: byz, Seed: 1,
+				Parallelism: 8,
+				BatchSize:   tc.batch, Pipeline: tc.pipeline,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			wl := RandomWorkload[uint64](gold, roundsPerOp, k, 1, 9)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := c.Run(wl)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, res := range results {
+					if !res.Correct {
+						b.Fatal("incorrect round")
+					}
+				}
+			}
+		})
+	}
+}
+
 // --- Section 6.2 coding ablation: naive vs fast, encode and decode ---
 
 func BenchmarkCodingNaiveEncode(b *testing.B) {

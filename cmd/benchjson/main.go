@@ -1,12 +1,14 @@
 // Command benchjson converts `go test -bench` text output into a
 // machine-readable JSON baseline (name, ns/op, B/op, allocs/op), the format
-// committed as BENCH_PR2.json to track the performance trajectory across
-// PRs. An optional -baseline flag merges a previous benchmark text file as
-// the "baseline" section, so a single artifact carries before/after.
+// committed as BENCH_PR*.json to track the performance trajectory across
+// PRs. An optional -baseline flag embeds a previous run as the "baseline"
+// section, so a single artifact carries before/after; it accepts either a
+// raw `go test -bench` text file or a previously committed benchjson
+// artifact (whose "current" section becomes the baseline).
 //
 // Usage:
 //
-//	go test -bench ... -benchmem | benchjson [-baseline old-bench.txt] > BENCH_PR2.json
+//	go test -bench ... -benchmem | benchjson [-baseline BENCH_PR2.json] > BENCH_PR3.json
 package main
 
 import (
@@ -75,6 +77,29 @@ func parse(r io.Reader) ([]Result, error) {
 	return out, sc.Err()
 }
 
+// loadBaseline reads a previous run from either a committed benchjson
+// artifact (its "current" section) or a raw `go test -bench` text file.
+// An input yielding no benchmark results is an error, not a silently
+// empty baseline section.
+func loadBaseline(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var prev File
+	if json.Unmarshal(data, &prev) == nil && len(prev.Current) > 0 {
+		return prev.Current, nil
+	}
+	results, err := parse(strings.NewReader(string(data)))
+	if err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("baseline %s contains no benchmark results", path)
+	}
+	return results, nil
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "", "previous `go test -bench` text output to embed as the baseline section")
 	note := flag.String("note", "", "free-form provenance note")
@@ -91,17 +116,12 @@ func main() {
 	}
 	out := File{Note: *note, Current: current, Generator: "make bench-json (cmd/benchjson)"}
 	if *baselinePath != "" {
-		f, err := os.Open(*baselinePath)
+		baseline, err := loadBaseline(*baselinePath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
-		out.Baseline, err = parse(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-			os.Exit(1)
-		}
+		out.Baseline = baseline
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

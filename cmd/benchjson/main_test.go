@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -28,5 +29,37 @@ PASS
 	}
 	if got[2].NsOp != 123.5 || got[2].AllocsOp != 0 {
 		t.Fatalf("no-benchmem line mismatch: %+v", got[2])
+	}
+}
+
+func TestLoadBaselineFromArtifactAndText(t *testing.T) {
+	dir := t.TempDir()
+	artifact := dir + "/prev.json"
+	if err := os.WriteFile(artifact, []byte(`{
+  "note": "prev",
+  "current": [{"name": "BenchmarkX", "iterations": 2, "ns_op": 100}],
+  "generator": "make bench-json (cmd/benchjson)"
+}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadBaseline(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "BenchmarkX" || got[0].NsOp != 100 {
+		t.Fatalf("artifact baseline mismatch: %+v", got)
+	}
+	text := dir + "/prev.txt"
+	if err := os.WriteFile(text, []byte("BenchmarkY 3 200 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = loadBaseline(text); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "BenchmarkY" || got[0].NsOp != 200 {
+		t.Fatalf("text baseline mismatch: %+v", got)
+	}
+	if _, err := loadBaseline(dir + "/missing"); err == nil {
+		t.Fatal("missing baseline file must fail")
 	}
 }

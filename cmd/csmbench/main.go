@@ -45,6 +45,8 @@ func run(args []string) error {
 		rounds      = fs.Int("rounds", 3, "measured rounds per experiment")
 		seed        = fs.Uint64("seed", 2019, "experiment seed")
 		workers     = fs.Int("workers", runtime.GOMAXPROCS(0), "execution-phase worker goroutines per cluster (results are identical for any value)")
+		pipeline    = fs.Int("pipeline", 0, "pipelined-engine depth for the measured CSM clusters (0: sequential engine)")
+		batch       = fs.Int("batch", 1, "rounds per consensus instance for the measured clusters (command batching)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,9 +69,9 @@ func run(args []string) error {
 		name    string
 		f       func() error
 	}{
-		{*table1, "Table 1: scheme comparison", func() error { return runTable1(*n, *rounds, *seed, *workers) }},
+		{*table1, "Table 1: scheme comparison", func() error { return runTable1(*n, *rounds, *seed, *workers, *batch, *pipeline) }},
 		{*table2, "Table 2: fault thresholds", func() error { return runTable2(*seed) }},
-		{*scaling, "Theorem 1: scaling series", func() error { return runScaling(*rounds, *seed, *workers) }},
+		{*scaling, "Theorem 1: scaling series", func() error { return runScaling(*rounds, *seed, *workers, *batch, *pipeline) }},
 		{*fig2, "Figure 2: K=2 machines, minimal cluster", func() error { return runFig2(*seed) }},
 		{*fig3, "Figure 3: coded execution trace", runFig3},
 		{*fig4, "Figure 4: delegated coding round", runFig4},
@@ -88,10 +90,10 @@ func run(args []string) error {
 	return nil
 }
 
-func runTable1(n, rounds int, seed uint64, workers int) error {
+func runTable1(n, rounds int, seed uint64, workers, batch, pipeline int) error {
 	rows, err := codedsm.Table1(codedsm.Table1Config{
 		N: n, Mu: 1.0 / 3.0, D: 1, Rounds: rounds, Seed: seed,
-		Parallelism: workers,
+		Parallelism: workers, BatchSize: batch, Pipeline: pipeline,
 	})
 	if err != nil {
 		return err
@@ -112,8 +114,11 @@ func runTable2(seed uint64) error {
 	return nil
 }
 
-func runScaling(rounds int, seed uint64, workers int) error {
-	rows, err := codedsm.Scaling([]int{12, 24, 48, 96}, 1.0/3.0, 1, rounds, seed, workers)
+func runScaling(rounds int, seed uint64, workers, batch, pipeline int) error {
+	rows, err := codedsm.ScalingSeries(codedsm.ScalingConfig{
+		Ns: []int{12, 24, 48, 96}, Mu: 1.0 / 3.0, D: 1, Rounds: rounds, Seed: seed,
+		Parallelism: workers, BatchSize: batch, Pipeline: pipeline,
+	})
 	if err != nil {
 		return err
 	}

@@ -42,6 +42,8 @@ func run(args []string) error {
 		gst       = fs.Int("gst", 0, "global stabilization round (psync)")
 		seed      = fs.Uint64("seed", 1, "random seed")
 		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "execution-phase worker goroutines (rounds are identical for any value)")
+		pipeline  = fs.Int("pipeline", 0, "pipelined-engine depth: overlap up to this many rounds' client stages with later rounds (0: sequential engine)")
+		batch     = fs.Int("batch", 1, "rounds per consensus instance (command batching; decodes are primed across a batch)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,24 +86,27 @@ func run(args []string) error {
 		Byzantine: byz, Seed: *seed,
 		NoEquivocation: *delegated, Delegated: *delegated,
 		Parallelism: *workers,
+		BatchSize:   *batch, Pipeline: *pipeline,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("CSM cluster: N=%d K=%d b=%d d=%d mode=%v consensus=%v delegated=%v workers=%d byzantine=%v\n",
-		*n, *k, *b, *d, mode, ck, *delegated, cluster.Parallelism(), byz)
+	fmt.Printf("CSM cluster: N=%d K=%d b=%d d=%d mode=%v consensus=%v delegated=%v workers=%d batch=%d pipeline=%d byzantine=%v\n",
+		*n, *k, *b, *d, mode, ck, *delegated, cluster.Parallelism(), cluster.BatchSize(), *pipeline, byz)
 	wl := codedsm.RandomWorkload[uint64](gold, *rounds, *k, 1, *seed)
+	results, runErr := cluster.Run(wl)
 	allCorrect := true
 	totalTicks := 0
-	for r, cmds := range wl {
-		res, err := cluster.ExecuteRound(cmds)
-		if err != nil {
-			return fmt.Errorf("round %d: %w", r, err)
-		}
+	for r, res := range results {
 		allCorrect = allCorrect && res.Correct
 		totalTicks += res.Ticks
 		fmt.Printf("round %2d: correct=%v skipped=%v faulty-detected=%v ticks=%d\n",
 			r, res.Correct, res.Skipped, res.FaultyDetected, res.Ticks)
+	}
+	if runErr != nil {
+		// Run's error contract: the returned results are the rounds that
+		// fully completed — surface the partial progress, don't discard it.
+		return fmt.Errorf("completed %d/%d rounds: %w", len(results), *rounds, runErr)
 	}
 	ops := cluster.OpCounts()
 	perNode := float64(ops.Total()) / float64(*n**rounds)

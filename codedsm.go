@@ -173,8 +173,17 @@ const (
 	PartiallySynchronous = transport.PartialSync
 )
 
-// NewCluster builds a CSM cluster.
+// NewCluster builds a CSM cluster. ClusterConfig.BatchSize groups rounds
+// under one consensus instance and ClusterConfig.Pipeline overlaps a
+// round's client stage with the following rounds' consensus and execution
+// phases; Cluster.Run applies both, and Cluster.RunPipelined forces the
+// pipelined engine (see the csm package documentation for the
+// happens-before contract).
 func NewCluster[E comparable](cfg ClusterConfig[E]) (*Cluster[E], error) { return csm.New(cfg) }
+
+// DefaultPipelineDepth is the client-stage queue depth RunPipelined uses
+// when ClusterConfig.Pipeline is unset.
+const DefaultPipelineDepth = csm.DefaultPipelineDepth
 
 // RandomWorkload generates a reproducible workload.
 func RandomWorkload[E comparable](f Field[E], rounds, k, cmdLen int, seed uint64) [][][]E {
@@ -287,12 +296,20 @@ func RenderTable2(rows []Table2Row) string { return metrics.RenderTable2(rows) }
 // ScalingRow is one point of the Theorem 1 scaling series.
 type ScalingRow = metrics.ScalingRow
 
+// ScalingConfig parameterizes the Theorem 1 series (worker count,
+// batching, pipelining).
+type ScalingConfig = metrics.ScalingConfig
+
 // Scaling measures the Theorem 1 series over network sizes. parallelism is
 // the worker count the measured clusters execute with (0 selects
 // runtime.GOMAXPROCS); the op-count metrics are worker-count-independent.
 func Scaling(ns []int, mu float64, d, rounds int, seed uint64, parallelism int) ([]ScalingRow, error) {
 	return metrics.Scaling(ns, mu, d, rounds, seed, parallelism)
 }
+
+// ScalingSeries measures the Theorem 1 series under an explicit engine
+// configuration (batching, pipelining, parallelism).
+func ScalingSeries(cfg ScalingConfig) ([]ScalingRow, error) { return metrics.ScalingSeries(cfg) }
 
 // RenderScaling renders the series as text.
 func RenderScaling(rows []ScalingRow) string { return metrics.RenderScaling(rows) }

@@ -1,0 +1,108 @@
+// Pipeline: run the same Byzantine workload on the sequential engine and
+// on the pipelined engine with command batching, verify the two produce
+// identical results round for round, and compare wall-clock.
+//
+// Batching groups B consecutive rounds under one consensus instance: the
+// agreed commands are Lagrange-encoded in a single flat-row pass and,
+// because the same liars corrupt every micro-step, the Reed-Solomon
+// decodes of micro-steps 2..B are primed with the previous step's faulty
+// set — the error-locator solve is skipped entirely. Pipelining overlaps
+// a decided round's client tally and audit with the consensus and
+// execution phases of the rounds after it.
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"slices"
+	"time"
+
+	"codedsm"
+)
+
+const (
+	nodes  = 48
+	faults = 15
+	rounds = 32
+	batch  = 8
+	depth  = 4
+)
+
+func build(batchSize, pipeline int) *codedsm.Cluster[uint64] {
+	gold := codedsm.NewGoldilocks()
+	k := codedsm.SyncMaxMachines(nodes, faults, 1)
+	byz := map[int]codedsm.Behavior{}
+	for i := 0; len(byz) < faults; i++ {
+		byz[(i*5+2)%nodes] = codedsm.WrongResult
+	}
+	cluster, err := codedsm.NewCluster(codedsm.ClusterConfig[uint64]{
+		BaseField:     gold,
+		NewTransition: codedsm.NewBank[uint64],
+		K:             k,
+		N:             nodes,
+		MaxFaults:     faults,
+		Consensus:     codedsm.DolevStrong,
+		Byzantine:     byz,
+		Seed:          2019,
+		BatchSize:     batchSize,
+		Pipeline:      pipeline,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return cluster
+}
+
+func main() {
+	gold := codedsm.NewGoldilocks()
+	k := codedsm.SyncMaxMachines(nodes, faults, 1)
+	workload := codedsm.RandomWorkload[uint64](gold, rounds, k, 1, 7)
+
+	sequential := build(0, 0)
+	start := time.Now()
+	seqResults, err := sequential.Run(workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seqElapsed := time.Since(start)
+
+	pipelined := build(batch, depth)
+	start = time.Now()
+	pipeResults, err := pipelined.Run(workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipeElapsed := time.Since(start)
+
+	for r := range seqResults {
+		s, p := seqResults[r], pipeResults[r]
+		if s.Correct != p.Correct || s.Skipped != p.Skipped ||
+			!slices.Equal(s.FaultyDetected, p.FaultyDetected) {
+			log.Fatalf("round %d diverged between engines", r)
+		}
+		for k := range s.Outputs {
+			if !slices.Equal(s.Outputs[k], p.Outputs[k]) {
+				log.Fatalf("round %d machine %d outputs diverged", r, k)
+			}
+		}
+		if !s.Correct {
+			log.Fatalf("round %d incorrect", r)
+		}
+	}
+	seqOps := sequential.OpCounts().Total()
+	pipeOps := pipelined.OpCounts().Total()
+
+	fmt.Printf("N=%d nodes, K=%d machines, b=%d wrong-result nodes, %d rounds, Dolev-Strong consensus\n\n",
+		nodes, k, faults, rounds)
+	fmt.Printf("sequential engine:             %8.1fms  %9d field ops\n",
+		seqElapsed.Seconds()*1e3, seqOps)
+	fmt.Printf("pipelined (depth %d) + B=%d:    %8.1fms  %9d field ops\n",
+		depth, batch, pipeElapsed.Seconds()*1e3, pipeOps)
+	fmt.Printf("\nwall-clock %.2fx, field ops %.2fx — identical outputs, faults, and states.\n",
+		seqElapsed.Seconds()/pipeElapsed.Seconds(), float64(seqOps)/float64(pipeOps))
+	fmt.Println("One consensus instance now covers", batch, "rounds, the batch's commands")
+	fmt.Println("encode in one bulk pass, and steady-state decodes skip the error-locator")
+	fmt.Println("solve by reusing the previous micro-step's faulty set.")
+}

@@ -17,6 +17,45 @@
 // The engine runs on the deterministic lock-step network of package
 // transport and measures throughput exactly as the paper defines it:
 // commands per field operation per node (Section 2.2).
+//
+// # Batching and pipelining
+//
+// Two throughput knobs compose with the per-round parallelism of
+// Config.Parallelism:
+//
+//   - Config.BatchSize B groups B consecutive workload rounds under one
+//     consensus instance. The agreed B*K commands are Lagrange-encoded in
+//     a single flat-row bulk pass per node, and the B micro-steps then run
+//     the coded execution back to back. From the second micro-step on,
+//     each node primes its Reed-Solomon decode with the previous
+//     micro-step's faulty set (lcc.Primed): the error-locator solve is
+//     skipped whenever the corruption pattern is stable, which is the
+//     steady state under static Byzantine behaviour. For every decided
+//     batch, outputs, detected faults and decoded states are identical to
+//     unbatched execution; only tick accounting (one consensus per batch)
+//     and the operation counts of the accelerated decodes differ. The
+//     consensus granularity itself necessarily changes: rotating-leader
+//     protocols elect one leader per instance (rotating over instances,
+//     so every node still leads eventually) and a corrupted proposal
+//     skips the whole batch rather than a single round.
+//
+//   - Config.Pipeline (and RunPipelined) overlaps rounds: a background
+//     client stage performs the oracle advance, client tally, and audit of
+//     a decided round while the driving goroutine already runs the
+//     consensus and execution phases of the following rounds.
+//
+// The pipelined engine's happens-before contract: within a round, every
+// node's next-state re-encode (the tail of its decode) completes on the
+// driving goroutine before the next round's compute phase reads any coded
+// state, so overlapped rounds never observe a half-updated S̃_i. The
+// client stage receives only immutable per-round snapshots — the decoded
+// outputs/states (freshly allocated by each decode), the agreed commands,
+// and client replies pre-drawn on the driving goroutine in protocol
+// order — and it alone touches the oracle machines between Run start and
+// return. All cluster and network randomness is consumed on the driving
+// goroutine in the same order as sequential execution, which is what makes
+// pipelined runs bit-identical (RoundResult for RoundResult) to
+// sequential ones.
 package csm
 
 import (
@@ -141,13 +180,28 @@ type Config[E comparable] struct {
 	// MaxTicksPerRound bounds a single round's lock-step ticks (default 200).
 	MaxTicksPerRound int
 	// Parallelism is the number of worker goroutines the execution phase
-	// fans node-level work onto: the N coded transition computes and the
-	// honest nodes' Reed-Solomon decodes (in delegated mode, the rotating
-	// worker's per-component decodes). Rounds are bit-identical to the
-	// sequential path for any worker count — all randomness and network
-	// interaction stay on the driving goroutine. 1 runs sequentially;
-	// <= 0 selects runtime.GOMAXPROCS(0).
+	// fans node-level work onto: the N coded transition computes, the
+	// result-broadcast signing whenever the network schedule is RNG-free,
+	// and the honest nodes' Reed-Solomon decodes (in delegated mode, the
+	// rotating worker's per-component decodes). Rounds are bit-identical
+	// to the sequential path for any worker count — all randomness and
+	// ordered network interaction stay on the driving goroutine. 1 runs
+	// sequentially; <= 0 selects runtime.GOMAXPROCS(0).
 	Parallelism int
+	// BatchSize is the number of consecutive workload rounds each
+	// consensus instance decides (Run/RunPipelined group the workload
+	// accordingly). The B micro-steps share one amortized command encode
+	// and prime each other's decodes; see the package documentation.
+	// 0 and 1 both mean one round per consensus instance; negative
+	// values are rejected.
+	BatchSize int
+	// Pipeline enables the pipelined engine in Run and sets its depth: up
+	// to Pipeline decided rounds may have their client/audit stage still
+	// outstanding while the driving goroutine executes later rounds.
+	// 0 disables pipelining in Run (RunPipelined then uses
+	// DefaultPipelineDepth); negative values are rejected. Incompatible
+	// with Delegated.
+	Pipeline int
 }
 
 // Cluster is a running CSM deployment.
@@ -164,6 +218,12 @@ type Cluster[E comparable] struct {
 	nodes    []*node[E]
 	rng      *rand.Rand
 	round    int
+	// instances counts consensus instances (= batches, skipped or not).
+	// Leadership rotates over instances, not rounds: with BatchSize B the
+	// round counter advances by B per instance, and rotating by round
+	// would visit only every gcd(B,N)-th node — silently excluding
+	// BadLeader adversaries from batched runs. For B=1 the two coincide.
+	instances int
 }
 
 // New builds and initializes a cluster, distributing coded initial states.
@@ -183,6 +243,15 @@ func New[E comparable](cfg Config[E]) (*Cluster[E], error) {
 	}
 	if cfg.Delegated && (cfg.Mode != transport.Sync || !cfg.NoEquivocation) {
 		return nil, errors.New("csm: delegated mode requires a synchronous broadcast network (Mode=Sync, NoEquivocation=true) — Section 6 assumption")
+	}
+	if cfg.BatchSize < 0 {
+		return nil, fmt.Errorf("csm: negative BatchSize %d", cfg.BatchSize)
+	}
+	if cfg.Pipeline < 0 {
+		return nil, fmt.Errorf("csm: negative Pipeline depth %d", cfg.Pipeline)
+	}
+	if cfg.Pipeline > 0 && cfg.Delegated {
+		return nil, errors.New("csm: pipelining requires the decentralized execution phase (Delegated=false): the delegated round interleaves client work with network phases")
 	}
 	counting := field.NewCounting(cfg.BaseField)
 	ring := poly.NewRing[E](counting)
@@ -322,7 +391,9 @@ type RoundResult[E comparable] struct {
 // budget (e.g. too many silent nodes in partial synchrony).
 var ErrRoundStuck = errors.New("csm: round did not complete within tick budget")
 
-// batchMsg is the consensus payload: one command vector per machine.
+// batchMsg is the consensus payload: the batch's command vectors, one per
+// machine per batch step, flattened step-major (step j, machine k at
+// index j*K+k; a single-round batch is exactly one vector per machine).
 type batchMsg struct {
 	Round int
 	Cmds  [][]uint64
@@ -400,65 +471,71 @@ func (c *Cluster[E]) fromWire(vals []uint64) []E {
 // ExecuteRound agrees on the given commands (one vector per machine) and
 // runs the coded execution phase. It returns the per-round report.
 func (c *Cluster[E]) ExecuteRound(cmds [][]E) (*RoundResult[E], error) {
-	if len(cmds) != c.cfg.K {
-		return nil, fmt.Errorf("csm: %d command vectors for K=%d machines", len(cmds), c.cfg.K)
-	}
-	for k, cmd := range cmds {
-		if len(cmd) != c.tr.CmdLen() {
-			return nil, fmt.Errorf("csm: command %d has length %d, want %d", k, len(cmd), c.tr.CmdLen())
+	out, err := c.executeBatch([][][]E{cmds}, nil)
+	if err != nil {
+		var bre *batchRoundError
+		if errors.As(err, &bre) {
+			// A one-round batch: the offset adds nothing to the message.
+			return nil, fmt.Errorf("csm: %w", bre.err)
 		}
-	}
-	agreed, ticksConsensus, err := c.runConsensus(cmds)
-	if err != nil {
 		return nil, err
 	}
-	if agreed == nil {
-		c.round++
-		return &RoundResult[E]{Skipped: true, Ticks: ticksConsensus, Correct: true}, nil
-	}
-	var res *RoundResult[E]
-	var ticksExec int
-	if c.cfg.Delegated {
-		res, ticksExec, err = c.runExecutionDelegated(agreed)
-	} else {
-		res, ticksExec, err = c.runExecution(agreed)
-	}
-	if err != nil {
-		return nil, err
-	}
-	res.Ticks = ticksConsensus + ticksExec
-	c.round++
-	return res, nil
+	return out[0], nil
 }
 
-// runConsensus agrees on the command batch. It returns the agreed commands,
-// or nil if the decided batch failed validation (Byzantine leader).
-func (c *Cluster[E]) runConsensus(cmds [][]E) ([][]E, int, error) {
-	wire := make([][]uint64, len(cmds))
-	for k, cmd := range cmds {
-		wire[k] = c.toWire(cmd)
+// ExecuteBatch agrees on a batch of consecutive command rounds under a
+// single consensus instance and executes them as micro-steps (batch[j][k]
+// is machine k's command vector in the batch's j-th round). It returns one
+// report per round; on a mid-batch error the reports of the rounds that
+// fully completed are returned alongside the error. The whole batch is
+// validated before consensus: a malformed round fails the batch up front
+// (the error names that round) and none of its rounds execute, just as a
+// leader-corrupted batch is skipped as a whole (every report carries
+// Skipped).
+func (c *Cluster[E]) ExecuteBatch(batch [][][]E) ([]*RoundResult[E], error) {
+	return c.executeBatch(batch, nil)
+}
+
+// runConsensus agrees on the command batch. It returns the agreed
+// commands (per batch step), or nil if the decided batch failed validation
+// (Byzantine leader).
+func (c *Cluster[E]) runConsensus(batch [][][]E) ([][][]E, int, error) {
+	defer func() { c.instances++ }()
+	if c.cfg.Consensus == Oracle {
+		// Trusted sequencer: no proposal to serialize, no network phase.
+		return batch, 0, nil
+	}
+	wire := make([][]uint64, 0, len(batch)*c.cfg.K)
+	for _, cmds := range batch {
+		for _, cmd := range cmds {
+			wire = append(wire, c.toWire(cmd))
+		}
 	}
 	valid, err := encodePayload(batchMsg{Round: c.round, Cmds: wire})
 	if err != nil {
 		return nil, 0, err
 	}
+	var decided []byte
+	var ticks int
 	switch c.cfg.Consensus {
-	case Oracle:
-		return cmds, 0, nil
 	case DolevStrong:
-		return c.runDolevStrong(valid, wire)
+		decided, ticks, err = c.runDolevStrong(valid)
 	case PBFT:
-		return c.runPBFT(valid, wire)
+		decided, ticks, err = c.runPBFT(valid)
 	default:
 		return nil, 0, fmt.Errorf("csm: unknown consensus kind %d", c.cfg.Consensus)
 	}
+	if err != nil {
+		return nil, ticks, err
+	}
+	return c.validateBatch(decided, len(batch), ticks)
 }
 
-// leaderFor rotates leadership across rounds.
-func (c *Cluster[E]) leaderFor(round int) int { return round % c.cfg.N }
+// leaderFor rotates leadership across consensus instances.
+func (c *Cluster[E]) leaderFor(instance int) int { return instance % c.cfg.N }
 
-func (c *Cluster[E]) runDolevStrong(valid []byte, wire [][]uint64) ([][]E, int, error) {
-	leader := c.leaderFor(c.round)
+func (c *Cluster[E]) runDolevStrong(valid []byte) ([]byte, int, error) {
+	leader := c.leaderFor(c.instances)
 	proposal := valid
 	if b := c.cfg.Byzantine[leader]; b == BadLeader {
 		proposal = []byte("garbage-batch")
@@ -484,10 +561,10 @@ func (c *Cluster[E]) runDolevStrong(valid []byte, wire [][]uint64) ([][]E, int, 
 		return nil, rounds, err
 	}
 	decided, _ := nodes[waitFor[0]].Decided()
-	return c.validateBatch(decided, rounds)
+	return decided, rounds, nil
 }
 
-func (c *Cluster[E]) runPBFT(valid []byte, wire [][]uint64) ([][]E, int, error) {
+func (c *Cluster[E]) runPBFT(valid []byte) ([]byte, int, error) {
 	nodes := make([]consensus.Node, c.cfg.N)
 	waitFor := make([]int, 0, c.cfg.N)
 	for i := 0; i < c.cfg.N; i++ {
@@ -512,24 +589,29 @@ func (c *Cluster[E]) runPBFT(valid []byte, wire [][]uint64) ([][]E, int, error) 
 		return nil, budget, err
 	}
 	decided, _ := nodes[waitFor[0]].Decided()
-	return c.validateBatch(decided, budget)
+	return decided, budget, nil
 }
 
-// validateBatch checks a decided batch; garbage yields a skipped round.
-func (c *Cluster[E]) validateBatch(decided []byte, ticks int) ([][]E, int, error) {
+// validateBatch checks a decided batch of the given step count; garbage
+// yields a skipped batch (nil commands).
+func (c *Cluster[E]) validateBatch(decided []byte, steps, ticks int) ([][][]E, int, error) {
 	var batch batchMsg
 	if err := decodePayload(decided, &batch); err != nil {
-		return nil, ticks, nil // garbage decision: skip round
+		return nil, ticks, nil // garbage decision: skip batch
 	}
-	if len(batch.Cmds) != c.cfg.K {
+	if len(batch.Cmds) != steps*c.cfg.K {
 		return nil, ticks, nil
 	}
-	out := make([][]E, c.cfg.K)
-	for k, w := range batch.Cmds {
-		if len(w) != c.tr.CmdLen() {
-			return nil, ticks, nil
+	out := make([][][]E, steps)
+	for j := range out {
+		out[j] = make([][]E, c.cfg.K)
+		for k := 0; k < c.cfg.K; k++ {
+			w := batch.Cmds[j*c.cfg.K+k]
+			if len(w) != c.tr.CmdLen() {
+				return nil, ticks, nil
+			}
+			out[j][k] = c.fromWire(w)
 		}
-		out[k] = c.fromWire(w)
 	}
 	return out, ticks, nil
 }

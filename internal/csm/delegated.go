@@ -148,7 +148,8 @@ func (c *Cluster[E]) delegatedAttempt(agreed [][]E, worker, attempt int) (*Round
 		if err != nil {
 			return nil, ticks, false, err
 		}
-		if err := n.broadcastResult(result); err != nil {
+		n.planBroadcast(result)
+		if err := n.transmitResult(); err != nil {
 			return nil, ticks, false, err
 		}
 	}
@@ -339,8 +340,8 @@ func (c *Cluster[E]) delegatedAttempt(agreed [][]E, worker, attempt int) (*Round
 		}
 		oracleOutputs[k] = out
 	}
-	res := c.clientPhase(oracleOutputs)
-	res.Ticks = ticks
+	res := &RoundResult[E]{Ticks: ticks}
+	c.clientPhase(oracleOutputs, c.drawClientReplies(), c.snapshotDecodes(), res)
 	return res, ticks, false, nil
 }
 

@@ -2,6 +2,7 @@ package csm
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"codedsm/internal/field"
@@ -9,26 +10,136 @@ import (
 	"codedsm/internal/transport"
 )
 
-// runExecution drives the coded execution phase for an agreed batch. It
-// returns the round report and the number of lock-step ticks consumed.
-// Node-level work runs on cfg.Parallelism workers (see parallel.go); the
-// phase split keeps rounds bit-identical to sequential execution.
-func (c *Cluster[E]) runExecution(agreed [][]E) (*RoundResult[E], int, error) {
-	// Compute phase (parallel): every node computes its true coded result;
-	// Byzantine behaviour is applied at broadcast time (the adversary knows
-	// the true value).
-	results, err := c.computeAllResults(agreed)
-	if err != nil {
-		return nil, 0, err
+// stepOutcome carries everything one executed micro-step hands to the
+// client stage: the agreed commands (for the oracle advance), the
+// pre-drawn Byzantine client replies, and an immutable snapshot of every
+// honest node's decode. The driving goroutine never mutates any of it
+// after handing the outcome off, which is what lets the pipelined engine
+// run the client stage concurrently with later rounds.
+type stepOutcome[E comparable] struct {
+	cmds    [][]E
+	replies [][][]E
+	decodes []*nodeDecode[E]
+	res     *RoundResult[E]
+	skip    bool // consensus decided garbage: nothing to tally
+}
+
+// executeBatch is the round engine shared by ExecuteRound, ExecuteBatch,
+// Run and RunPipelined: one consensus instance over len(batch) rounds,
+// then one execution micro-step per round. With a nil stage the client
+// phase completes inline before the next micro-step starts; otherwise each
+// outcome is enqueued on the stage and only the execution phases run here.
+// The returned slice covers exactly the rounds whose execution completed
+// (all of them when err is nil).
+func (c *Cluster[E]) executeBatch(batch [][][]E, stage *clientStage[E]) ([]*RoundResult[E], error) {
+	steps := len(batch)
+	if steps == 0 {
+		return nil, errors.New("csm: empty batch")
 	}
-	// Broadcast phase (sequential, in node order): Byzantine lies consume
-	// the cluster RNG and messages enter the lock-step network.
+	for j, cmds := range batch {
+		if len(cmds) != c.cfg.K {
+			return nil, &batchRoundError{offset: j, err: fmt.Errorf("%d command vectors for K=%d machines", len(cmds), c.cfg.K)}
+		}
+		for k, cmd := range cmds {
+			if len(cmd) != c.tr.CmdLen() {
+				return nil, &batchRoundError{offset: j, err: fmt.Errorf("command %d has length %d, want %d", k, len(cmd), c.tr.CmdLen())}
+			}
+		}
+	}
+	agreed, ticksConsensus, err := c.runConsensus(batch)
+	if err != nil {
+		return nil, err
+	}
+	if agreed == nil {
+		// Byzantine leader: the whole batch is skipped (commands stay
+		// pending with the clients), consensus ticks charged to its first
+		// round.
+		out := make([]*RoundResult[E], steps)
+		for j := range out {
+			out[j] = &RoundResult[E]{Skipped: true, Correct: true}
+			if j == 0 {
+				out[j].Ticks = ticksConsensus
+			}
+			c.round++
+			if stage != nil {
+				stage.enqueue(&stepOutcome[E]{res: out[j], skip: true})
+			}
+		}
+		return out, nil
+	}
+	if c.cfg.Delegated {
+		// The delegated execution phase (Section 6.2) performs its own
+		// coding through the rotating worker; micro-steps simply share the
+		// consensus instance. Pipelining is rejected at construction.
+		out := make([]*RoundResult[E], 0, steps)
+		for j := 0; j < steps; j++ {
+			res, ticksExec, err := c.runExecutionDelegated(agreed[j])
+			if err != nil {
+				return out, err
+			}
+			res.Ticks = ticksExec
+			if j == 0 {
+				res.Ticks += ticksConsensus
+			}
+			c.round++
+			out = append(out, res)
+		}
+		return out, nil
+	}
+	// One amortized Lagrange encode covers every micro-step's commands:
+	// encoding is linear and state-independent, so the per-machine command
+	// vectors of all steps concatenate into one flat row per machine and
+	// each node runs K ScaleAccVec kernels over the whole batch at once.
+	if err := c.encodeBatchCommands(agreed); err != nil {
+		return nil, err
+	}
+	for _, n := range c.nodes {
+		n.suspects = nil // first micro-step always runs the full decoder
+	}
+	out := make([]*RoundResult[E], 0, steps)
+	for j := 0; j < steps; j++ {
+		outcome, err := c.runExecutionStep(j)
+		if err != nil {
+			return out, err
+		}
+		outcome.cmds = agreed[j]
+		if j == 0 {
+			outcome.res.Ticks += ticksConsensus
+		}
+		if stage != nil {
+			c.round++
+			out = append(out, outcome.res)
+			stage.enqueue(outcome)
+			continue
+		}
+		if err := c.finishStep(outcome); err != nil {
+			return out, err
+		}
+		c.round++
+		out = append(out, outcome.res)
+	}
+	return out, nil
+}
+
+// runExecutionStep drives the coded execution phase for one micro-step of
+// the current batch: compute (parallel), broadcast (randomness drawn in
+// node order on the driving goroutine, signatures fanned out when the
+// network schedule is RNG-free), then the lock-step collect/decode loop.
+// On return every honest node has decoded and re-encoded its next coded
+// state — the happens-before boundary the next micro-step's compute phase
+// relies on — and the outcome snapshot is ready for the client stage.
+func (c *Cluster[E]) runExecutionStep(micro int) (*stepOutcome[E], error) {
+	results, err := c.computeAllResults(micro)
+	if err != nil {
+		return nil, err
+	}
 	for i, n := range c.nodes {
 		n.received = make(map[int][]E, c.cfg.N)
 		n.decoded = nil
-		if err := n.broadcastResult(results[i]); err != nil {
-			return nil, 0, err
-		}
+		n.planBroadcast(results[i])
+	}
+	if err := c.transmitAllResults(); err != nil {
+		return nil, err
 	}
 	ticks := 0
 	deadline := 1 // synchronous networks: results arrive in exactly one tick
@@ -56,50 +167,99 @@ func (c *Cluster[E]) runExecution(agreed [][]E) (*RoundResult[E], int, error) {
 		force := c.cfg.Mode == transport.PartialSync || ticks >= deadline
 		allDecoded, err := c.tryDecodeAll(ready, force)
 		if err != nil {
-			return nil, ticks, err
+			return nil, err
 		}
 		if allDecoded && len(ready) == pending {
 			break
 		}
 		if ticks >= c.cfg.MaxTicksPerRound {
-			return nil, ticks, fmt.Errorf("%w (after %d ticks)", ErrRoundStuck, ticks)
+			return nil, fmt.Errorf("%w (after %d ticks)", ErrRoundStuck, ticks)
 		}
 	}
-	// Advance the ground-truth oracle.
+	// Prime the next micro-step's decodes with this step's verdicts.
+	for _, n := range c.nodes {
+		if n.behavior != Honest || n.decoded == nil {
+			continue
+		}
+		n.suspects = n.decoded.faulty
+		if n.suspects == nil {
+			n.suspects = []int{}
+		}
+	}
+	return &stepOutcome[E]{
+		replies: c.drawClientReplies(),
+		decodes: c.snapshotDecodes(),
+		res:     &RoundResult[E]{Ticks: ticks},
+	}, nil
+}
+
+// finishStep runs the sequential tail of a micro-step: advance the
+// ground-truth oracle and run the client tally/audit. In pipelined runs
+// this executes on the client-stage goroutine.
+func (c *Cluster[E]) finishStep(o *stepOutcome[E]) error {
 	oracleOutputs := make([][]E, c.cfg.K)
 	for k, m := range c.oracle {
-		out, err := m.Step(agreed[k])
+		out, err := m.Step(o.cmds[k])
 		if err != nil {
-			return nil, ticks, err
+			return err
 		}
 		oracleOutputs[k] = out
 	}
-	res := c.clientPhase(oracleOutputs)
-	return res, ticks, nil
+	c.clientPhase(oracleOutputs, o.replies, o.decodes, o.res)
+	return nil
+}
+
+// drawClientReplies draws the Byzantine nodes' garbage client replies for
+// one round, in the exact (machine-major, node-minor) order the
+// sequential client phase consumed the cluster RNG; honest slots are nil.
+// Pre-drawing keeps pipelined runs on the same random stream as
+// sequential ones.
+func (c *Cluster[E]) drawClientReplies() [][][]E {
+	f := c.cfg.BaseField
+	out := make([][][]E, c.cfg.K)
+	for k := 0; k < c.cfg.K; k++ {
+		rep := make([][]E, len(c.nodes))
+		for i, n := range c.nodes {
+			if n.behavior != Honest {
+				rep[i] = field.RandVec(f, c.rng, c.tr.OutLen())
+			}
+		}
+		out[k] = rep
+	}
+	return out
+}
+
+// snapshotDecodes captures each node's decode for the client stage (nil
+// for Byzantine or still-undecoded nodes). The pointed-to decode is
+// immutable: every round allocates a fresh one.
+func (c *Cluster[E]) snapshotDecodes() []*nodeDecode[E] {
+	out := make([]*nodeDecode[E], len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.decoded
+	}
+	return out
 }
 
 // clientPhase simulates the M clients collecting per-node replies: a client
 // accepts an output once b+1 nodes report the same value (Table 2, output
-// delivery: 2b+1 <= N). Byzantine nodes report garbage. The result is then
-// audited against the oracle execution.
-func (c *Cluster[E]) clientPhase(oracleOutputs [][]E) *RoundResult[E] {
+// delivery: 2b+1 <= N). Byzantine nodes report the pre-drawn garbage. The
+// result is then audited against the oracle execution.
+func (c *Cluster[E]) clientPhase(oracleOutputs [][]E, replies [][][]E, decodes []*nodeDecode[E], res *RoundResult[E]) {
 	f := c.cfg.BaseField
-	res := &RoundResult[E]{
-		Outputs: make([][]E, c.cfg.K),
-		Correct: true,
-	}
+	res.Outputs = make([][]E, c.cfg.K)
+	res.Correct = true
 	faulty := make(map[int]bool)
 	var keyBuf []byte
 	for k := 0; k < c.cfg.K; k++ {
 		counts := make(map[string]int)
 		values := make(map[string][]E)
-		for _, n := range c.nodes {
+		for i := range decodes {
 			var reply []E
 			switch {
-			case n.behavior != Honest:
-				reply = field.RandVec(f, c.rng, c.tr.OutLen())
-			case n.decoded != nil:
-				reply = n.decoded.outputs[k]
+			case replies[k][i] != nil:
+				reply = replies[k][i]
+			case decodes[i] != nil:
+				reply = decodes[i].outputs[k]
 			default:
 				continue
 			}
@@ -113,12 +273,7 @@ func (c *Cluster[E]) clientPhase(oracleOutputs [][]E) *RoundResult[E] {
 			counts[key]++
 			values[key] = reply
 		}
-		for key, cnt := range counts {
-			if cnt >= c.cfg.MaxFaults+1 {
-				res.Outputs[k] = values[key]
-				break
-			}
-		}
+		res.Outputs[k] = acceptReply(counts, values, c.cfg.MaxFaults+1)
 		if res.Outputs[k] == nil || !field.VecEqual(f, res.Outputs[k], oracleOutputs[k]) {
 			res.Correct = false
 		}
@@ -126,33 +281,105 @@ func (c *Cluster[E]) clientPhase(oracleOutputs [][]E) *RoundResult[E] {
 	// Consistency audit: every honest node must hold the same decoded next
 	// states, matching the oracle.
 	oracleStates := c.OracleStates()
-	for _, n := range c.nodes {
-		if n.behavior != Honest || n.decoded == nil {
+	for _, dec := range decodes {
+		if dec == nil {
 			continue
 		}
-		for _, idx := range n.decoded.faulty {
+		for _, idx := range dec.faulty {
 			faulty[idx] = true
 		}
 		for k := 0; k < c.cfg.K; k++ {
-			if !field.VecEqual(f, n.decoded.nextStates[k], oracleStates[k]) {
+			if !field.VecEqual(f, dec.nextStates[k], oracleStates[k]) {
 				res.Correct = false
 			}
 		}
 	}
 	res.FaultyDetected = ints.SortedKeys(faulty)
-	return res
 }
 
-// Run executes a whole workload: rounds[r][k] is machine k's command vector
-// in round r. It returns the per-round results.
-func (c *Cluster[E]) Run(rounds [][][]E) ([]*RoundResult[E], error) {
-	out := make([]*RoundResult[E], 0, len(rounds))
-	for r, cmds := range rounds {
-		res, err := c.ExecuteRound(cmds)
-		if err != nil {
-			return out, fmt.Errorf("csm: round %d: %w", r, err)
+// acceptReply picks the client-accepted output under the b+1
+// matching-replies rule. The previous implementation iterated the Go map
+// and took the first key reaching the threshold — map iteration order is
+// nondeterministic, so when two values qualified, identically-seeded runs
+// could disagree on the accepted output. The winner is now chosen
+// deterministically: highest count, ties broken by the smallest canonical
+// wire-byte key.
+func acceptReply[E comparable](counts map[string]int, values map[string][]E, threshold int) []E {
+	best, bestKey := 0, ""
+	for key, cnt := range counts {
+		if cnt < threshold || cnt < best {
+			continue
 		}
-		out = append(out, res)
+		if cnt > best || key < bestKey {
+			best, bestKey = cnt, key
+		}
+	}
+	if best == 0 {
+		return nil
+	}
+	return values[bestKey]
+}
+
+// batchRoundError marks a pre-execution batch failure attributable to one
+// specific round of the batch, identified by its offset within the batch.
+// The workload runners translate the offset into the workload round index.
+type batchRoundError struct {
+	offset int
+	err    error
+}
+
+func (e *batchRoundError) Error() string {
+	return fmt.Sprintf("csm: batch round %d: %v", e.offset, e.err)
+}
+func (e *batchRoundError) Unwrap() error { return e.err }
+
+// wrapRoundErr attributes a batch error to a workload round: base is the
+// batch's first workload round, failed the first round that did not
+// complete. A batchRoundError names the offending round (which may sit
+// later in the failed batch than the rounds it prevented from executing);
+// any other error is attributed to the first unexecuted round.
+func wrapRoundErr(err error, base, failed int) error {
+	var bre *batchRoundError
+	if errors.As(err, &bre) {
+		return fmt.Errorf("csm: round %d: %w", base+bre.offset, bre.err)
+	}
+	return fmt.Errorf("csm: round %d: %w", failed, err)
+}
+
+// batchSize returns the effective rounds-per-consensus-instance.
+func (c *Cluster[E]) batchSize() int {
+	if c.cfg.BatchSize > 1 {
+		return c.cfg.BatchSize
+	}
+	return 1
+}
+
+// BatchSize reports the effective rounds-per-consensus-instance the
+// workload runners group by.
+func (c *Cluster[E]) BatchSize() int { return c.batchSize() }
+
+// Run executes a whole workload: rounds[r][k] is machine k's command vector
+// in round r. Rounds are grouped into consensus batches of
+// Config.BatchSize; with Config.Pipeline > 0 the pipelined engine is used.
+//
+// Error contract: on a mid-workload error Run returns the reports of every
+// round that fully completed — always a prefix of the workload — together
+// with the error, wrapped with the index of the failed round. Callers that
+// ignore the partial slice lose nothing but history; callers like
+// cmd/csmsim surface the completed-round count.
+func (c *Cluster[E]) Run(rounds [][][]E) ([]*RoundResult[E], error) {
+	if c.cfg.Pipeline > 0 {
+		return c.RunPipelined(rounds)
+	}
+	out := make([]*RoundResult[E], 0, len(rounds))
+	bs := c.batchSize()
+	for start := 0; start < len(rounds); start += bs {
+		end := min(start+bs, len(rounds))
+		res, err := c.executeBatch(rounds[start:end], nil)
+		out = append(out, res...)
+		if err != nil {
+			return out, wrapRoundErr(err, start, start+len(res))
+		}
 	}
 	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"codedsm/internal/field"
+	"codedsm/internal/lcc"
 	"codedsm/internal/transport"
 )
 
@@ -23,8 +24,30 @@ type node[E comparable] struct {
 	received map[int][]E // sender -> result vector
 	decoded  *nodeDecode[E]
 
+	// Staged result transmission: planBroadcast draws all Byzantine
+	// randomness on the driving goroutine (cluster-RNG order matters) and
+	// fills these; transmitResult is then RNG-free, so the signing and
+	// enqueueing of the N nodes' results can fan out across workers
+	// whenever the network delivery schedule is deterministic.
+	txBroadcast []byte   // payload to Broadcast (nil: nothing to broadcast)
+	txSends     [][]byte // per-recipient payloads (Equivocate), nil otherwise
+
+	// Batched-decode state: suspects is the faulty set the previous
+	// micro-step of the current batch identified (nil on a batch's first
+	// micro-step — the full decoder always runs there), and primed is the
+	// accelerator built for it, reused while layout and suspicion match.
+	// primedIdx/primedSusp memoize the exact layout NewPrimed last ran
+	// for, so an ineligible layout (primed == nil) is not rebuilt every
+	// lock-step tick of a degraded partially synchronous round, while a
+	// genuinely new layout still gets its priming attempt.
+	suspects   []int
+	primed     *lcc.Primed[E]
+	primedIdx  []int
+	primedSusp []int
+
 	// Round-to-round scratch: steady-state rounds reuse these instead of
-	// allocating. cmdScratch holds the node's coded commands, stateScratch
+	// allocating. cmdScratch holds the node's coded commands for the whole
+	// current batch (BatchSize x CmdLen, flat), stateScratch
 	// double-buffers the re-encoded coded state (it swaps with codedState
 	// each round), and idxScratch/resScratch stage the decode inputs.
 	cmdScratch   []E
@@ -37,7 +60,9 @@ type node[E comparable] struct {
 	dlgProof *dlgProofMsg // the proof this node holds for the round
 }
 
-// nodeDecode is a node's decoded view of one round.
+// nodeDecode is a node's decoded view of one round. Instances are
+// allocated fresh every round and never mutated afterwards, so the
+// pipelined client stage can hold them across rounds.
 type nodeDecode[E comparable] struct {
 	outputs    [][]E // K output vectors
 	nextStates [][]E // K next-state vectors
@@ -45,11 +70,12 @@ type nodeDecode[E comparable] struct {
 }
 
 // lagrangeEncodeInto accumulates the node's Lagrange encode Σ_k c_ik
-// vecs[k] into dst — allocated at the given length when nil — on the
-// counted bulk kernels (K ScaleAccVec calls). It returns dst.
+// vecs[k] into dst — (re)allocated at the given length when it does not
+// match — on the counted bulk kernels (K ScaleAccVec calls). It returns
+// dst.
 func (n *node[E]) lagrangeEncodeInto(dst []E, length int, vecs [][]E) []E {
 	c := n.cluster
-	if dst == nil {
+	if len(dst) != length {
 		dst = make([]E, length)
 	}
 	zero := c.counting.Zero()
@@ -63,44 +89,64 @@ func (n *node[E]) lagrangeEncodeInto(dst []E, length int, vecs [][]E) []E {
 	return dst
 }
 
-// computeResult runs the coded execution step: encode the commands with the
-// node's Lagrange coefficients and apply f on coded state and command. The
-// encode lands in the node's reusable command scratch — Apply copies its
+// computeResultAt runs the coded execution step for the batch's micro-th
+// micro-step: the node's coded command was already encoded into the batch
+// scratch, and f is applied on coded state and command. Apply copies its
 // inputs, so the scratch never escapes the round.
-func (n *node[E]) computeResult(cmds [][]E) ([]E, error) {
+func (n *node[E]) computeResultAt(micro int) ([]E, error) {
 	c := n.cluster
-	n.cmdScratch = n.lagrangeEncodeInto(n.cmdScratch, c.tr.CmdLen(), cmds)
-	return c.tr.ApplyResult(n.codedState, n.cmdScratch)
+	cmdLen := c.tr.CmdLen()
+	cmd := n.cmdScratch[micro*cmdLen : (micro+1)*cmdLen]
+	return c.tr.ApplyResult(n.codedState, cmd)
 }
 
-// broadcastResult sends the node's (possibly corrupted) result.
-func (n *node[E]) broadcastResult(result []E) error {
+// planBroadcast stages the node's (possibly corrupted) result
+// transmission, drawing any Byzantine randomness from the cluster RNG —
+// this must run on the driving goroutine, in node order.
+func (n *node[E]) planBroadcast(result []E) {
 	c := n.cluster
+	n.txBroadcast = nil
+	n.txSends = nil
 	switch n.behavior {
 	case Silent:
-		return nil
 	case WrongResult, BadLeader:
 		bad := field.RandVec(c.cfg.BaseField, c.rng, len(result))
 		n.received[n.id] = bad // a liar is at least self-consistent
-		return n.ep.Broadcast(resultKind, c.encodeResultPayload(c.round, bad))
+		n.txBroadcast = c.encodeResultPayload(c.round, bad)
 	case Equivocate:
 		// A different wrong value to every peer. On a no-equivocation
 		// (broadcast) network the transport coerces these to the first.
+		n.txSends = make([][]byte, c.cfg.N)
 		for to := 0; to < c.cfg.N; to++ {
 			if to == n.id {
 				continue
 			}
 			bad := field.RandVec(c.cfg.BaseField, c.rng, len(result))
-			if err := n.ep.Send(transport.NodeID(to), resultKind, c.encodeResultPayload(c.round, bad)); err != nil {
-				return err
-			}
+			n.txSends[to] = c.encodeResultPayload(c.round, bad)
 		}
 		n.received[n.id] = result
-		return nil
 	default:
 		n.received[n.id] = result
-		return n.ep.Broadcast(resultKind, c.encodeResultPayload(c.round, result))
+		n.txBroadcast = c.encodeResultPayload(c.round, result)
 	}
+}
+
+// transmitResult signs and enqueues what planBroadcast staged. It is
+// RNG-free and touches only this node's endpoint, so distinct nodes may
+// transmit concurrently when the network schedule is deterministic.
+func (n *node[E]) transmitResult() error {
+	if n.txBroadcast != nil {
+		return n.ep.Broadcast(resultKind, n.txBroadcast)
+	}
+	for to, payload := range n.txSends {
+		if payload == nil {
+			continue
+		}
+		if err := n.ep.Send(transport.NodeID(to), resultKind, payload); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // collect ingests result messages for the current round.
@@ -121,6 +167,10 @@ func (n *node[E]) collect(msgs []transport.Message) {
 // tryDecode decodes once enough results are available. Synchronous mode
 // decodes whatever arrived after the fixed interval (missing results are
 // erasures); partially synchronous mode requires at least N-b results.
+// From a batch's second micro-step on, the decode first tries the primed
+// fast path (suspects from the previous micro-step); the full
+// noisy-interpolation decoder remains the fallback and the authority on
+// anything the fast path cannot certify.
 func (n *node[E]) tryDecode(force bool) (bool, error) {
 	c := n.cluster
 	need := c.cfg.N - c.cfg.MaxFaults
@@ -142,9 +192,40 @@ func (n *node[E]) tryDecode(force bool) (bool, error) {
 		results = append(results, n.received[idx])
 	}
 	n.resScratch = results
-	dec, err := c.code.DecodeOutputsSubset(indices, results, c.tr.Degree())
-	if err != nil {
-		return false, fmt.Errorf("csm: node %d decode: %w", n.id, err)
+	var dec *lcc.DecodeResult[E]
+	if n.suspects != nil {
+		var primed *lcc.Primed[E]
+		switch {
+		case n.primed != nil && n.primed.Matches(indices, n.suspects):
+			primed = n.primed
+		case !slices.Equal(n.primedIdx, indices) || !slices.Equal(n.primedSusp, n.suspects):
+			p, err := c.code.NewPrimed(indices, n.suspects, c.tr.Degree(), c.cfg.MaxFaults)
+			if err != nil {
+				return false, fmt.Errorf("csm: node %d priming decode: %w", n.id, err)
+			}
+			n.primed = p // may be nil: layout ineligible for the fast path
+			n.primedIdx = append(n.primedIdx[:0], indices...)
+			n.primedSusp = append(n.primedSusp[:0], n.suspects...)
+			primed = p
+		default:
+			// This exact layout was already found ineligible: skip.
+		}
+		if primed != nil {
+			fast, ok, err := primed.Decode(results, 1)
+			if err != nil {
+				return false, fmt.Errorf("csm: node %d primed decode: %w", n.id, err)
+			}
+			if ok {
+				dec = fast
+			}
+		}
+	}
+	if dec == nil {
+		full, err := c.code.DecodeOutputsSubset(indices, results, c.tr.Degree())
+		if err != nil {
+			return false, fmt.Errorf("csm: node %d decode: %w", n.id, err)
+		}
+		dec = full
 	}
 	outputs := make([][]E, c.cfg.K)
 	nextStates := make([][]E, c.cfg.K)

@@ -8,15 +8,26 @@ import (
 // worker goroutines while keeping the simulation bit-identical to the
 // sequential path. The round is split into phases by what they touch:
 //
+//   - command encode (parallel): each node's Lagrange encode of the whole
+//     agreed batch is a pure function of the coefficients and the batch;
+//     one flat ScaleAccVec pass per machine covers every micro-step.
 //   - compute (parallel): every node's coded transition g_i = f(S̃_i, X̃_i)
-//     is a pure function of the node's state and the agreed batch; results
-//     land in index-addressed slots.
-//   - broadcast (sequential): Byzantine lies draw from the cluster RNG and
-//     messages enter the lock-step network, both order-sensitive.
+//     is a pure function of the node's state and its coded command slice;
+//     results land in index-addressed slots.
+//   - broadcast: Byzantine lies consume the cluster RNG on the driving
+//     goroutine in node order (planBroadcast); the RNG-free signing and
+//     enqueueing (transmitResult) fans out across workers whenever the
+//     transport's delivery schedule is enqueue-order-independent
+//     (synchronous mode or post-GST; pre-GST sends stay in node order —
+//     random delays consume the sequential RNG and a DelayFn may be
+//     stateful) — delivery order is re-sorted deterministically by the
+//     lock-step network, so enqueue order cannot leak into the simulation.
 //   - decode (parallel): each honest node's Reed-Solomon decode of the
 //     collected results is independent; message collection stays on the
 //     driving goroutine so inbox draining is ordered.
-//   - client/audit (sequential): draws from the cluster RNG.
+//   - client/audit (sequential or pipelined): draws from the cluster RNG
+//     on the driving goroutine; the tally itself may run on the
+//     background client stage.
 //
 // Shared structures reached from worker goroutines are safe by
 // construction: field.Counting uses atomic counters (which commute, so op
@@ -32,12 +43,38 @@ func (c *Cluster[E]) workers() int {
 // Parallelism reports the effective worker count rounds execute with.
 func (c *Cluster[E]) Parallelism() int { return c.workers() }
 
+// encodeBatchCommands Lagrange-encodes the agreed batch once per node:
+// encoding is linear and state-independent, so the per-machine command
+// vectors of all micro-steps concatenate into one flat row per machine
+// and each node's encode is K ScaleAccVec kernels over the whole batch.
+func (c *Cluster[E]) encodeBatchCommands(steps [][][]E) error {
+	cmdLen := c.tr.CmdLen()
+	total := len(steps) * cmdLen
+	vecs := steps[0]
+	if len(steps) > 1 {
+		flat := make([]E, c.cfg.K*total)
+		vecs = make([][]E, c.cfg.K)
+		for k := 0; k < c.cfg.K; k++ {
+			row := flat[k*total : (k+1)*total : (k+1)*total]
+			for j := range steps {
+				copy(row[j*cmdLen:(j+1)*cmdLen], steps[j][k])
+			}
+			vecs[k] = row
+		}
+	}
+	return pool.Run(c.workers(), len(c.nodes), func(i int) error {
+		n := c.nodes[i]
+		n.cmdScratch = n.lagrangeEncodeInto(n.cmdScratch, total, vecs)
+		return nil
+	})
+}
+
 // computeAllResults runs the compute phase: every node's true coded result
-// for the agreed batch, in parallel, index-aligned with c.nodes.
-func (c *Cluster[E]) computeAllResults(agreed [][]E) ([][]E, error) {
+// for the batch's micro-th step, in parallel, index-aligned with c.nodes.
+func (c *Cluster[E]) computeAllResults(micro int) ([][]E, error) {
 	results := make([][]E, len(c.nodes))
 	err := pool.Run(c.workers(), len(c.nodes), func(i int) error {
-		r, err := c.nodes[i].computeResult(agreed)
+		r, err := c.nodes[i].computeResultAt(micro)
 		if err != nil {
 			return err
 		}
@@ -48,6 +85,26 @@ func (c *Cluster[E]) computeAllResults(agreed [][]E) ([][]E, error) {
 		return nil, err
 	}
 	return results, nil
+}
+
+// transmitAllResults signs and enqueues every node's staged result
+// broadcast. The fan-out runs in parallel only when the transport's
+// delivery schedule at the current round is enqueue-order-independent:
+// pre-GST sends must stay in node order (random delays draw from the
+// network's sequential RNG at enqueue time, and an installed DelayFn may
+// be stateful).
+func (c *Cluster[E]) transmitAllResults() error {
+	if c.workers() > 1 && c.net.DelayDeterministic(c.net.Round()) {
+		return pool.Run(c.workers(), len(c.nodes), func(i int) error {
+			return c.nodes[i].transmitResult()
+		})
+	}
+	for _, n := range c.nodes {
+		if err := n.transmitResult(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // tryDecodeAll runs the decode phase for the pending honest nodes in

@@ -1,0 +1,86 @@
+package csm
+
+import (
+	"testing"
+)
+
+// TestAcceptReplyDeterministicOnCollision is the regression test for the
+// client-tally determinism bug: the old implementation iterated the Go map
+// and broke at the first key reaching the b+1 threshold, so with two
+// qualifying values the accepted output depended on map iteration order.
+// acceptReply must pick the highest count, ties broken by the smallest
+// canonical wire-byte key — the same answer on every run.
+func TestAcceptReplyDeterministicOnCollision(t *testing.T) {
+	va := []uint64{1}
+	vb := []uint64{2}
+	vc := []uint64{3}
+	keyA, keyB, keyC := "\x01aaaaaaa", "\x02bbbbbbb", "\x03ccccccc"
+
+	// Two keys over threshold, distinct counts: highest count wins,
+	// whatever the map order. Repeat to shake out iteration-order luck.
+	for i := 0; i < 64; i++ {
+		counts := map[string]int{keyA: 3, keyB: 5, keyC: 1}
+		values := map[string][]uint64{keyA: va, keyB: vb, keyC: vc}
+		if got := acceptReply(counts, values, 3); got == nil || got[0] != vb[0] {
+			t.Fatalf("iteration %d: accepted %v, want highest-count value %v", i, got, vb)
+		}
+	}
+	// Exact tie at the threshold: the smallest wire-byte key wins.
+	for i := 0; i < 64; i++ {
+		counts := map[string]int{keyB: 4, keyA: 4}
+		values := map[string][]uint64{keyA: va, keyB: vb}
+		if got := acceptReply(counts, values, 3); got == nil || got[0] != va[0] {
+			t.Fatalf("iteration %d: tie broken to %v, want smallest-key value %v", i, got, va)
+		}
+	}
+	// Nothing reaches the threshold: no accepted output.
+	if got := acceptReply(map[string]int{keyA: 2, keyB: 2}, map[string][]uint64{keyA: va, keyB: vb}, 3); got != nil {
+		t.Fatalf("below-threshold tally accepted %v", got)
+	}
+	// Empty tally (every node silent).
+	if got := acceptReply(map[string]int{}, map[string][]uint64{}, 1); got != nil {
+		t.Fatalf("empty tally accepted %v", got)
+	}
+}
+
+// TestClientPhaseCollidingReplies drives the collision through clientPhase
+// itself with crafted decode snapshots: 4 honest nodes split 2-2 between
+// two decoded outputs (possible only through adversarial inputs, which is
+// exactly when determinism matters most) plus a threshold of 2. The
+// accepted value must be the smaller wire key on every run, and the round
+// must be flagged incorrect when it disagrees with the oracle.
+func TestClientPhaseCollidingReplies(t *testing.T) {
+	cfg := baseConfig(2, 9, 1)
+	c := newCluster(t, cfg)
+	low := []uint64{7}   // smaller wire key
+	high := []uint64{9}  // larger wire key
+	state := []uint64{0} // audit state, matching the fresh oracle
+	mk := func(out []uint64) *nodeDecode[uint64] {
+		return &nodeDecode[uint64]{
+			outputs:    [][]uint64{out, out},
+			nextStates: [][]uint64{state, state},
+		}
+	}
+	decodes := make([]*nodeDecode[uint64], cfg.N)
+	decodes[0], decodes[1] = mk(high), mk(high)
+	decodes[2], decodes[3] = mk(low), mk(low)
+	replies := make([][][]uint64, cfg.K)
+	for k := range replies {
+		replies[k] = make([][]uint64, cfg.N)
+	}
+	oracle := [][]uint64{{7}, {9}}
+	for i := 0; i < 64; i++ {
+		res := &RoundResult[uint64]{}
+		c.clientPhase(oracle, replies, decodes, res)
+		for k := 0; k < cfg.K; k++ {
+			if res.Outputs[k] == nil || res.Outputs[k][0] != low[0] {
+				t.Fatalf("iteration %d machine %d: accepted %v, want deterministic %v", i, k, res.Outputs[k], low)
+			}
+		}
+		// Machine 0's oracle output matches the accepted value; machine
+		// 1's does not — the audit must flag the round.
+		if res.Correct {
+			t.Fatalf("iteration %d: colliding round audited as correct", i)
+		}
+	}
+}

@@ -331,6 +331,43 @@ func isFullSet(indices []int, n int) bool {
 	return true
 }
 
+// flatOutputs allocates the K result vectors of length l over one flat
+// backing array (full slice expressions: append never bleeds across rows).
+func flatOutputs[E comparable](k, l int) [][]E {
+	flat := make([]E, k*l)
+	outputs := make([][]E, k)
+	for i := range outputs {
+		outputs[i] = flat[i*l : (i+1)*l : (i+1)*l]
+	}
+	return outputs
+}
+
+// transposeColMajor lays the results matrix out column-major so component
+// j's received word is a contiguous slice, reusing dst when it fits —
+// this replaces the per-component strided gather (and its allocation).
+func transposeColMajor[E comparable](results [][]E, rows, l int, dst []E) []E {
+	if len(dst) != l*rows {
+		dst = make([]E, l*rows)
+	}
+	for i, row := range results {
+		for j, v := range row {
+			dst[j*rows+i] = v
+		}
+	}
+	return dst
+}
+
+// mergeFaulty unions per-component error positions into one sorted set.
+func mergeFaulty(faultyByComponent [][]int) []int {
+	faulty := make(map[int]bool)
+	for _, errsAt := range faultyByComponent {
+		for _, e := range errsAt {
+			faulty[e] = true
+		}
+	}
+	return ints.SortedKeys(faulty)
+}
+
 func (c *Code[E]) decode(results [][]E, indices []int, degree, workers int) (*DecodeResult[E], error) {
 	n := len(c.alphas)
 	rows := n
@@ -356,20 +393,8 @@ func (c *Code[E]) decode(results [][]E, indices []int, degree, workers int) (*De
 		indices = nil
 	}
 	k := len(c.omegas)
-	outFlat := make([]E, k*l)
-	outputs := make([][]E, k)
-	for i := range outputs {
-		outputs[i] = outFlat[i*l : (i+1)*l : (i+1)*l]
-	}
-	// Transpose the results matrix column-major once: component j's received
-	// word is then a contiguous slice, replacing the per-component strided
-	// gather (and its allocation) each decode performed before.
-	colMajor := make([]E, l*rows)
-	for i, row := range results {
-		for j, v := range row {
-			colMajor[j*rows+i] = v
-		}
-	}
+	outputs := flatOutputs[E](k, l)
+	colMajor := transposeColMajor(results, rows, l, nil)
 	// Components are independent codewords; decode them concurrently and
 	// merge the per-component faulty sets afterwards in component order.
 	// Each worker owns one reusable evaluation scratch buffer.
@@ -405,13 +430,7 @@ func (c *Code[E]) decode(results [][]E, indices []int, degree, workers int) (*De
 	if err != nil {
 		return nil, err
 	}
-	faulty := make(map[int]bool)
-	for _, errsAt := range faultyByComponent {
-		for _, e := range errsAt {
-			faulty[e] = true
-		}
-	}
-	return &DecodeResult[E]{Outputs: outputs, FaultyNodes: ints.SortedKeys(faulty)}, nil
+	return &DecodeResult[E]{Outputs: outputs, FaultyNodes: mergeFaulty(faultyByComponent)}, nil
 }
 
 // SyncMaxMachines returns the largest K supported by N nodes with b faults

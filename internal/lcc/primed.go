@@ -1,0 +1,215 @@
+package lcc
+
+import (
+	"slices"
+	"sync/atomic"
+
+	"codedsm/internal/poly"
+	"codedsm/internal/pool"
+)
+
+// Primed is a decode accelerator for repeated decodes against a stable
+// fault pattern — the steady state of a batched execution round, where the
+// same Byzantine nodes corrupt every micro-step of the batch (Section 5.2's
+// decoder runs once; subsequent micro-steps reuse its verdict).
+//
+// Instead of running the full noisy-interpolation decoder (interpolation
+// plus an extended-Euclidean error-locator solve per component), a primed
+// decode excludes the suspected rows, interpolates the remaining
+// ("trusted") rows directly, and checks the candidate against every
+// received coordinate. Soundness does not rest on the suspicion being
+// right: a candidate polynomial of degree < dim that matches all trusted
+// rows agrees with the true result polynomial on at least
+// |trusted| - maxFaults coordinates, and the capacity conditions of
+// Table 2 (2b+1 <= N - d(K-1) synchronous, 3b+1 <= N - d(K-1) partially
+// synchronous) make that at least dim, forcing the two polynomials equal.
+// NewPrimed therefore refuses to prime when |trusted| < dim + maxFaults,
+// and Decode reports ok=false — caller falls back to the full decoder —
+// whenever a component's trusted interpolation exceeds the result degree
+// (a suspect turned honest, or a new liar appeared among the trusted rows).
+type Primed[E comparable] struct {
+	code      *Code[E]
+	dim       int
+	maxFaults int
+	indices   []int // node index per received row; nil means the full 0..N-1
+	suspects  []int // node indices excluded from interpolation (sorted)
+	rows      int
+	trusted   []int // row positions (not node indices) used for interpolation
+
+	trustedTree *poly.SubproductTree[E] // over the trusted rows' points
+	rowTree     *poly.SubproductTree[E] // over all received rows' points
+
+	colScratch []E // column-major transpose, reused across Decode calls
+}
+
+// NewPrimed builds a primed decoder for the given received-row layout
+// (indices as in DecodeOutputsSubset; nil for the full node set), suspected
+// node set, transition degree, and fault budget. It returns (nil, nil)
+// when the layout is ineligible — too few unsuspected rows for the
+// self-verifying fast path — in which case callers must use the full
+// decoder.
+func (c *Code[E]) NewPrimed(indices, suspects []int, degree, maxFaults int) (*Primed[E], error) {
+	n := len(c.alphas)
+	rows := n
+	if indices != nil && !isFullSet(indices, n) {
+		rows = len(indices)
+	} else {
+		indices = nil
+	}
+	dim := c.ResultDim(degree)
+	suspect := make(map[int]bool, len(suspects))
+	for _, s := range suspects {
+		suspect[s] = true
+	}
+	trusted := make([]int, 0, rows)
+	pts := make([]E, 0, rows)
+	rowPts := make([]E, rows)
+	for r := 0; r < rows; r++ {
+		node := r
+		if indices != nil {
+			node = indices[r]
+		}
+		rowPts[r] = c.alphas[node]
+		if suspect[node] {
+			continue
+		}
+		trusted = append(trusted, r)
+		pts = append(pts, c.alphas[node])
+	}
+	if len(trusted) < dim+maxFaults {
+		return nil, nil // not enough trusted rows to self-verify
+	}
+	p := &Primed[E]{
+		code:      c,
+		dim:       dim,
+		maxFaults: maxFaults,
+		suspects:  slices.Clone(suspects),
+		rows:      rows,
+		trusted:   trusted,
+	}
+	slices.Sort(p.suspects)
+	if indices != nil {
+		p.indices = slices.Clone(indices)
+	}
+	p.trustedTree = poly.NewSubproductTree(c.ring, pts)
+	if indices == nil {
+		p.rowTree = c.alphaTree
+	} else {
+		p.rowTree = poly.NewSubproductTree(c.ring, rowPts)
+	}
+	return p, nil
+}
+
+// Matches reports whether this primed decoder was built for exactly the
+// given received-row layout and suspect set (both as NewPrimed received
+// them; suspects in any order).
+func (p *Primed[E]) Matches(indices, suspects []int) bool {
+	if indices != nil && isFullSet(indices, len(p.code.alphas)) {
+		indices = nil
+	}
+	if !slices.Equal(p.indices, indices) {
+		return false
+	}
+	if len(suspects) != len(p.suspects) {
+		return false
+	}
+	s := suspects
+	if !slices.IsSorted(s) { // the steady-state caller passes sorted sets
+		s = slices.Clone(s)
+		slices.Sort(s)
+	}
+	return slices.Equal(s, p.suspects)
+}
+
+// Decode attempts the primed fast path on a received results matrix shaped
+// exactly like the layout the decoder was primed for. ok=false means some
+// component could not be certified (the suspect set no longer explains the
+// corruption pattern) and the caller must run the full decoder; the
+// returned result is nil in that case. On ok=true the decode is exactly
+// what the full decoder would have produced: the capacity precondition
+// enforced at priming time makes the trusted interpolation provably equal
+// to the true result polynomial, and FaultyNodes is recomputed from scratch
+// against every received row (a suspect that sent a clean value this
+// micro-step is not accused).
+//
+// A Primed belongs to one decoding node: Decode reuses internal scratch
+// and must not be called concurrently on the same instance (the component
+// fan-out inside one call is fine).
+func (p *Primed[E]) Decode(results [][]E, workers int) (*DecodeResult[E], bool, error) {
+	c := p.code
+	l, err := c.vectorLen(results, p.rows)
+	if err != nil {
+		return nil, false, err
+	}
+	k := len(c.omegas)
+	outputs := flatOutputs[E](k, l)
+	p.colScratch = transposeColMajor(results, p.rows, l, p.colScratch)
+	colMajor := p.colScratch
+	f := c.f
+	faultyByComponent := make([][]int, l)
+	var fallback atomic.Bool
+	type scratch struct {
+		trusted   []E
+		corrected []E
+		omega     []E
+	}
+	scratches := make([]scratch, pool.Clamp(workers, l))
+	err = pool.RunIndexed(workers, l, func(worker, j int) error {
+		if fallback.Load() {
+			return nil // some component already failed: short-circuit
+		}
+		word := colMajor[j*p.rows : (j+1)*p.rows]
+		sc := &scratches[worker]
+		if sc.trusted == nil {
+			sc.trusted = make([]E, len(p.trusted))
+			sc.corrected = make([]E, p.rows)
+			sc.omega = make([]E, k)
+		}
+		for i, r := range p.trusted {
+			sc.trusted[i] = word[r]
+		}
+		cand, ierr := p.trustedTree.Interpolate(sc.trusted)
+		if ierr != nil {
+			return ierr
+		}
+		if c.ring.Deg(cand) >= p.dim {
+			fallback.Store(true) // a trusted row is corrupted: not certifiable
+			return nil
+		}
+		if eerr := p.rowTree.EvalManyInto(sc.corrected, cand); eerr != nil {
+			return eerr
+		}
+		var errorsAt []int
+		for r := 0; r < p.rows; r++ {
+			if !f.Equal(sc.corrected[r], word[r]) {
+				node := r
+				if p.indices != nil {
+					node = p.indices[r]
+				}
+				errorsAt = append(errorsAt, node)
+			}
+		}
+		if len(errorsAt) > p.maxFaults {
+			// More corrupted rows than the budget explains: the candidate
+			// cannot be certified (and under the capacity precondition this
+			// means a trusted row lied consistently enough to slip through
+			// the degree test — impossible for degree < dim, but cheap to
+			// keep as a hard stop).
+			fallback.Store(true)
+			return nil
+		}
+		c.ring.EvalManyInto(sc.omega, cand, c.omegas)
+		for ki := 0; ki < k; ki++ {
+			outputs[ki][j] = sc.omega[ki]
+		}
+		faultyByComponent[j] = errorsAt
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if fallback.Load() {
+		return nil, false, nil
+	}
+	return &DecodeResult[E]{Outputs: outputs, FaultyNodes: mergeFaulty(faultyByComponent)}, true, nil
+}

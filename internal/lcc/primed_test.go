@@ -1,0 +1,252 @@
+package lcc
+
+import (
+	"slices"
+	"testing"
+
+	"codedsm/internal/field"
+	"codedsm/internal/sm"
+)
+
+// primedFixture builds a K-machine code on N nodes with a degree-d
+// polynomial register transition and returns two rounds of clean result
+// matrices (the second from the first round's next states), so tests can
+// corrupt rows independently per "micro-step".
+type primedFixture struct {
+	code    *Code[uint64]
+	degree  int
+	rounds  [][][]uint64 // per round: N result rows
+	outputs [][][]uint64 // per round: K expected decoded result vectors
+}
+
+func newPrimedFixture(t *testing.T, k, n, d, rounds int) *primedFixture {
+	t.Helper()
+	code := newTestCode(t, k, n)
+	gold := field.NewGoldilocks()
+	tr, err := sm.NewPolynomialRegister[uint64](gold, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := make([][]uint64, k)
+	for i := range states {
+		states[i] = []uint64{uint64(3*i + 1)}
+	}
+	fx := &primedFixture{code: code, degree: d}
+	for r := 0; r < rounds; r++ {
+		cmds := make([][]uint64, k)
+		for i := range cmds {
+			cmds[i] = []uint64{uint64(7*i + r + 2)}
+		}
+		codedStates, err := code.EncodeVectors(states)
+		if err != nil {
+			t.Fatal(err)
+		}
+		codedCmds, err := code.EncodeVectors(cmds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := make([][]uint64, n)
+		for i := range results {
+			if results[i], err = tr.ApplyResult(codedStates[i], codedCmds[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		expected := make([][]uint64, k)
+		next := make([][]uint64, k)
+		for i := range expected {
+			if expected[i], err = tr.ApplyResult(states[i], cmds[i]); err != nil {
+				t.Fatal(err)
+			}
+			st, _, err := tr.SplitResult(expected[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			next[i] = append([]uint64(nil), st...)
+		}
+		fx.rounds = append(fx.rounds, results)
+		fx.outputs = append(fx.outputs, expected)
+		states = next
+	}
+	return fx
+}
+
+func corrupt(results [][]uint64, nodes ...int) [][]uint64 {
+	out := make([][]uint64, len(results))
+	for i, row := range results {
+		out[i] = append([]uint64(nil), row...)
+	}
+	for _, i := range nodes {
+		out[i][0] += 17
+	}
+	return out
+}
+
+func assertSameDecode(t *testing.T, got, full *DecodeResult[uint64]) {
+	t.Helper()
+	if !slices.Equal(got.FaultyNodes, full.FaultyNodes) {
+		t.Fatalf("faulty sets differ: primed %v, full %v", got.FaultyNodes, full.FaultyNodes)
+	}
+	gold := field.NewGoldilocks()
+	for k := range full.Outputs {
+		if !field.VecEqual[uint64](gold, got.Outputs[k], full.Outputs[k]) {
+			t.Fatalf("machine %d outputs differ: primed %v, full %v", k, got.Outputs[k], full.Outputs[k])
+		}
+	}
+}
+
+func TestPrimedMatchesFullDecodeStableLiars(t *testing.T) {
+	const k, n, d, b = 4, 20, 1, 5
+	fx := newPrimedFixture(t, k, n, d, 2)
+	liars := []int{1, 6, 11, 17}
+	first := corrupt(fx.rounds[0], liars...)
+	fullFirst, err := fx.code.DecodeOutputs(first, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(fullFirst.FaultyNodes, liars) {
+		t.Fatalf("full decode located %v, want %v", fullFirst.FaultyNodes, liars)
+	}
+	primed, err := fx.code.NewPrimed(nil, fullFirst.FaultyNodes, d, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if primed == nil {
+		t.Fatal("capacity admits priming: N=20, dim=4, b=5")
+	}
+	second := corrupt(fx.rounds[1], liars...)
+	got, ok, err := primed.Decode(second, 1)
+	if err != nil || !ok {
+		t.Fatalf("primed decode failed: ok=%v err=%v", ok, err)
+	}
+	full, err := fx.code.DecodeOutputs(second, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameDecode(t, got, full)
+	// Parallel component fan-out must match too.
+	gotPar, ok, err := primed.Decode(second, 4)
+	if err != nil || !ok {
+		t.Fatalf("parallel primed decode failed: ok=%v err=%v", ok, err)
+	}
+	assertSameDecode(t, gotPar, full)
+}
+
+func TestPrimedRecoveredSuspectNotAccused(t *testing.T) {
+	// A node that lied in the priming round but is clean now must not
+	// appear in FaultyNodes: detection is recomputed per decode.
+	const k, n, d, b = 3, 16, 1, 4
+	fx := newPrimedFixture(t, k, n, d, 2)
+	primed, err := fx.code.NewPrimed(nil, []int{2, 9}, d, b)
+	if err != nil || primed == nil {
+		t.Fatalf("priming failed: %v", err)
+	}
+	second := corrupt(fx.rounds[1], 9) // node 2 recovered, node 9 still lying
+	got, ok, err := primed.Decode(second, 1)
+	if err != nil || !ok {
+		t.Fatalf("primed decode failed: ok=%v err=%v", ok, err)
+	}
+	if !slices.Equal(got.FaultyNodes, []int{9}) {
+		t.Fatalf("faulty = %v, want [9]", got.FaultyNodes)
+	}
+}
+
+func TestPrimedFallsBackOnNewLiar(t *testing.T) {
+	// A liar outside the suspect set corrupts a trusted row: the fast path
+	// must refuse (ok=false), never certify a wrong result.
+	const k, n, d, b = 3, 16, 1, 4
+	fx := newPrimedFixture(t, k, n, d, 2)
+	primed, err := fx.code.NewPrimed(nil, []int{2, 9}, d, b)
+	if err != nil || primed == nil {
+		t.Fatalf("priming failed: %v", err)
+	}
+	second := corrupt(fx.rounds[1], 2, 9, 13) // 13 is new
+	got, ok, err := primed.Decode(second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("certified a batch with an unsuspected liar: %+v", got)
+	}
+	// The full decoder handles it fine.
+	full, err := fx.code.DecodeOutputs(second, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(full.FaultyNodes, []int{2, 9, 13}) {
+		t.Fatalf("full decode located %v", full.FaultyNodes)
+	}
+}
+
+func TestPrimedSubsetRows(t *testing.T) {
+	// Partially synchronous layout: only a subset of rows arrived.
+	const k, n, d, b = 3, 20, 1, 4
+	fx := newPrimedFixture(t, k, n, d, 2)
+	indices := make([]int, 0, n-2)
+	for i := 0; i < n; i++ {
+		if i != 4 && i != 15 { // two silent nodes
+			indices = append(indices, i)
+		}
+	}
+	sub := func(results [][]uint64) [][]uint64 {
+		out := make([][]uint64, len(indices))
+		for r, idx := range indices {
+			out[r] = results[idx]
+		}
+		return out
+	}
+	second := corrupt(fx.rounds[1], 7)
+	primed, err := fx.code.NewPrimed(indices, []int{7}, d, b)
+	if err != nil || primed == nil {
+		t.Fatalf("priming failed: %v", err)
+	}
+	got, ok, err := primed.Decode(sub(second), 1)
+	if err != nil || !ok {
+		t.Fatalf("subset primed decode failed: ok=%v err=%v", ok, err)
+	}
+	full, err := fx.code.DecodeOutputsSubset(indices, sub(second), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameDecode(t, got, full)
+}
+
+func TestPrimedRefusesBelowCapacity(t *testing.T) {
+	// |trusted| < dim + maxFaults: the self-verification argument breaks,
+	// so NewPrimed must refuse.
+	const k, n, d = 4, 12, 2
+	code := newTestCode(t, k, n)
+	// dim = d(K-1)+1 = 7; with b = 3 we need 10 trusted rows, but 3
+	// suspects leave only 9.
+	primed, err := code.NewPrimed(nil, []int{0, 1, 2}, d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if primed != nil {
+		t.Fatal("priming must refuse when trusted rows < dim + maxFaults")
+	}
+}
+
+func TestPrimedMatches(t *testing.T) {
+	const k, n, d, b = 3, 16, 1, 4
+	code := newTestCode(t, k, n)
+	full := make([]int, n)
+	for i := range full {
+		full[i] = i
+	}
+	primed, err := code.NewPrimed(nil, []int{3, 8}, d, b)
+	if err != nil || primed == nil {
+		t.Fatalf("priming failed: %v", err)
+	}
+	if !primed.Matches(nil, []int{8, 3}) {
+		t.Error("order-insensitive suspect match failed")
+	}
+	if !primed.Matches(full, []int{3, 8}) {
+		t.Error("explicit full index set must match nil")
+	}
+	if primed.Matches(full[:n-1], []int{3, 8}) {
+		t.Error("different row layout must not match")
+	}
+	if primed.Matches(nil, []int{3}) {
+		t.Error("different suspect set must not match")
+	}
+}

@@ -40,15 +40,46 @@ type ScalingRow struct {
 	Correct             bool
 }
 
+// ScalingConfig parameterizes the Theorem 1 series.
+type ScalingConfig struct {
+	// Ns are the measured network sizes; Mu the Byzantine fraction; D the
+	// transition degree; Rounds the measured rounds per size.
+	Ns     []int
+	Mu     float64
+	D      int
+	Rounds int
+	Seed   uint64
+	// Parallelism is the worker count the measured clusters execute with
+	// (csm.Config.Parallelism); op-count metrics are
+	// worker-count-independent.
+	Parallelism int
+	// BatchSize groups rounds under one consensus instance
+	// (csm.Config.BatchSize); batching lowers the decentralized
+	// ops/node/round through primed decodes. The delegated series batches
+	// too (its worker does the coding, so only consensus amortizes).
+	BatchSize int
+	// Pipeline sets the decentralized cluster's pipelined-engine depth;
+	// the delegated cluster always runs sequentially (the Section 6.2
+	// round interleaves client work with network phases).
+	Pipeline int
+}
+
 // Scaling measures the series for the given network sizes at fraction mu.
-// parallelism is the worker count the measured clusters execute with
-// (csm.Config.Parallelism); op-count metrics are worker-count-independent.
+// It is the unbatched, sequential-engine form of ScalingSeries.
 func Scaling(ns []int, mu float64, d int, rounds int, seed uint64, parallelism int) ([]ScalingRow, error) {
-	out := make([]ScalingRow, 0, len(ns))
+	return ScalingSeries(ScalingConfig{
+		Ns: ns, Mu: mu, D: d, Rounds: rounds, Seed: seed, Parallelism: parallelism,
+	})
+}
+
+// ScalingSeries measures the Theorem 1 series under the given engine
+// configuration.
+func ScalingSeries(cfg ScalingConfig) ([]ScalingRow, error) {
+	out := make([]ScalingRow, 0, len(cfg.Ns))
 	gold := field.NewGoldilocks()
-	for _, n := range ns {
-		b := int(mu * float64(n))
-		k := lcc.SyncMaxMachines(n, b, d)
+	for _, n := range cfg.Ns {
+		b := int(cfg.Mu * float64(n))
+		k := lcc.SyncMaxMachines(n, b, cfg.D)
 		if k < 1 {
 			return nil, fmt.Errorf("metrics: no capacity at N=%d", n)
 		}
@@ -57,53 +88,54 @@ func Scaling(ns []int, mu float64, d int, rounds int, seed uint64, parallelism i
 			byz[(i*5+2)%n] = csm.WrongResult
 		}
 		cluster, err := csm.New(csm.Config[uint64]{
-			BaseField: gold, NewTransition: bankLike(d),
+			BaseField: gold, NewTransition: bankLike(cfg.D),
 			K: k, N: n, MaxFaults: b,
 			Mode: transport.Sync, Consensus: csm.Oracle,
-			Byzantine: byz, Seed: seed,
-			Parallelism: parallelism,
+			Byzantine: byz, Seed: cfg.Seed,
+			Parallelism: cfg.Parallelism,
+			BatchSize:   cfg.BatchSize, Pipeline: cfg.Pipeline,
 		})
 		if err != nil {
 			return nil, err
 		}
-		workload := csm.RandomWorkload[uint64](gold, rounds, k, 1, seed)
+		workload := csm.RandomWorkload[uint64](gold, cfg.Rounds, k, 1, cfg.Seed)
+		results, err := cluster.Run(workload)
+		if err != nil {
+			return nil, err
+		}
 		correct := true
-		for _, cmds := range workload {
-			res, err := cluster.ExecuteRound(cmds)
-			if err != nil {
-				return nil, err
-			}
+		for _, res := range results {
 			correct = correct && res.Correct
 		}
-		// Same cluster, delegated execution phase.
+		// Same cluster, delegated execution phase (never pipelined).
 		delegatedCluster, err := csm.New(csm.Config[uint64]{
-			BaseField: gold, NewTransition: bankLike(d),
+			BaseField: gold, NewTransition: bankLike(cfg.D),
 			K: k, N: n, MaxFaults: b,
 			Mode: transport.Sync, Consensus: csm.Oracle,
 			NoEquivocation: true, Delegated: true,
-			Byzantine: byz, Seed: seed,
-			Parallelism: parallelism,
+			Byzantine: byz, Seed: cfg.Seed,
+			Parallelism: cfg.Parallelism, BatchSize: cfg.BatchSize,
 		})
 		if err != nil {
 			return nil, err
 		}
-		for _, cmds := range workload {
-			res, err := delegatedCluster.ExecuteRound(cmds)
-			if err != nil {
-				return nil, err
-			}
+		delegatedResults, err := delegatedCluster.Run(workload)
+		if err != nil {
+			return nil, err
+		}
+		for _, res := range delegatedResults {
 			correct = correct && res.Correct
 		}
-		workerFast, naive, err := codingCosts(k, n, b, d, seed)
+		workerFast, naive, err := codingCosts(k, n, b, cfg.D, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, ScalingRow{
 			N: n, K: k, B: b, Gamma: k, Beta: b,
-			OpsPerNodeDecentralized: float64(cluster.OpCounts().Total()) / float64(n*rounds),
+			OpsPerNodeDecentralized: float64(cluster.OpCounts().Total()) / float64(n*cfg.Rounds),
 			WorkerOpsFast:           workerFast,
 			NetworkOpsNaive:         naive,
-			OpsPerNodeDelegated:     float64(delegatedCluster.OpCounts().Total()) / float64(n*rounds),
+			OpsPerNodeDelegated:     float64(delegatedCluster.OpCounts().Total()) / float64(n*cfg.Rounds),
 			Correct:                 correct,
 		})
 	}

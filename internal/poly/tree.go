@@ -69,17 +69,27 @@ func (t *SubproductTree[E]) Points() []E { return t.points }
 // O(M(n) log n) instead of Horner's O(n deg p).
 func (t *SubproductTree[E]) EvalMany(p Poly[E]) ([]E, error) {
 	out := make([]E, len(t.points))
-	if t.root == nil {
-		return out, nil
-	}
-	rem, err := t.ring.Mod(p, t.root.prod)
-	if err != nil {
-		return nil, err
-	}
-	if err := t.evalDown(t.root, rem, out); err != nil {
+	if err := t.EvalManyInto(out, p); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// EvalManyInto is EvalMany writing into a caller-owned slice of length
+// len(Points()) — the repeated-decode hot paths reuse one scratch buffer
+// per worker instead of allocating per call.
+func (t *SubproductTree[E]) EvalManyInto(out []E, p Poly[E]) error {
+	if len(out) != len(t.points) {
+		return fmt.Errorf("poly: EvalManyInto dst length %d, want %d", len(out), len(t.points))
+	}
+	if t.root == nil {
+		return nil
+	}
+	rem, err := t.ring.Mod(p, t.root.prod)
+	if err != nil {
+		return err
+	}
+	return t.evalDown(t.root, rem, out)
 }
 
 // evalLeafBlock is the node size at which the remainder descent switches to

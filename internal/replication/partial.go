@@ -84,6 +84,12 @@ func (c *PartialCluster[E]) OpCounts() field.OpCounts { return c.counting.Counts
 // OracleStates returns the ground-truth machine states.
 func (c *PartialCluster[E]) OracleStates() [][]E { return states(c.oracle) }
 
+// ExecuteBatch runs a batch of consecutive rounds, mirroring
+// csm.Cluster.ExecuteBatch for like-for-like harnesses.
+func (c *PartialCluster[E]) ExecuteBatch(batch [][][]E) ([]*RoundResult[E], error) {
+	return batchRounds(batch, c.ExecuteRound)
+}
+
 // ExecuteRound executes one command per machine within its group and
 // applies the majority rule per group: acceptance threshold is a majority
 // of the group, (q+2)/2 rounded down... precisely floor(q/2)+1.

@@ -62,6 +62,24 @@ type Config[E comparable] struct {
 	Parallelism int
 }
 
+// batchRounds is the shared ExecuteBatch implementation, mirroring
+// csm.Cluster.ExecuteBatch so the Table 1 harness drives every scheme
+// with the same workload grouping: replication rounds are consensus-free
+// (the paper's metric already excludes consensus, Section 2.2), so a
+// batch is simply executed in order, with completed results returned
+// alongside a mid-batch error.
+func batchRounds[E comparable](batch [][][]E, exec func([][]E) (*RoundResult[E], error)) ([]*RoundResult[E], error) {
+	out := make([]*RoundResult[E], 0, len(batch))
+	for _, cmds := range batch {
+		res, err := exec(cmds)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
 // RoundResult reports one replication round.
 type RoundResult[E comparable] struct {
 	// Outputs[k] is the client-accepted output for machine k, nil if no
@@ -178,6 +196,12 @@ func (c *FullCluster[E]) ExecuteRound(cmds [][]E) (*RoundResult[E], error) {
 	// A client needs b+1 matching replies where b is the tolerated fault
 	// count for the scheme.
 	return tally(c.cfg.BaseField, votes, oracleOut, c.Security()+1), nil
+}
+
+// ExecuteBatch runs a batch of consecutive rounds (one command set per
+// round), mirroring csm.Cluster.ExecuteBatch for like-for-like harnesses.
+func (c *FullCluster[E]) ExecuteBatch(batch [][][]E) ([]*RoundResult[E], error) {
+	return batchRounds(batch, c.ExecuteRound)
 }
 
 // vote groups identical replies.

@@ -88,6 +88,11 @@ type Stats struct {
 	MessagesDelivered uint64
 	BytesDelivered    uint64
 	ForgeriesDropped  uint64
+	// RandomDelays counts pre-GST deliveries scheduled by the seeded RNG.
+	// It stays zero while a DelayFn is installed: the RNG is consumed only
+	// on the random-delay path, so installing or removing a DelayFn never
+	// shifts the delays of messages that do not go through it.
+	RandomDelays uint64
 }
 
 // Network is a deterministic lock-step message-passing simulator.
@@ -161,6 +166,18 @@ func (n *Network) Stats() Stats {
 	return n.stats
 }
 
+// DelayDeterministic reports whether a message enqueued at the given send
+// round is scheduled independently of enqueue order: synchronous networks
+// and post-GST sends, whose delivery is fixed one-round latency. When it
+// returns true, callers may sign and enqueue a round's messages
+// concurrently without perturbing determinism. Pre-GST sends do not
+// qualify: random delays draw from the sequential seeded RNG stream, and
+// an installed DelayFn — whose contract does not require purity — must
+// likewise observe sends in program order.
+func (n *Network) DelayDeterministic(round int) bool {
+	return n.cfg.Mode == Sync || round >= n.cfg.GST
+}
+
 // PublicKey returns node id's verification key.
 func (n *Network) PublicKey(id NodeID) (ed25519.PublicKey, error) {
 	if int(id) < 0 || int(id) >= n.cfg.N {
@@ -230,16 +247,23 @@ func (n *Network) enqueue(m Message, trusted bool) {
 }
 
 // deliveryRound computes when a message sent now arrives. Caller holds mu.
+// The seeded RNG is consumed only on the random-delay path: when a DelayFn
+// is installed it fully determines the pre-GST schedule and the RNG state
+// is left untouched, so the same seed produces the same random delays
+// whether or not other runs used a DelayFn.
 func (n *Network) deliveryRound(m Message) int {
 	if n.cfg.Mode == Sync || m.Round >= n.cfg.GST {
 		return m.Round + 1
 	}
-	delay := 1 + n.rng.IntN(n.cfg.MaxPreGSTDelay+1)
+	var delay int
 	if n.cfg.DelayFn != nil {
 		delay = n.cfg.DelayFn(m.From, m.To, m.Round)
 		if delay < 1 {
 			delay = 1
 		}
+	} else {
+		delay = 1 + n.rng.IntN(n.cfg.MaxPreGSTDelay+1)
+		n.stats.RandomDelays++
 	}
 	return m.Round + delay
 }

@@ -181,6 +181,101 @@ func TestPartialSyncAdversarialDelayFn(t *testing.T) {
 	}
 }
 
+// deliverySchedule sends count pre-GST messages 0->1 one round apart and
+// records each message's delivery round (identified by its payload byte).
+func deliverySchedule(t *testing.T, n *Network, count int) map[byte]int {
+	t.Helper()
+	a, b := endpoint(t, n, 0), endpoint(t, n, 1)
+	arrived := make(map[byte]int, count)
+	for r := 0; r < count+16; r++ {
+		if r < count {
+			if err := a.Send(1, "m", []byte{byte(r)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n.Step()
+		for _, m := range b.Receive() {
+			arrived[m.Payload[0]] = n.Round()
+		}
+	}
+	if len(arrived) != count {
+		t.Fatalf("only %d/%d messages arrived", len(arrived), count)
+	}
+	return arrived
+}
+
+func TestDelayFnDoesNotConsumeRNG(t *testing.T) {
+	// Regression: deliveryRound used to draw from the seeded RNG even when
+	// cfg.DelayFn overrode the delay. The RNG must be consumed only on the
+	// random-delay path, so a DelayFn-scheduled network draws nothing.
+	cfg := Config{N: 2, Mode: PartialSync, GST: 100, MaxPreGSTDelay: 5, Seed: 11}
+	random := newNet(t, cfg)
+	deliverySchedule(t, random, 20)
+	if got := random.Stats().RandomDelays; got != 20 {
+		t.Fatalf("random path drew %d delays, want 20", got)
+	}
+	cfg.DelayFn = func(from, to NodeID, round int) int { return 1 + round%3 }
+	overridden := newNet(t, cfg)
+	deliverySchedule(t, overridden, 20)
+	if got := overridden.Stats().RandomDelays; got != 0 {
+		t.Fatalf("DelayFn path consumed %d RNG delays, want 0", got)
+	}
+}
+
+func TestSeedReproducibilityBothPaths(t *testing.T) {
+	// Both pre-GST scheduling paths must be exactly reproducible under the
+	// same seed: the random path (seeded RNG) and the DelayFn path
+	// (adversary-chosen). The DelayFn schedule must also follow the
+	// function exactly, unperturbed by the seed.
+	base := Config{N: 2, Mode: PartialSync, GST: 100, MaxPreGSTDelay: 5, Seed: 123}
+	randA := deliverySchedule(t, newNet(t, base), 24)
+	randB := deliverySchedule(t, newNet(t, base), 24)
+	for id, round := range randA {
+		if randB[id] != round {
+			t.Fatalf("random path not seed-reproducible: msg %d at round %d vs %d", id, round, randB[id])
+		}
+	}
+	fn := func(from, to NodeID, round int) int { return 1 + (round*7)%4 }
+	cfgFn := base
+	cfgFn.DelayFn = fn
+	fnA := deliverySchedule(t, newNet(t, cfgFn), 24)
+	cfgFn.Seed = 999 // the DelayFn path must not depend on the seed at all
+	fnB := deliverySchedule(t, newNet(t, cfgFn), 24)
+	for id, round := range fnA {
+		want := int(id) + fn(0, 1, int(id))
+		if round != want {
+			t.Fatalf("DelayFn schedule violated: msg %d delivered at %d, want %d", id, round, want)
+		}
+		if fnB[id] != round {
+			t.Fatalf("DelayFn path not reproducible across seeds: msg %d at %d vs %d", id, round, fnB[id])
+		}
+	}
+}
+
+func TestDelayDeterministic(t *testing.T) {
+	sync := newNet(t, Config{N: 2, Mode: Sync, Seed: 1})
+	if !sync.DelayDeterministic(0) {
+		t.Error("synchronous networks always schedule deterministically")
+	}
+	psync := newNet(t, Config{N: 2, Mode: PartialSync, GST: 10, Seed: 1})
+	if psync.DelayDeterministic(5) {
+		t.Error("pre-GST random delays consume the sequential RNG")
+	}
+	if !psync.DelayDeterministic(10) {
+		t.Error("post-GST delivery is fixed one-round latency")
+	}
+	withFn := newNet(t, Config{
+		N: 2, Mode: PartialSync, GST: 10, Seed: 1,
+		DelayFn: func(from, to NodeID, round int) int { return 2 },
+	})
+	if withFn.DelayDeterministic(5) {
+		t.Error("a DelayFn may be stateful: pre-GST sends must stay in program order")
+	}
+	if !withFn.DelayDeterministic(10) {
+		t.Error("post-GST delivery is fixed even with a DelayFn installed")
+	}
+}
+
 func TestNoEquivocationCoercesPayloads(t *testing.T) {
 	// In broadcast mode a Byzantine node sending different payloads to
 	// different peers in the same round has its later payloads replaced by
