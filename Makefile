@@ -11,7 +11,7 @@ BASELINE ?=
 # BENCH_OUT: artifact the bench-json target writes.
 BENCH_OUT ?= BENCH_PR3.json
 
-.PHONY: all build test race bench bench-json bench-micro bench-pr3 smoke-pipeline fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json bench-micro bench-pr3 smoke-pipeline smoke-churn fmt fmt-check vet ci
 
 all: build test
 
@@ -53,6 +53,13 @@ bench-pr3:
 smoke-pipeline:
 	$(GO) run ./cmd/csmsim -n 16 -b 3 -byz 1,5,9 -rounds 8 -consensus dolev-strong -pipeline 4 -batch 4
 
+# Churn end-to-end configuration under the race detector (CI smoke): a
+# node crashes and rejoins via coded-state repair while the adversary
+# moves, on the parallel engine.
+smoke-churn:
+	$(GO) run -race ./cmd/csmsim -n 16 -b 3 -rounds 8 -consensus dolev-strong \
+		-churn "1:crash:2,3:rejoin:2,4:corrupt:5:wrong,6:release:5"
+
 fmt:
 	gofmt -w .
 
@@ -63,4 +70,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build race bench bench-micro smoke-pipeline
+ci: fmt-check vet build race bench bench-micro smoke-pipeline smoke-churn

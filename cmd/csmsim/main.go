@@ -44,6 +44,7 @@ func run(args []string) error {
 		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "execution-phase worker goroutines (rounds are identical for any value)")
 		pipeline  = fs.Int("pipeline", 0, "pipelined-engine depth: overlap up to this many rounds' client stages with later rounds (0: sequential engine)")
 		batch     = fs.Int("batch", 1, "rounds per consensus instance (command batching; decodes are primed across a batch)")
+		churn     = fs.String("churn", "", "churn schedule: comma-separated round:op:node[:behavior] events, op one of crash|rejoin|corrupt|release (e.g. \"1:crash:2,3:rejoin:2,4:corrupt:5:wrong\")")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +76,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	schedule, err := parseChurn(*churn)
+	if err != nil {
+		return err
+	}
 	degree := *d
 	cluster, err := codedsm.NewCluster(codedsm.ClusterConfig[uint64]{
 		BaseField: gold,
@@ -87,6 +92,7 @@ func run(args []string) error {
 		NoEquivocation: *delegated, Delegated: *delegated,
 		Parallelism: *workers,
 		BatchSize:   *batch, Pipeline: *pipeline,
+		Churn: schedule,
 	})
 	if err != nil {
 		return err
@@ -111,6 +117,11 @@ func run(args []string) error {
 	ops := cluster.OpCounts()
 	perNode := float64(ops.Total()) / float64(*n**rounds)
 	fmt.Printf("\nsummary: all-correct=%v network-ticks=%d\n", allCorrect, totalTicks)
+	if len(schedule) > 0 {
+		rs := cluster.RepairStats()
+		fmt.Printf("churn: epochs=%d repairs=%d failed=%d repair-ops=%d\n",
+			cluster.Epoch(), rs.Repairs, rs.Failed, rs.Ops.Total())
+	}
 	fmt.Printf("ops total=%d (adds=%d muls=%d invs=%d)\n", ops.Total(), ops.Adds, ops.Muls, ops.Invs)
 	fmt.Printf("throughput λ = K/(ops/node/round) = %.6f commands per field op\n",
 		float64(*k)/perNode)
@@ -144,6 +155,55 @@ func parseByzantine(list string, beh codedsm.Behavior) (map[int]codedsm.Behavior
 			return nil, fmt.Errorf("bad node index %q: %w", part, err)
 		}
 		out[idx] = beh
+	}
+	return out, nil
+}
+
+// parseChurn parses a comma-separated churn schedule: each event is
+// round:op:node with op one of crash|rejoin|corrupt|release, and corrupt
+// takes a fourth :behavior part (the -behavior vocabulary).
+func parseChurn(spec string) ([]codedsm.ChurnEvent, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []codedsm.ChurnEvent
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("bad churn event %q: want round:op:node[:behavior]", part)
+		}
+		round, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad churn round in %q: %w", part, err)
+		}
+		node, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("bad churn node in %q: %w", part, err)
+		}
+		ev := codedsm.ChurnEvent{Round: round, Node: node}
+		switch op := fields[1]; op {
+		case "crash":
+			ev.Op = codedsm.ChurnCrash
+		case "rejoin":
+			ev.Op = codedsm.ChurnRejoin
+		case "release":
+			ev.Op = codedsm.ChurnRelease
+		case "corrupt":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("churn event %q: corrupt needs round:corrupt:node:behavior", part)
+			}
+			beh, err := parseBehavior(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("churn event %q: %w", part, err)
+			}
+			ev.Op, ev.Behavior = codedsm.ChurnCorrupt, beh
+		default:
+			return nil, fmt.Errorf("churn event %q: unknown op %q", part, op)
+		}
+		if ev.Op != codedsm.ChurnCorrupt && len(fields) != 3 {
+			return nil, fmt.Errorf("churn event %q: only corrupt takes a behavior", part)
+		}
+		out = append(out, ev)
 	}
 	return out, nil
 }

@@ -65,3 +65,45 @@ func TestRunSmoke(t *testing.T) {
 		t.Error("bad behavior should fail")
 	}
 }
+
+func TestParseChurn(t *testing.T) {
+	evs, err := parseChurn("1:crash:2, 3:rejoin:2,4:corrupt:5:wrong,6:release:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []codedsm.ChurnEvent{
+		{Round: 1, Node: 2, Op: codedsm.ChurnCrash},
+		{Round: 3, Node: 2, Op: codedsm.ChurnRejoin},
+		{Round: 4, Node: 5, Op: codedsm.ChurnCorrupt, Behavior: codedsm.WrongResult},
+		{Round: 6, Node: 5, Op: codedsm.ChurnRelease},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("parsed %d events", len(evs))
+	}
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, evs[i], want[i])
+		}
+	}
+	if evs, err := parseChurn(""); err != nil || evs != nil {
+		t.Error("empty spec should parse to no schedule")
+	}
+	for _, bad := range []string{
+		"1:crash", "x:crash:1", "1:crash:x", "1:corrupt:2", "1:corrupt:2:bogus",
+		"1:explode:2", "1:crash:2:wrong",
+	} {
+		if _, err := parseChurn(bad); err == nil {
+			t.Errorf("spec %q should fail", bad)
+		}
+	}
+}
+
+func TestRunChurnSmoke(t *testing.T) {
+	if err := run([]string{"-n", "12", "-b", "2", "-rounds", "4",
+		"-churn", "1:crash:3,3:rejoin:3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-churn", "1:bogus:0"}); err == nil {
+		t.Fatal("bad churn spec should fail")
+	}
+}

@@ -152,7 +152,43 @@ const (
 	SilentNode  = csm.Silent
 	Equivocate  = csm.Equivocate
 	BadLeader   = csm.BadLeader
+	// Crashed is a fail-stopped node: an erasure, consuming one parity
+	// symbol of the fault budget where an active misbehaviour consumes two
+	// (a cluster sized for b Byzantine faults tolerates up to 2b crashes).
+	Crashed = csm.Crashed
+	// Recovering marks a node between rejoining and completing its
+	// coded-state repair.
+	Recovering = csm.Recovering
 )
+
+// ---- Membership and churn ----
+
+// ChurnEvent is one scheduled membership or adversary change
+// (ClusterConfig.Churn / ClusterConfig.ChurnFn), applied at the boundary
+// of the consensus instance covering its round.
+type ChurnEvent = csm.ChurnEvent
+
+// ChurnOp selects what a ChurnEvent does to its node.
+type ChurnOp = csm.ChurnOp
+
+// Churn operations.
+const (
+	ChurnCrash   = csm.ChurnCrash
+	ChurnRejoin  = csm.ChurnRejoin
+	ChurnCorrupt = csm.ChurnCorrupt
+	ChurnRelease = csm.ChurnRelease
+)
+
+// RepairStats accounts the cost of coded-state repairs
+// (Cluster.RepairStats).
+type RepairStats = csm.RepairStats
+
+// MovingAdversary returns a ChurnFn implementing the paper's Section 7
+// dynamic adversary: every epochLen rounds the b corruptions release and
+// re-target deterministically per seed.
+func MovingAdversary(n, b, epochLen int, behavior Behavior, seed uint64) (func(round int) []ChurnEvent, error) {
+	return csm.MovingAdversary(n, b, epochLen, behavior, seed)
+}
 
 // ConsensusKind selects the consensus-phase protocol.
 type ConsensusKind = csm.ConsensusKind
@@ -313,6 +349,20 @@ func ScalingSeries(cfg ScalingConfig) ([]ScalingRow, error) { return metrics.Sca
 
 // RenderScaling renders the series as text.
 func RenderScaling(rows []ScalingRow) string { return metrics.RenderScaling(rows) }
+
+// RepairRow is one measured point of the repair-cost experiment
+// (Section 7, Remark 5).
+type RepairRow = metrics.RepairRow
+
+// RepairCost measures what re-provisioning a crashed node costs, per
+// network size, against the round cost and the naive re-download
+// baseline.
+func RepairCost(ns []int, mu float64, d, rounds int, seed uint64) ([]RepairRow, error) {
+	return metrics.RepairCost(ns, mu, d, rounds, seed)
+}
+
+// RenderRepair renders the repair-cost series as text.
+func RenderRepair(rows []RepairRow) string { return metrics.RenderRepair(rows) }
 
 // ---- Polynomial utilities ----
 

@@ -65,6 +65,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"sort"
 
 	"codedsm/internal/consensus"
 	"codedsm/internal/consensus/dolevstrong"
@@ -93,6 +94,21 @@ const (
 	// BadLeader proposes a garbage batch when leading consensus and also
 	// broadcasts wrong results.
 	BadLeader
+	// Crashed is a fail-stopped node: it sends and receives nothing (the
+	// transport drops its traffic in both directions), its coded state is
+	// lost, and it participates in neither consensus nor execution until it
+	// is repaired. Unlike active misbehaviour, a crash is an *erasure* in
+	// the Reed-Solomon sense: every decoder knows the coordinate is absent,
+	// so it consumes one parity symbol of the fault budget where an error
+	// consumes two (Table 2; see the fault-budget rules on Config).
+	Crashed
+	// Recovering marks a node between rejoining the network and completing
+	// its coded-state repair: it is reachable again but holds no valid
+	// share yet, so it behaves as an erasure like Crashed. Rejoin installs
+	// it transiently; a node is left in this state only when a repair
+	// attempt failed (it stays out of consensus and execution until a
+	// retried Rejoin succeeds). It is not accepted in Config.Byzantine.
+	Recovering
 )
 
 // String implements fmt.Stringer.
@@ -108,6 +124,10 @@ func (b Behavior) String() string {
 		return "equivocate"
 	case BadLeader:
 		return "bad-leader"
+	case Crashed:
+		return "crashed"
+	case Recovering:
+		return "recovering"
 	default:
 		return fmt.Sprintf("Behavior(%d)", int(b))
 	}
@@ -202,6 +222,27 @@ type Config[E comparable] struct {
 	// DefaultPipelineDepth); negative values are rejected. Incompatible
 	// with Delegated.
 	Pipeline int
+	// Churn schedules membership and adversary changes: an event with
+	// Round r is applied at the boundary of the consensus instance that
+	// covers engine round r (Cluster.Round), before that instance runs
+	// (with BatchSize B events land at instance boundaries — an instance
+	// is the atomic unit of agreement, so membership cannot change inside
+	// one). Engine rounds advance for skipped instances too, so under
+	// RunQueue retries events are keyed to protocol time, not workload
+	// position: a crash scheduled for round r fires at round r even if a
+	// Byzantine leader forced earlier rounds to be re-attempted. Events
+	// are applied in schedule order for equal rounds. Every application is
+	// checked against the fault-budget rules (see ChurnEvent); a violating
+	// event fails the run. Incompatible with Delegated.
+	Churn []ChurnEvent
+	// ChurnFn optionally generates churn events dynamically: it is called
+	// once per workload round at the covering instance boundary and its
+	// events are applied after the static Churn entries for that round.
+	// It must be deterministic (a pure function of the round) or the
+	// same-seed reproducibility contract is void. Incompatible with
+	// Delegated. See MovingAdversary for the paper's Section 7 dynamic
+	// adversary as a ChurnFn.
+	ChurnFn func(round int) []ChurnEvent
 }
 
 // Cluster is a running CSM deployment.
@@ -224,6 +265,14 @@ type Cluster[E comparable] struct {
 	// would visit only every gcd(B,N)-th node — silently excluding
 	// BadLeader adversaries from batched runs. For B=1 the two coincide.
 	instances int
+	// epoch counts membership epochs: it advances whenever a churn
+	// boundary applies at least one event, so rounds between two
+	// increments share one static fault pattern.
+	epoch int
+	// churnAt is the cursor into cfg.Churn (kept sorted by Round at
+	// construction): events before it have been applied.
+	churnAt int
+	repairs RepairStats
 }
 
 // New builds and initializes a cluster, distributing coded initial states.
@@ -234,15 +283,44 @@ func New[E comparable](cfg Config[E]) (*Cluster[E], error) {
 	if cfg.MaxFaults < 0 {
 		return nil, fmt.Errorf("csm: negative MaxFaults %d", cfg.MaxFaults)
 	}
-	if len(cfg.Byzantine) > cfg.MaxFaults {
-		return nil, fmt.Errorf("csm: %d Byzantine nodes exceed the fault budget b=%d",
-			len(cfg.Byzantine), cfg.MaxFaults)
+	// Only misbehaving entries count against the budget: a map entry whose
+	// value is Honest is a (redundant) statement of the default, not a
+	// fault. Keys must name real nodes — nodes are built for 0..N-1 only,
+	// so an out-of-range key would otherwise be silently ignored.
+	for i, beh := range cfg.Byzantine {
+		if i < 0 || i >= cfg.N {
+			return nil, fmt.Errorf("csm: Byzantine node %d out of range [0,%d)", i, cfg.N)
+		}
+		if beh == Recovering {
+			return nil, fmt.Errorf("csm: node %d: Recovering is a transient repair state, not a configurable behavior", i)
+		}
+		if beh == Crashed && cfg.Delegated {
+			return nil, fmt.Errorf("csm: node %d: crashed nodes are not supported in delegated mode", i)
+		}
+	}
+	if err := budgetCheck(cfg.N, cfg.MaxFaults, cfg.Mode, cfg.Consensus, cfg.Byzantine); err != nil {
+		return nil, fmt.Errorf("csm: %w", err)
 	}
 	if cfg.MaxTicksPerRound == 0 {
 		cfg.MaxTicksPerRound = 200
 	}
 	if cfg.Delegated && (cfg.Mode != transport.Sync || !cfg.NoEquivocation) {
 		return nil, errors.New("csm: delegated mode requires a synchronous broadcast network (Mode=Sync, NoEquivocation=true) — Section 6 assumption")
+	}
+	if cfg.Delegated && (len(cfg.Churn) > 0 || cfg.ChurnFn != nil) {
+		return nil, errors.New("csm: churn is incompatible with delegated mode: the rotating worker re-reads the static fault pattern")
+	}
+	for _, ev := range cfg.Churn {
+		if err := ev.validate(cfg.N); err != nil {
+			return nil, fmt.Errorf("csm: churn schedule: %w", err)
+		}
+	}
+	// The application cursor sweeps the schedule once; sort stably by
+	// round on a copy so equal-round events keep their schedule order and
+	// the caller's slice is left alone.
+	if len(cfg.Churn) > 0 {
+		cfg.Churn = append([]ChurnEvent(nil), cfg.Churn...)
+		sort.SliceStable(cfg.Churn, func(i, j int) bool { return cfg.Churn[i].Round < cfg.Churn[j].Round })
 	}
 	if cfg.BatchSize < 0 {
 		return nil, fmt.Errorf("csm: negative BatchSize %d", cfg.BatchSize)
@@ -334,6 +412,13 @@ func New[E comparable](cfg Config[E]) (*Cluster[E], error) {
 			behavior:   cfg.Byzantine[i],
 			codedState: codedStates[i],
 		}
+		if c.nodes[i].behavior == Crashed {
+			// Born crashed: unreachable and without a share until repaired.
+			if err := net.SetDown(transport.NodeID(i), true); err != nil {
+				return nil, err
+			}
+			c.nodes[i].codedState = field.ZeroVec(cfg.BaseField, tr.StateLen())
+		}
 	}
 	// Encoding the initial states is setup, not steady-state work.
 	counting.Reset()
@@ -348,6 +433,19 @@ func (c *Cluster[E]) Transition() *sm.Transition[E] { return c.tr }
 
 // Round returns the number of executed rounds.
 func (c *Cluster[E]) Round() int { return c.round }
+
+// Epoch returns the number of membership epochs entered so far: it
+// advances whenever a churn boundary applies at least one event, so all
+// rounds between two increments ran under one static fault pattern.
+func (c *Cluster[E]) Epoch() int { return c.epoch }
+
+// Behavior reports node i's current behavior (churn moves it over time).
+func (c *Cluster[E]) Behavior(i int) (Behavior, error) {
+	if i < 0 || i >= len(c.nodes) {
+		return Honest, fmt.Errorf("csm: node %d out of range", i)
+	}
+	return c.nodes[i].behavior, nil
+}
 
 // OpCounts returns the accumulated field-operation counts across all nodes.
 func (c *Cluster[E]) OpCounts() field.OpCounts { return c.counting.Counts() }

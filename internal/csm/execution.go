@@ -46,6 +46,13 @@ func (c *Cluster[E]) executeBatch(batch [][][]E, stage *clientStage[E]) ([]*Roun
 			}
 		}
 	}
+	// Churn boundary: membership and adversary changes scheduled for the
+	// rounds this instance covers apply before its consensus phase, on the
+	// driving goroutine — the instance is the atomic unit of agreement, so
+	// the fault pattern is static within it.
+	if err := c.applyChurn(c.round, steps); err != nil {
+		return nil, err
+	}
 	agreed, ticksConsensus, err := c.runConsensus(batch)
 	if err != nil {
 		return nil, err
@@ -143,15 +150,15 @@ func (c *Cluster[E]) runExecutionStep(micro int) (*stepOutcome[E], error) {
 	}
 	ticks := 0
 	deadline := 1 // synchronous networks: results arrive in exactly one tick
+	need := c.decodeNeed()
 	for {
 		c.net.Step()
 		ticks++
 		// Collect sequentially (inbox draining), then decode in parallel —
 		// the expensive Reed-Solomon work. Only nodes that have reached the
-		// N-b result threshold are fanned out; the rest cannot decode yet
+		// decode threshold are fanned out; the rest cannot decode yet
 		// (tryDecode would return immediately), so delay-heavy ticks spawn
 		// no workers at all.
-		need := c.cfg.N - c.cfg.MaxFaults
 		pending := 0
 		ready := make([]*node[E], 0, len(c.nodes))
 		for _, n := range c.nodes {
@@ -165,7 +172,7 @@ func (c *Cluster[E]) runExecutionStep(micro int) (*stepOutcome[E], error) {
 			}
 		}
 		force := c.cfg.Mode == transport.PartialSync || ticks >= deadline
-		allDecoded, err := c.tryDecodeAll(ready, force)
+		allDecoded, err := c.tryDecodeAll(ready, force, need)
 		if err != nil {
 			return nil, err
 		}
@@ -193,6 +200,27 @@ func (c *Cluster[E]) runExecutionStep(micro int) (*stepOutcome[E], error) {
 	}, nil
 }
 
+// decodeNeed is the result count a node waits for before decoding. In the
+// synchronous model every live, non-silent node's result arrives within
+// the one-tick deadline, so nodes expect exactly N minus the current
+// erasure count — the fault budget guarantees whatever arrives decodes
+// (rows - dim = N - s - dim ≥ 2e + 1 whenever 2e + s ≤ 2b, see the repair
+// package comment). In partial synchrony delays are adversarial, so nodes
+// wait for the classic N-b threshold; the budget caps non-sending nodes
+// at b there, keeping it reachable.
+func (c *Cluster[E]) decodeNeed() int {
+	if c.cfg.Mode != transport.Sync {
+		return c.cfg.N - c.cfg.MaxFaults
+	}
+	need := c.cfg.N
+	for _, n := range c.nodes {
+		if sendsNothing(n.behavior) {
+			need--
+		}
+	}
+	return need
+}
+
 // finishStep runs the sequential tail of a micro-step: advance the
 // ground-truth oracle and run the client tally/audit. In pipelined runs
 // this executes on the client-stage goroutine.
@@ -211,16 +239,17 @@ func (c *Cluster[E]) finishStep(o *stepOutcome[E]) error {
 
 // drawClientReplies draws the Byzantine nodes' garbage client replies for
 // one round, in the exact (machine-major, node-minor) order the
-// sequential client phase consumed the cluster RNG; honest slots are nil.
-// Pre-drawing keeps pipelined runs on the same random stream as
-// sequential ones.
+// sequential client phase consumed the cluster RNG; honest slots are nil,
+// and so are crashed/recovering ones — a down node sends the clients
+// nothing at all, where an active liar sends garbage. Pre-drawing keeps
+// pipelined runs on the same random stream as sequential ones.
 func (c *Cluster[E]) drawClientReplies() [][][]E {
 	f := c.cfg.BaseField
 	out := make([][][]E, c.cfg.K)
 	for k := 0; k < c.cfg.K; k++ {
 		rep := make([][]E, len(c.nodes))
 		for i, n := range c.nodes {
-			if n.behavior != Honest {
+			if n.behavior != Honest && n.behavior != Crashed && n.behavior != Recovering {
 				rep[i] = field.RandVec(f, c.rng, c.tr.OutLen())
 			}
 		}

@@ -108,7 +108,10 @@ func (n *node[E]) planBroadcast(result []E) {
 	n.txBroadcast = nil
 	n.txSends = nil
 	switch n.behavior {
-	case Silent:
+	case Silent, Crashed, Recovering:
+		// Nothing to transmit: silence is adversarial withholding; a
+		// crashed or recovering node computed no result at all (the
+		// transport would drop a crashed node's traffic anyway).
 	case WrongResult, BadLeader:
 		bad := field.RandVec(c.cfg.BaseField, c.rng, len(result))
 		n.received[n.id] = bad // a liar is at least self-consistent
@@ -171,9 +174,10 @@ func (n *node[E]) collect(msgs []transport.Message) {
 // fast path (suspects from the previous micro-step); the full
 // noisy-interpolation decoder remains the fallback and the authority on
 // anything the fast path cannot certify.
-func (n *node[E]) tryDecode(force bool) (bool, error) {
+// need is the step-constant decode threshold (Cluster.decodeNeed),
+// computed once per micro-step by the caller.
+func (n *node[E]) tryDecode(force bool, need int) (bool, error) {
 	c := n.cluster
-	need := c.cfg.N - c.cfg.MaxFaults
 	if len(n.received) < need {
 		return false, nil
 	}

@@ -64,6 +64,9 @@ func (c *Cluster[E]) encodeBatchCommands(steps [][][]E) error {
 	}
 	return pool.Run(c.workers(), len(c.nodes), func(i int) error {
 		n := c.nodes[i]
+		if n.behavior == Crashed || n.behavior == Recovering {
+			return nil // down nodes hold no share and encode nothing
+		}
 		n.cmdScratch = n.lagrangeEncodeInto(n.cmdScratch, total, vecs)
 		return nil
 	})
@@ -74,7 +77,11 @@ func (c *Cluster[E]) encodeBatchCommands(steps [][][]E) error {
 func (c *Cluster[E]) computeAllResults(micro int) ([][]E, error) {
 	results := make([][]E, len(c.nodes))
 	err := pool.Run(c.workers(), len(c.nodes), func(i int) error {
-		r, err := c.nodes[i].computeResultAt(micro)
+		n := c.nodes[i]
+		if n.behavior == Crashed || n.behavior == Recovering {
+			return nil // no state, no compute; planBroadcast sends nothing
+		}
+		r, err := n.computeResultAt(micro)
 		if err != nil {
 			return err
 		}
@@ -113,11 +120,11 @@ func (c *Cluster[E]) transmitAllResults() error {
 // error anyway, so the sequential path does the same and the cluster is
 // left in an identical state for any worker count, error or not; the
 // lowest-index error is reported.
-func (c *Cluster[E]) tryDecodeAll(pending []*node[E], force bool) (bool, error) {
+func (c *Cluster[E]) tryDecodeAll(pending []*node[E], force bool, need int) (bool, error) {
 	oks := make([]bool, len(pending))
 	errs := make([]error, len(pending))
 	_ = pool.Run(c.workers(), len(pending), func(i int) error {
-		oks[i], errs[i] = pending[i].tryDecode(force)
+		oks[i], errs[i] = pending[i].tryDecode(force, need)
 		return nil
 	})
 	for _, err := range errs {

@@ -317,6 +317,65 @@ func (c *Code[E]) DecodeOutputsSubsetParallel(indices []int, results [][]E, degr
 	return c.decode(results, indices, degree, workers)
 }
 
+// RepairShare reconstructs node i's coded share directly from a subset of
+// the surviving nodes' shares. Component-wise, the vector (S̃_1,...,S̃_N) of
+// coded states is a Reed-Solomon codeword of the degree-(K-1) encoding
+// polynomial u at the alphas, so u is interpolated from the subset —
+// correcting up to (len(indices)-K)/2 corrupted rows — and evaluated at
+// α_node: one Horner evaluation per component instead of a full decode to
+// the K machine states plus a re-encode. Field arithmetic is exact and u
+// is unique, so the result is bit-identical to a fresh encode of the
+// underlying machine vectors. This is what makes node replacement cheap in
+// CSM, in contrast to the re-download cost that rules out frequent group
+// rotation in random-allocation schemes (Section 7, Remark 5).
+//
+// indices[r] names the node that contributed shares[r] (strictly
+// ascending). The returned faulty list is the union, in node index space,
+// of the rows the component decoders corrected.
+func (c *Code[E]) RepairShare(indices []int, shares [][]E, node int) ([]E, []int, error) {
+	n := len(c.alphas)
+	if node < 0 || node >= n {
+		return nil, nil, fmt.Errorf("lcc: repair target %d out of range [0,%d)", node, n)
+	}
+	if len(indices) == 0 {
+		return nil, nil, fmt.Errorf("lcc: no repair contributors")
+	}
+	rows := len(indices)
+	l, err := c.vectorLen(shares, rows)
+	if err != nil {
+		return nil, nil, err
+	}
+	code, err := c.codeForDim(len(c.omegas))
+	if err != nil {
+		return nil, nil, err
+	}
+	target := code
+	if !isFullSet(indices, n) {
+		if target, err = code.Subcode(indices); err != nil {
+			return nil, nil, err
+		}
+	}
+	repaired := make([]E, l)
+	colMajor := transposeColMajor(shares, rows, l, nil)
+	faultyByComponent := make([][]int, l)
+	at := c.alphas[node]
+	for j := 0; j < l; j++ {
+		res, derr := target.Decode(colMajor[j*rows : (j+1)*rows])
+		if derr != nil {
+			return nil, nil, fmt.Errorf("lcc: repair component %d: %w", j, derr)
+		}
+		repaired[j] = c.ring.Eval(res.Message, at)
+		if len(res.ErrorsAt) > 0 {
+			mapped := make([]int, len(res.ErrorsAt))
+			for i, e := range res.ErrorsAt {
+				mapped[i] = indices[e]
+			}
+			faultyByComponent[j] = mapped
+		}
+	}
+	return repaired, mergeFaulty(faultyByComponent), nil
+}
+
 // isFullSet reports whether indices is exactly 0..n-1, i.e. the "subset"
 // decode actually has every node's result (the common synchronous case).
 func isFullSet(indices []int, n int) bool {

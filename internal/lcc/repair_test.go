@@ -1,0 +1,114 @@
+package lcc
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"codedsm/internal/field"
+)
+
+// TestRepairShareBitIdenticalToEncode is the repair contract: the share
+// reconstructed from any correct subset of surviving shares equals a
+// fresh encode of the same machine vectors bit for bit, for every target
+// node, with and without corrupted contributions.
+func TestRepairShareBitIdenticalToEncode(t *testing.T) {
+	const k, n, l = 3, 11, 4
+	gold := field.NewGoldilocks()
+	code := newTestCode(t, k, n)
+	rng := rand.New(rand.NewPCG(7, 0))
+	values := make([][]uint64, k)
+	for i := range values {
+		values[i] = field.RandVec[uint64](gold, rng, l)
+	}
+	enc, err := code.EncodeVectors(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr := (n - 1 - k) / 2 // subset of n-1 rows, dimension k
+	for target := 0; target < n; target++ {
+		indices := make([]int, 0, n-1)
+		shares := make([][]uint64, 0, n-1)
+		corrupted := 0
+		for j := 0; j < n; j++ {
+			if j == target {
+				continue
+			}
+			row := append([]uint64(nil), enc[j]...)
+			if corrupted < maxErr && (j+target)%3 == 0 {
+				row[corrupted%l] = gold.Add(row[corrupted%l], 0x5eed) // a lying contributor
+				corrupted++
+				shares = append(shares, row)
+				indices = append(indices, j)
+				continue
+			}
+			shares = append(shares, row)
+			indices = append(indices, j)
+		}
+		got, faulty, err := code.RepairShare(indices, shares, target)
+		if err != nil {
+			t.Fatalf("target %d: %v", target, err)
+		}
+		if !slices.Equal(got, enc[target]) {
+			t.Fatalf("target %d: repaired share %v, fresh encode %v", target, got, enc[target])
+		}
+		if len(faulty) != corrupted {
+			t.Fatalf("target %d: detected %v, corrupted %d rows", target, faulty, corrupted)
+		}
+	}
+}
+
+// TestRepairShareSubset repairs from fewer than N-1 shares: any subset
+// within the error-correction radius suffices.
+func TestRepairShareSubset(t *testing.T) {
+	const k, n, l = 2, 10, 3
+	gold := field.NewGoldilocks()
+	code := newTestCode(t, k, n)
+	rng := rand.New(rand.NewPCG(9, 0))
+	values := make([][]uint64, k)
+	for i := range values {
+		values[i] = field.RandVec[uint64](gold, rng, l)
+	}
+	enc, err := code.EncodeVectors(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repair node 0 from nodes 3..8 only (6 rows, dim 2: radius 2), with
+	// one corrupted row.
+	indices := []int{3, 4, 5, 6, 7, 8}
+	shares := make([][]uint64, len(indices))
+	for i, idx := range indices {
+		shares[i] = append([]uint64(nil), enc[idx]...)
+	}
+	shares[2][1] = gold.Add(shares[2][1], 1)
+	got, faulty, err := code.RepairShare(indices, shares, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, enc[0]) {
+		t.Fatalf("subset repair %v, want %v", got, enc[0])
+	}
+	if !slices.Equal(faulty, []int{5}) {
+		t.Fatalf("faulty %v, want [5]", faulty)
+	}
+}
+
+func TestRepairShareValidation(t *testing.T) {
+	code := newTestCode(t, 2, 6)
+	shares := [][]uint64{{1}, {2}, {3}}
+	if _, _, err := code.RepairShare([]int{0, 1, 2}, shares, -1); err == nil {
+		t.Error("negative target should fail")
+	}
+	if _, _, err := code.RepairShare([]int{0, 1, 2}, shares, 6); err == nil {
+		t.Error("out-of-range target should fail")
+	}
+	if _, _, err := code.RepairShare(nil, nil, 0); err == nil {
+		t.Error("no contributors should fail")
+	}
+	if _, _, err := code.RepairShare([]int{0, 1}, shares, 2); err == nil {
+		t.Error("indices/shares length mismatch should fail")
+	}
+	if _, _, err := code.RepairShare([]int{0, 1, 9}, shares, 2); err == nil {
+		t.Error("out-of-range contributor should fail")
+	}
+}

@@ -120,3 +120,24 @@ func TestScalingSeries(t *testing.T) {
 		t.Error("render output malformed")
 	}
 }
+
+func TestRepairCost(t *testing.T) {
+	rows, err := RepairCost([]int{12, 18}, 0.2, 1, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Correct {
+			t.Fatalf("N=%d: incorrect under crash+repair", r.N)
+		}
+		if r.RepairOps == 0 {
+			t.Fatalf("N=%d: repair cost not measured", r.N)
+		}
+	}
+	if out := RenderRepair(rows); !strings.Contains(out, "REPAIR OPS") {
+		t.Fatalf("render: %q", out)
+	}
+}

@@ -93,6 +93,9 @@ type Stats struct {
 	// on the random-delay path, so installing or removing a DelayFn never
 	// shifts the delays of messages that do not go through it.
 	RandomDelays uint64
+	// DroppedDown counts messages dropped because the sender or recipient
+	// was marked down (crashed) at send or delivery time.
+	DroppedDown uint64
 }
 
 // Network is a deterministic lock-step message-passing simulator.
@@ -106,6 +109,7 @@ type Network struct {
 	pending   map[int][]Message // delivery round -> messages
 	inboxes   [][]Message       // per node, messages deliverable this round
 	firstSent map[equivKey][]byte
+	down      []bool // crashed nodes: their traffic drops in both directions
 	stats     Stats
 }
 
@@ -132,6 +136,7 @@ func New(cfg Config) (*Network, error) {
 		pending:   make(map[int][]Message),
 		inboxes:   make([][]Message, cfg.N),
 		firstSent: make(map[equivKey][]byte),
+		down:      make([]bool, cfg.N),
 		pubs:      make([]ed25519.PublicKey, cfg.N),
 		privs:     make([]ed25519.PrivateKey, cfg.N),
 	}
@@ -176,6 +181,39 @@ func (n *Network) Stats() Stats {
 // likewise observe sends in program order.
 func (n *Network) DelayDeterministic(round int) bool {
 	return n.cfg.Mode == Sync || round >= n.cfg.GST
+}
+
+// SetDown marks a node as crashed (down=true) or back up (down=false).
+// While a node is down, messages from it or to it are dropped at enqueue
+// time — before any delay randomness is drawn, so the seeded delay stream
+// of the surviving nodes is unaffected and runs stay reproducible for a
+// given seed and crash schedule. Messages already in flight toward a node
+// when it goes down are dropped at delivery time instead (they were sent
+// while it was alive, but there is no one left to receive them).
+func (n *Network) SetDown(id NodeID, down bool) error {
+	if int(id) < 0 || int(id) >= n.cfg.N {
+		return fmt.Errorf("transport: node %d out of range", id)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[id] = down
+	return nil
+}
+
+// isDown is the lock-held down lookup, safe for the untrusted ids Inject
+// may carry (out-of-range ids are not down; Verify rejects them later).
+func (n *Network) isDown(id NodeID) bool {
+	return int(id) >= 0 && int(id) < n.cfg.N && n.down[id]
+}
+
+// Down reports whether a node is currently marked down.
+func (n *Network) Down(id NodeID) bool {
+	if int(id) < 0 || int(id) >= n.cfg.N {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down[id]
 }
 
 // PublicKey returns node id's verification key.
@@ -224,6 +262,13 @@ func (n *Network) Verify(m Message) bool {
 func (n *Network) enqueue(m Message, trusted bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	// Crashed endpoints neither send nor receive. The check precedes the
+	// delay draw so a down node's (non-)traffic never consumes the seeded
+	// RNG stream of the surviving nodes.
+	if n.isDown(m.From) || n.isDown(m.To) {
+		n.stats.DroppedDown++
+		return
+	}
 	if !trusted && !n.Verify(m) {
 		n.stats.ForgeriesDropped++
 		return
@@ -289,6 +334,11 @@ func (n *Network) Step() {
 		return due[i].Kind < due[j].Kind
 	})
 	for _, m := range due {
+		if n.down[m.To] {
+			// In flight when the recipient crashed: dropped on delivery.
+			n.stats.DroppedDown++
+			continue
+		}
 		n.inboxes[m.To] = append(n.inboxes[m.To], m)
 		n.stats.MessagesDelivered++
 		n.stats.BytesDelivered += uint64(len(m.Payload))

@@ -366,3 +366,100 @@ func TestSendValidation(t *testing.T) {
 		t.Error("ID accessor wrong")
 	}
 }
+
+func TestDownNodeDropsTraffic(t *testing.T) {
+	n := newNet(t, Config{N: 3, Seed: 4})
+	a, b, c := endpoint(t, n, 0), endpoint(t, n, 1), endpoint(t, n, 2)
+	if err := n.SetDown(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Down(1) || n.Down(0) {
+		t.Fatal("down state wrong")
+	}
+	// To the down node and from the down node: dropped before scheduling.
+	if err := a.Send(1, "k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(2, "k", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, "k", []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	n.Step()
+	if got := b.Receive(); len(got) != 0 {
+		t.Fatalf("down node received %d messages", len(got))
+	}
+	if got := c.Receive(); len(got) != 1 || string(got[0].Payload) != "z" {
+		t.Fatalf("live traffic disturbed: %v", got)
+	}
+	if st := n.Stats(); st.DroppedDown != 2 {
+		t.Fatalf("DroppedDown = %d, want 2", st.DroppedDown)
+	}
+	// Back up: traffic flows again.
+	if err := n.SetDown(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(1, "k", []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	n.Step()
+	if got := b.Receive(); len(got) != 1 || string(got[0].Payload) != "w" {
+		t.Fatalf("recovered node got %v", got)
+	}
+	if err := n.SetDown(7, true); err == nil {
+		t.Fatal("out-of-range SetDown should fail")
+	}
+}
+
+func TestDownNodeDropsInFlightAtDelivery(t *testing.T) {
+	n := newNet(t, Config{N: 2, Seed: 4})
+	a := endpoint(t, n, 0)
+	if err := a.Send(1, "k", []byte("x")); err != nil { // in flight
+		t.Fatal(err)
+	}
+	if err := n.SetDown(1, true); err != nil { // recipient crashes
+		t.Fatal(err)
+	}
+	n.Step()
+	if got := endpoint(t, n, 1).Receive(); len(got) != 0 {
+		t.Fatalf("crashed node received %d in-flight messages", len(got))
+	}
+	if st := n.Stats(); st.DroppedDown != 1 {
+		t.Fatalf("DroppedDown = %d, want 1", st.DroppedDown)
+	}
+}
+
+// TestDownDropPreservesDelayStream: drops happen before the delay draw,
+// so a down node's (non-)traffic never shifts the seeded random delays of
+// the surviving nodes.
+func TestDownDropPreservesDelayStream(t *testing.T) {
+	run := func(withDownSender bool) []Message {
+		n := newNet(t, Config{N: 3, Mode: PartialSync, GST: 100, Seed: 21})
+		if withDownSender {
+			if err := n.SetDown(2, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a, c := endpoint(t, n, 0), endpoint(t, n, 2)
+		var all []Message
+		for r := 0; r < 6; r++ {
+			if withDownSender {
+				_ = c.Send(0, "noise", []byte("dropped")) // must not draw a delay
+			}
+			_ = a.Send(1, "k", []byte{byte(r)})
+			n.Step()
+			all = append(all, endpoint(t, n, 1).Receive()...)
+		}
+		return all
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("delay stream shifted: %d vs %d deliveries", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Round != b[i].Round || string(a[i].Payload) != string(b[i].Payload) {
+			t.Fatalf("delivery %d differs: round %d vs %d", i, a[i].Round, b[i].Round)
+		}
+	}
+}
