@@ -2,16 +2,16 @@
 GO ?= go
 
 # Benchmarks recorded by bench-json: the cluster rounds the acceptance
-# criteria track (parallel + pipelined/batched engines) plus the
-# kernel-level micro-benchmarks.
-BENCH_JSON_PATTERN = BenchmarkClusterRoundParallel|BenchmarkClusterRoundPipelined|BenchmarkLCCEncode|BenchmarkLCCDecode|BenchmarkFieldKernels
+# criteria track (parallel + pipelined/batched engines), the Submit-based
+# ingress throughput, and the kernel-level micro-benchmarks.
+BENCH_JSON_PATTERN = BenchmarkClusterRoundParallel|BenchmarkClusterRoundPipelined|BenchmarkClientThroughput|BenchmarkLCCEncode|BenchmarkLCCDecode|BenchmarkFieldKernels
 # BASELINE: previous run to embed as the before section — either a raw
 # `go test -bench` text file or a committed benchjson artifact.
 BASELINE ?=
 # BENCH_OUT: artifact the bench-json target writes.
-BENCH_OUT ?= BENCH_PR3.json
+BENCH_OUT ?= BENCH_PR5.json
 
-.PHONY: all build test race bench bench-json bench-micro bench-pr3 smoke-pipeline smoke-churn fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json bench-micro bench-pr3 bench-pr5 smoke-pipeline smoke-churn smoke-service staticcheck fmt fmt-check vet ci
 
 all: build test
 
@@ -39,7 +39,7 @@ bench-micro:
 # before/after section.
 bench-json:
 	$(GO) test -bench='$(BENCH_JSON_PATTERN)' -benchmem -benchtime=3x -run='^$$' . ./internal/lcc/ ./internal/field/ > bench-current.txt
-	$(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) -note "cluster rounds (parallel + pipeline x batch sweep) + coding kernels, benchtime=3x" < bench-current.txt > $(BENCH_OUT)
+	$(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) -note "cluster rounds (parallel + pipeline x batch sweep) + submit-ingress client throughput + coding kernels, benchtime=3x" < bench-current.txt > $(BENCH_OUT)
 	@rm -f bench-current.txt
 	@echo wrote $(BENCH_OUT)
 
@@ -47,6 +47,11 @@ bench-json:
 # the committed BENCH_PR2.json baseline.
 bench-pr3:
 	$(MAKE) bench-json BENCH_OUT=BENCH_PR3.json BASELINE=BENCH_PR2.json
+
+# Regenerate BENCH_PR5.json: the tracked cluster benchmarks plus the
+# Submit-ingress throughput sweep, against the committed BENCH_PR3.json.
+bench-pr5:
+	$(MAKE) bench-json BENCH_OUT=BENCH_PR5.json BASELINE=BENCH_PR3.json
 
 # One pipelined + batched end-to-end configuration (CI smoke): Byzantine
 # nodes, Dolev-Strong consensus, pipeline depth 4, 4-round batches.
@@ -60,6 +65,17 @@ smoke-churn:
 	$(GO) run -race ./cmd/csmsim -n 16 -b 3 -rounds 8 -consensus dolev-strong \
 		-churn "1:crash:2,3:rejoin:2,4:corrupt:5:wrong,6:release:5"
 
+# The Submit-based ingress end to end under the race detector (CI smoke):
+# concurrent tellers, futures, backpressure, consensus batching.
+smoke-service:
+	$(GO) run -race ./examples/service
+
+# Static analysis (CI installs staticcheck; locally it is skipped with a
+# notice when the binary is absent).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2025.1)"; fi
+
 fmt:
 	gofmt -w .
 
@@ -70,4 +86,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build race bench bench-micro smoke-pipeline smoke-churn
+ci: fmt-check vet staticcheck build race bench bench-micro smoke-pipeline smoke-churn smoke-service

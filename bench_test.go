@@ -16,7 +16,9 @@
 package codedsm
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"testing"
 
 	"codedsm/internal/consensus"
@@ -267,6 +269,68 @@ func BenchmarkClusterRoundPipelined(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Submit-based ingress: client throughput ---
+
+// BenchmarkClientThroughput measures the serving path end to end:
+// concurrent submitters push individual commands through Client.Submit
+// (bounded queues, futures), the admission scheduler coalesces them into
+// rounds and consensus batches, and the coded execution engine runs
+// underneath with µ = 1/3 wrong-result nodes. Each op is one submitted
+// command, so commands/sec = 1 / (ns_op * 1e-9); compare against the
+// batch path in BenchmarkClusterRoundPipelined (ns_op there covers 8*K
+// commands).
+func BenchmarkClientThroughput(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range []int{16, 64} {
+		faults := n / 3
+		k := SyncMaxMachines(n, faults, 1)
+		byz := map[int]Behavior{}
+		for i := 0; len(byz) < faults; i++ {
+			byz[(i*5+2)%n] = WrongResult
+		}
+		for _, submitters := range []int{1, 4} {
+			for _, batch := range []int{1, 8} {
+				name := fmt.Sprintf("N=%d/K=%d/submitters=%d/batch=%d", n, k, submitters, batch)
+				b.Run(name, func(b *testing.B) {
+					c, err := Open(gold, NewBank[uint64],
+						WithNodes(n), WithMachines(k), WithFaults(faults),
+						WithByzantine(byz), WithSeed(1),
+						WithParallelism(8), WithBatching(batch))
+					if err != nil {
+						b.Fatal(err)
+					}
+					client, err := c.Open(WithSubmitQueueDepth(4 * batch))
+					if err != nil {
+						b.Fatal(err)
+					}
+					cmds := RandomWorkload[uint64](gold, 1, k, 1, 9)[0]
+					b.ReportAllocs()
+					b.ResetTimer()
+					var wg sync.WaitGroup
+					for s := 0; s < submitters; s++ {
+						wg.Add(1)
+						go func(s int) {
+							defer wg.Done()
+							for i := s; i < b.N; i += submitters {
+								machine := i % k
+								if _, err := client.Submit(ctx, machine, cmds[machine]); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+						}(s)
+					}
+					wg.Wait()
+					if err := client.Close(); err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+				})
+			}
+		}
 	}
 }
 

@@ -17,20 +17,14 @@ import (
 func runFig2(seed uint64) error {
 	gold := codedsm.NewGoldilocks()
 	fmt.Println("K=2 machines, d=1; trying N=3 with b=1 (the figure's setup):")
-	_, err := codedsm.NewCluster(codedsm.ClusterConfig[uint64]{
-		BaseField:     gold,
-		NewTransition: codedsm.NewBank[uint64],
-		K:             2, N: 3, MaxFaults: 1, Seed: seed,
-	})
+	_, err := codedsm.Open(gold, codedsm.NewBank[uint64],
+		codedsm.WithNodes(3), codedsm.WithMachines(2), codedsm.WithFaults(1),
+		codedsm.WithSeed(seed))
 	fmt.Printf("  rejected as expected: %v\n", err)
 	fmt.Println("minimal safe cluster N=4 (2b+1 = 3 <= N - d(K-1) = 3), node 2 malicious:")
-	cluster, err := codedsm.NewCluster(codedsm.ClusterConfig[uint64]{
-		BaseField:     gold,
-		NewTransition: codedsm.NewBank[uint64],
-		K:             2, N: 4, MaxFaults: 1,
-		Byzantine: map[int]codedsm.Behavior{2: codedsm.WrongResult},
-		Seed:      seed,
-	})
+	cluster, err := codedsm.Open(gold, codedsm.NewBank[uint64],
+		codedsm.WithNodes(4), codedsm.WithMachines(2), codedsm.WithFaults(1),
+		codedsm.WithByzantineNode(2, codedsm.WrongResult), codedsm.WithSeed(seed))
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -81,19 +82,23 @@ func run(args []string) error {
 		return err
 	}
 	degree := *d
-	cluster, err := codedsm.NewCluster(codedsm.ClusterConfig[uint64]{
-		BaseField: gold,
-		NewTransition: func(f codedsm.Field[uint64]) (*codedsm.Transition[uint64], error) {
+	opts := []codedsm.Option{
+		codedsm.WithNodes(*n), codedsm.WithMachines(*k), codedsm.WithFaults(*b),
+		codedsm.WithConsensus(ck), codedsm.WithByzantine(byz), codedsm.WithSeed(*seed),
+		codedsm.WithParallelism(*workers),
+		codedsm.WithBatching(*batch), codedsm.WithPipeline(*pipeline),
+		codedsm.WithChurn(schedule...),
+	}
+	if *psync {
+		opts = append(opts, codedsm.WithPartialSync(*gst))
+	}
+	if *delegated {
+		opts = append(opts, codedsm.WithDelegated())
+	}
+	cluster, err := codedsm.Open(gold,
+		func(f codedsm.Field[uint64]) (*codedsm.Transition[uint64], error) {
 			return codedsm.NewPolynomialRegister(f, degree)
-		},
-		K: *k, N: *n, MaxFaults: *b,
-		Mode: mode, GST: *gst, Consensus: ck,
-		Byzantine: byz, Seed: *seed,
-		NoEquivocation: *delegated, Delegated: *delegated,
-		Parallelism: *workers,
-		BatchSize:   *batch, Pipeline: *pipeline,
-		Churn: schedule,
-	})
+		}, opts...)
 	if err != nil {
 		return err
 	}
@@ -110,8 +115,14 @@ func run(args []string) error {
 			r, res.Correct, res.Skipped, res.FaultyDetected, res.Ticks)
 	}
 	if runErr != nil {
-		// Run's error contract: the returned results are the rounds that
-		// fully completed — surface the partial progress, don't discard it.
+		// Run attaches a BatchError to every mid-workload failure: the
+		// completed prefix and failed round come out typed, so the partial
+		// progress is surfaced without string inspection.
+		var batchErr *codedsm.BatchError[uint64]
+		if errors.As(runErr, &batchErr) {
+			return fmt.Errorf("completed %d/%d rounds, round %d failed: %w",
+				len(batchErr.Completed), *rounds, batchErr.Round, batchErr.Err)
+		}
 		return fmt.Errorf("completed %d/%d rounds: %w", len(results), *rounds, runErr)
 	}
 	ops := cluster.OpCounts()

@@ -209,13 +209,141 @@ const (
 	PartiallySynchronous = transport.PartialSync
 )
 
-// NewCluster builds a CSM cluster. ClusterConfig.BatchSize groups rounds
-// under one consensus instance and ClusterConfig.Pipeline overlaps a
-// round's client stage with the following rounds' consensus and execution
-// phases; Cluster.Run applies both, and Cluster.RunPipelined forces the
-// pipelined engine (see the csm package documentation for the
+// NewCluster builds a CSM cluster from a ClusterConfig literal — the
+// struct-based constructor Open wraps. ClusterConfig.BatchSize groups
+// rounds under one consensus instance and ClusterConfig.Pipeline overlaps
+// a round's client stage with the following rounds' consensus and
+// execution phases; Cluster.Run applies both, and Cluster.RunPipelined
+// forces the pipelined engine (see the csm package documentation for the
 // happens-before contract).
 func NewCluster[E comparable](cfg ClusterConfig[E]) (*Cluster[E], error) { return csm.New(cfg) }
+
+// ---- Functional options (the serving-oriented constructor) ----
+
+// Option configures a cluster built with Open; options validate eagerly.
+type Option = csm.Option
+
+// Open builds a CSM cluster from functional options:
+//
+//	cluster, err := codedsm.Open(gold, codedsm.NewBank[uint64],
+//		codedsm.WithNodes(64), codedsm.WithMachines(22), codedsm.WithFaults(21),
+//		codedsm.WithConsensus(codedsm.PBFT), codedsm.WithPartialSync(0),
+//		codedsm.WithBatching(8), codedsm.WithPipeline(2))
+//
+// When WithMachines is omitted, K defaults to the full Table 2 capacity of
+// the configured N, fault budget, transition degree, and network mode.
+func Open[E comparable](f Field[E], newTransition csm.TransitionFactory[E], opts ...Option) (*Cluster[E], error) {
+	return csm.Open(f, newTransition, opts...)
+}
+
+// WithNodes sets the network size N (required).
+func WithNodes(n int) Option { return csm.WithNodes(n) }
+
+// WithMachines sets the number of state machines K (default: capacity).
+func WithMachines(k int) Option { return csm.WithMachines(k) }
+
+// WithFaults sets the fault budget b the cluster is sized for.
+func WithFaults(b int) Option { return csm.WithFaults(b) }
+
+// WithConsensus selects the consensus-phase protocol.
+func WithConsensus(kind ConsensusKind) Option { return csm.WithConsensus(kind) }
+
+// WithPartialSync switches to the partially synchronous timing model with
+// the given global stabilization round.
+func WithPartialSync(gst int) Option { return csm.WithPartialSync(gst) }
+
+// WithByzantine assigns misbehaviours to nodes (merged; the map is copied).
+func WithByzantine(behaviors map[int]Behavior) Option { return csm.WithByzantine(behaviors) }
+
+// WithByzantineNode assigns one node's misbehaviour.
+func WithByzantineNode(node int, behavior Behavior) Option {
+	return csm.WithByzantineNode(node, behavior)
+}
+
+// WithNoEquivocation models a broadcast network (Section 6 assumption).
+func WithNoEquivocation() Option { return csm.WithNoEquivocation() }
+
+// WithDelegated enables the Section 6.2 delegated execution phase
+// (implies WithNoEquivocation).
+func WithDelegated() Option { return csm.WithDelegated() }
+
+// WithSeed seeds all cluster and network randomness.
+func WithSeed(seed uint64) Option { return csm.WithSeed(seed) }
+
+// WithMaxTicksPerRound bounds a round's lock-step network ticks.
+func WithMaxTicksPerRound(ticks int) Option { return csm.WithMaxTicksPerRound(ticks) }
+
+// WithParallelism sets the execution-phase worker count.
+func WithParallelism(workers int) Option { return csm.WithParallelism(workers) }
+
+// WithBatching groups consecutive workload rounds under one consensus
+// instance (command batching with primed decodes).
+func WithBatching(rounds int) Option { return csm.WithBatching(rounds) }
+
+// WithPipeline enables the pipelined engine at the given depth.
+func WithPipeline(depth int) Option { return csm.WithPipeline(depth) }
+
+// WithChurn appends scheduled membership and adversary changes.
+func WithChurn(events ...ChurnEvent) Option { return csm.WithChurn(events...) }
+
+// WithChurnFn installs a dynamic churn generator (see MovingAdversary).
+func WithChurnFn(fn func(round int) []ChurnEvent) Option { return csm.WithChurnFn(fn) }
+
+// WithInitialStates sets the K machines' initial state vectors.
+func WithInitialStates[E comparable](states [][]E) Option { return csm.WithInitialStates(states) }
+
+// ---- Ingress (Submit-based serving) ----
+
+// Client is the submission front of an open cluster: Submit enqueues one
+// command for one machine and returns a Future, while the client's
+// scheduler coalesces pending submissions into rounds and consensus
+// batches and drives the engines underneath (Cluster.Open).
+type Client[E comparable] = csm.Client[E]
+
+// Future is the pending result of one submitted command.
+type Future[E comparable] = csm.Future[E]
+
+// ClientOption configures Cluster.Open.
+type ClientOption = csm.ClientOption
+
+// DefaultSubmitQueueDepth is the per-machine backpressure bound used when
+// WithSubmitQueueDepth is not given.
+const DefaultSubmitQueueDepth = csm.DefaultSubmitQueueDepth
+
+// WithSubmitQueueDepth bounds each machine's pending-submission queue
+// (Submit blocks while the addressed machine's queue is full).
+func WithSubmitQueueDepth(depth int) ClientOption { return csm.WithSubmitQueueDepth(depth) }
+
+// WithDeterministicAdmission admits a round only when every machine has a
+// pending command and a batch only when full, making a seeded
+// Submit-driven run bit-identical to Run on the equivalent workload.
+func WithDeterministicAdmission() ClientOption { return csm.WithDeterministicAdmission() }
+
+// WithPadCommand sets the identity command submitted for idle machines
+// when a round is admitted (default: the all-zero command).
+func WithPadCommand[E comparable](cmd []E) ClientOption { return csm.WithPadCommand(cmd) }
+
+// ---- Typed errors ----
+
+// BatchError is attached to every mid-workload failure of
+// Run/RunQueue/RunPipelined/Rounds/ExecuteBatch: it carries the completed
+// prefix of round reports and the failed round's index (errors.As).
+type BatchError[E comparable] = csm.BatchError[E]
+
+// Sentinel errors (errors.Is).
+var (
+	// ErrRoundStuck: a round did not complete within the tick budget.
+	ErrRoundStuck = csm.ErrRoundStuck
+	// ErrRoundLimit: a round's consensus retry budget was exhausted.
+	ErrRoundLimit = csm.ErrRoundLimit
+	// ErrFaultBudgetExceeded: a fault pattern overruns the 2b parity budget.
+	ErrFaultBudgetExceeded = csm.ErrFaultBudgetExceeded
+	// ErrQuorumUnreachable: a fault pattern starves a quorum threshold, or
+	// a machine output never gathered b+1 matching replies.
+	ErrQuorumUnreachable = csm.ErrQuorumUnreachable
+	// ErrClientClosed: Submit on a closed (or failed) ingress client.
+	ErrClientClosed = csm.ErrClientClosed
+)
 
 // DefaultPipelineDepth is the client-stage queue depth RunPipelined uses
 // when ClusterConfig.Pipeline is unset.
@@ -260,6 +388,56 @@ func NewFullReplication[E comparable](cfg ReplicationConfig[E]) (*FullReplicatio
 // NewPartialReplication builds the partial-replication baseline.
 func NewPartialReplication[E comparable](cfg ReplicationConfig[E]) (*PartialReplication[E], error) {
 	return replication.NewPartial(cfg)
+}
+
+// ReplicationOption configures a baseline cluster built with
+// OpenFullReplication or OpenPartialReplication. The constructors mirror
+// the cluster options under a WithRepl prefix.
+type ReplicationOption = replication.Option
+
+// ReplicationBehavior selects a baseline node's failure mode (Colluding,
+// ReplicaCrash, or honest by default).
+type ReplicationBehavior = replication.Behavior
+
+// ReplicaCrash is the replication baselines' fail-stop behaviour.
+const ReplicaCrash = replication.Crash
+
+// WithReplNodes sets the baseline network size N (required).
+func WithReplNodes(n int) ReplicationOption { return replication.WithNodes(n) }
+
+// WithReplMachines sets the baseline machine count K (required).
+func WithReplMachines(k int) ReplicationOption { return replication.WithMachines(k) }
+
+// WithReplByzantine assigns failure modes to baseline nodes.
+func WithReplByzantine(behaviors map[int]ReplicationBehavior) ReplicationOption {
+	return replication.WithByzantine(behaviors)
+}
+
+// WithReplSeed seeds the baseline adversary's lies.
+func WithReplSeed(seed uint64) ReplicationOption { return replication.WithSeed(seed) }
+
+// WithReplParallelism sets the baseline replica-step worker count.
+func WithReplParallelism(workers int) ReplicationOption { return replication.WithParallelism(workers) }
+
+// WithReplPartialSync switches the baseline security-bound formulas to the
+// partially synchronous ones.
+func WithReplPartialSync() ReplicationOption { return replication.WithPartialSync() }
+
+// WithReplInitialStates sets the baseline machines' initial states.
+func WithReplInitialStates[E comparable](states [][]E) ReplicationOption {
+	return replication.WithInitialStates(states)
+}
+
+// OpenFullReplication builds the full-replication baseline from
+// functional options.
+func OpenFullReplication[E comparable](f Field[E], newTransition replication.TransitionFactory[E], opts ...ReplicationOption) (*FullReplication[E], error) {
+	return replication.OpenFull(f, newTransition, opts...)
+}
+
+// OpenPartialReplication builds the partial-replication baseline from
+// functional options.
+func OpenPartialReplication[E comparable](f Field[E], newTransition replication.TransitionFactory[E], opts ...ReplicationOption) (*PartialReplication[E], error) {
+	return replication.OpenPartial(f, newTransition, opts...)
 }
 
 // ConcentratedAttack corrupts a majority of one partial-replication group.

@@ -1,6 +1,8 @@
 package codedsm
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -98,11 +100,90 @@ func TestPublicAPIBooleanOverGF2m(t *testing.T) {
 	_ = bit
 }
 
+// TestPublicAPIOpenAndSubmit exercises the options constructor and the
+// Submit-based ingress through the facade, including the typed-error
+// taxonomy a downstream service is expected to program against.
+func TestPublicAPIOpenAndSubmit(t *testing.T) {
+	gold := NewGoldilocks()
+	cluster, err := Open(gold, NewBank[uint64],
+		WithNodes(12), WithMachines(3), WithFaults(2),
+		WithByzantine(map[int]Behavior{4: WrongResult, 9: SilentNode}),
+		WithInitialStates([][]uint64{{100}, {200}, {300}}),
+		WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := cluster.Open(WithDeterministicAdmission(), WithSubmitQueueDepth(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var futs []*Future[uint64]
+	for k := 0; k < 3; k++ {
+		fut, err := client.Submit(ctx, k, []uint64{uint64(k + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, fut)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for k, fut := range futs {
+		out, err := fut.Wait(ctx)
+		if err != nil {
+			t.Fatalf("machine %d: %v", k, err)
+		}
+		if want := uint64(100*(k+1) + k + 1); out[0] != want {
+			t.Fatalf("machine %d output %d, want %d", k, out[0], want)
+		}
+	}
+	if _, err := client.Submit(ctx, 0, []uint64{1}); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+	// The typed construction errors surface through the facade.
+	if _, err := Open(gold, NewBank[uint64], WithNodes(6), WithMachines(2), WithFaults(1),
+		WithByzantine(map[int]Behavior{0: WrongResult, 1: WrongResult})); !errors.Is(err, ErrFaultBudgetExceeded) {
+		t.Fatalf("budget error %v, want ErrFaultBudgetExceeded", err)
+	}
+	// And mid-workload failures carry a BatchError.
+	bad := RandomWorkload[uint64](gold, 2, 3, 1, 3)
+	bad[1] = bad[1][:1]
+	_, err = cluster.Run(bad)
+	var batchErr *BatchError[uint64]
+	if !errors.As(err, &batchErr) || batchErr.Round != 1 || len(batchErr.Completed) != 1 {
+		t.Fatalf("run error %v, want BatchError at round 1 with 1 completed", err)
+	}
+}
+
+// TestPublicAPIRoundsStreaming consumes a workload through the streaming
+// iterator.
+func TestPublicAPIRoundsStreaming(t *testing.T) {
+	gold := NewGoldilocks()
+	cluster, err := Open(gold, NewBank[uint64],
+		WithNodes(12), WithMachines(3), WithFaults(2), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := 0
+	for res, err := range cluster.Rounds(RandomWorkload[uint64](gold, 3, 3, 1, 4)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Correct {
+			t.Fatalf("round %d incorrect", rounds)
+		}
+		rounds++
+	}
+	if rounds != 3 {
+		t.Fatalf("streamed %d rounds, want 3", rounds)
+	}
+}
+
 func TestPublicAPIBaselinesAndExperiments(t *testing.T) {
 	gold := NewGoldilocks()
-	full, err := NewFullReplication(ReplicationConfig[uint64]{
-		BaseField: gold, NewTransition: NewBank[uint64], K: 2, N: 6, Seed: 1,
-	})
+	full, err := OpenFullReplication(gold, NewBank[uint64],
+		WithReplNodes(6), WithReplMachines(2), WithReplSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}

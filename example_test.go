@@ -1,6 +1,7 @@
 package codedsm_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,17 +12,12 @@ import (
 // Byzantine ones, and shows the decoded balances plus the identified liars.
 func Example() {
 	gold := codedsm.NewGoldilocks()
-	cluster, err := codedsm.NewCluster(codedsm.ClusterConfig[uint64]{
-		BaseField:     gold,
-		NewTransition: codedsm.NewBank[uint64],
-		K:             3, N: 12, MaxFaults: 2,
-		Byzantine: map[int]codedsm.Behavior{
-			4: codedsm.WrongResult,
-			9: codedsm.WrongResult,
-		},
-		InitialStates: [][]uint64{{1000}, {2000}, {3000}},
-		Seed:          42,
-	})
+	cluster, err := codedsm.Open(gold, codedsm.NewBank[uint64],
+		codedsm.WithNodes(12), codedsm.WithMachines(3), codedsm.WithFaults(2),
+		codedsm.WithByzantineNode(4, codedsm.WrongResult),
+		codedsm.WithByzantineNode(9, codedsm.WrongResult),
+		codedsm.WithInitialStates([][]uint64{{1000}, {2000}, {3000}}),
+		codedsm.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,6 +36,64 @@ func Example() {
 	// account 0: 1100
 	// account 1: 2200
 	// account 2: 3300
+}
+
+// ExampleOpen builds a cluster from functional options, letting the
+// machine count default to the cluster's full Table 2 capacity.
+func ExampleOpen() {
+	gold := codedsm.NewGoldilocks()
+	cluster, err := codedsm.Open(gold, codedsm.NewBank[uint64],
+		codedsm.WithNodes(12),
+		codedsm.WithFaults(2),
+		codedsm.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("machines at capacity:", len(cluster.OracleStates()))
+	// A misconfiguration fails eagerly, naming the option.
+	_, err = codedsm.Open(gold, codedsm.NewBank[uint64], codedsm.WithNodes(-1))
+	fmt.Println("err:", err)
+	// Output:
+	// machines at capacity: 8
+	// err: csm: Open: WithNodes(-1): need at least one node
+}
+
+// ExampleCluster_Open serves a cluster through the Submit-based ingress:
+// individual commands become rounds, and each submission resolves a
+// Future with its machine's decoded output.
+func ExampleCluster_Open() {
+	gold := codedsm.NewGoldilocks()
+	cluster, err := codedsm.Open(gold, codedsm.NewBank[uint64],
+		codedsm.WithNodes(12), codedsm.WithMachines(2), codedsm.WithFaults(2),
+		codedsm.WithByzantineNode(5, codedsm.WrongResult),
+		codedsm.WithInitialStates([][]uint64{{500}, {900}}),
+		codedsm.WithSeed(9))
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := cluster.Open(codedsm.WithDeterministicAdmission())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	futA, err := client.Submit(ctx, 0, []uint64{25}) // deposit 25 to account 0
+	if err != nil {
+		log.Fatal(err)
+	}
+	futB, err := client.Submit(ctx, 1, []uint64{75}) // deposit 75 to account 1
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Close(); err != nil {
+		log.Fatal(err)
+	}
+	outA, _ := futA.Wait(ctx)
+	outB, _ := futB.Wait(ctx)
+	fmt.Println("account 0 balance:", outA[0])
+	fmt.Println("account 1 balance:", outB[0])
+	// Output:
+	// account 0 balance: 525
+	// account 1 balance: 975
 }
 
 // ExampleFromExprs builds a custom degree-2 machine from polynomial

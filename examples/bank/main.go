@@ -22,20 +22,15 @@ const (
 
 func main() {
 	gold := codedsm.NewGoldilocks()
-	cluster, err := codedsm.NewCluster(codedsm.ClusterConfig[uint64]{
-		BaseField:     gold,
-		NewTransition: codedsm.NewBank[uint64],
-		K:             numBanks,
-		N:             numNodes,
-		MaxFaults:     faults,
-		Consensus:     codedsm.DolevStrong, // real agreement on every batch
-		Byzantine: map[int]codedsm.Behavior{
-			3: codedsm.WrongResult, // corrupts execution results
-			7: codedsm.SilentNode,  // withholds results entirely
-		},
-		InitialStates: [][]uint64{{5_000}, {12_000}},
-		Seed:          7,
-	})
+	cluster, err := codedsm.Open(gold, codedsm.NewBank[uint64],
+		codedsm.WithNodes(numNodes),
+		codedsm.WithMachines(numBanks),
+		codedsm.WithFaults(faults),
+		codedsm.WithConsensus(codedsm.DolevStrong),        // real agreement on every batch
+		codedsm.WithByzantineNode(3, codedsm.WrongResult), // corrupts execution results
+		codedsm.WithByzantineNode(7, codedsm.SilentNode),  // withholds results entirely
+		codedsm.WithInitialStates([][]uint64{{5_000}, {12_000}}),
+		codedsm.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -39,17 +39,13 @@ func main() {
 	if maxK := codedsm.SyncMaxMachines(n, b, 3); maxK < k {
 		log.Fatalf("capacity %d too small", maxK)
 	}
-	cluster, err := codedsm.NewCluster(codedsm.ClusterConfig[uint64]{
-		BaseField: f,
-		NewTransition: func(ff codedsm.Field[uint64]) (*codedsm.Transition[uint64], error) {
+	cluster, err := codedsm.Open(f,
+		func(ff codedsm.Field[uint64]) (*codedsm.Transition[uint64], error) {
 			return codedsm.NewBooleanMachine(ff, "sat-counter", 2, 1, 1, counterFn)
 		},
-		K:         k,
-		N:         n,
-		MaxFaults: b,
-		Byzantine: map[int]codedsm.Behavior{5: codedsm.WrongResult},
-		Seed:      3,
-	})
+		codedsm.WithNodes(n), codedsm.WithMachines(k), codedsm.WithFaults(b),
+		codedsm.WithByzantineNode(5, codedsm.WrongResult),
+		codedsm.WithSeed(3))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -36,13 +36,10 @@ func main() {
 	gold := codedsm.NewGoldilocks()
 
 	// --- Crash, repair, rejoin ---
-	cluster, err := codedsm.NewCluster(codedsm.ClusterConfig[uint64]{
-		BaseField:     gold,
-		NewTransition: codedsm.NewBank[uint64],
-		K:             machines, N: nodes, MaxFaults: budget,
-		Byzantine: map[int]codedsm.Behavior{9: codedsm.WrongResult},
-		Seed:      7,
-	})
+	cluster, err := codedsm.Open(gold, codedsm.NewBank[uint64],
+		codedsm.WithNodes(nodes), codedsm.WithMachines(machines), codedsm.WithFaults(budget),
+		codedsm.WithByzantineNode(9, codedsm.WrongResult),
+		codedsm.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,13 +70,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	moving, err := codedsm.NewCluster(codedsm.ClusterConfig[uint64]{
-		BaseField:     gold,
-		NewTransition: codedsm.NewBank[uint64],
-		K:             machines, N: nodes, MaxFaults: budget,
-		ChurnFn: adversary,
-		Seed:    7,
-	})
+	moving, err := codedsm.Open(gold, codedsm.NewBank[uint64],
+		codedsm.WithNodes(nodes), codedsm.WithMachines(machines), codedsm.WithFaults(budget),
+		codedsm.WithChurnFn(adversary),
+		codedsm.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}

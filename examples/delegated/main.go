@@ -29,17 +29,14 @@ func main() {
 	workload := codedsm.RandomWorkload[uint64](gold, 3, machines, 1, 4)
 
 	run := func(delegated bool) uint64 {
-		cluster, err := codedsm.NewCluster(codedsm.ClusterConfig[uint64]{
-			BaseField:      gold,
-			NewTransition:  codedsm.NewBank[uint64],
-			K:              machines,
-			N:              nodes,
-			MaxFaults:      faults,
-			NoEquivocation: delegated,
-			Delegated:      delegated,
-			Byzantine:      liars,
-			Seed:           4,
-		})
+		opts := []codedsm.Option{
+			codedsm.WithNodes(nodes), codedsm.WithMachines(machines), codedsm.WithFaults(faults),
+			codedsm.WithByzantine(liars), codedsm.WithSeed(4),
+		}
+		if delegated {
+			opts = append(opts, codedsm.WithDelegated())
+		}
+		cluster, err := codedsm.Open(gold, codedsm.NewBank[uint64], opts...)
 		if err != nil {
 			log.Fatal(err)
 		}

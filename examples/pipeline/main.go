@@ -37,18 +37,15 @@ func build(batchSize, pipeline int) *codedsm.Cluster[uint64] {
 	for i := 0; len(byz) < faults; i++ {
 		byz[(i*5+2)%nodes] = codedsm.WrongResult
 	}
-	cluster, err := codedsm.NewCluster(codedsm.ClusterConfig[uint64]{
-		BaseField:     gold,
-		NewTransition: codedsm.NewBank[uint64],
-		K:             k,
-		N:             nodes,
-		MaxFaults:     faults,
-		Consensus:     codedsm.DolevStrong,
-		Byzantine:     byz,
-		Seed:          2019,
-		BatchSize:     batchSize,
-		Pipeline:      pipeline,
-	})
+	cluster, err := codedsm.Open(gold, codedsm.NewBank[uint64],
+		codedsm.WithNodes(nodes),
+		codedsm.WithMachines(k),
+		codedsm.WithFaults(faults),
+		codedsm.WithConsensus(codedsm.DolevStrong),
+		codedsm.WithByzantine(byz),
+		codedsm.WithSeed(2019),
+		codedsm.WithBatching(batchSize),
+		codedsm.WithPipeline(pipeline))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -17,19 +17,14 @@ func main() {
 
 	// Three bank accounts (K=3) on twelve nodes (N=12), sized to tolerate
 	// b=2 Byzantine nodes; nodes 4 and 9 actually lie.
-	cluster, err := codedsm.NewCluster(codedsm.ClusterConfig[uint64]{
-		BaseField:     gold,
-		NewTransition: codedsm.NewBank[uint64],
-		K:             3,
-		N:             12,
-		MaxFaults:     2,
-		Byzantine: map[int]codedsm.Behavior{
-			4: codedsm.WrongResult,
-			9: codedsm.WrongResult,
-		},
-		InitialStates: [][]uint64{{1000}, {2000}, {3000}},
-		Seed:          42,
-	})
+	cluster, err := codedsm.Open(gold, codedsm.NewBank[uint64],
+		codedsm.WithNodes(12),
+		codedsm.WithMachines(3),
+		codedsm.WithFaults(2),
+		codedsm.WithByzantineNode(4, codedsm.WrongResult),
+		codedsm.WithByzantineNode(9, codedsm.WrongResult),
+		codedsm.WithInitialStates([][]uint64{{1000}, {2000}, {3000}}),
+		codedsm.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -27,14 +27,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	partial, err := codedsm.NewPartialReplication(codedsm.ReplicationConfig[uint64]{
-		BaseField:     gold,
-		NewTransition: codedsm.NewBank[uint64],
-		K:             shards,
-		N:             nodes,
-		Byzantine:     attack,
-		Seed:          11,
-	})
+	partial, err := codedsm.OpenPartialReplication(gold, codedsm.NewBank[uint64],
+		codedsm.WithReplNodes(nodes), codedsm.WithReplMachines(shards),
+		codedsm.WithReplByzantine(attack), codedsm.WithReplSeed(11))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,15 +52,9 @@ func main() {
 	if maxShards < shards {
 		log.Fatalf("capacity: %d", maxShards)
 	}
-	cluster, err := codedsm.NewCluster(codedsm.ClusterConfig[uint64]{
-		BaseField:     gold,
-		NewTransition: codedsm.NewBank[uint64],
-		K:             shards,
-		N:             nodes,
-		MaxFaults:     budget,
-		Byzantine:     byz,
-		Seed:          11,
-	})
+	cluster, err := codedsm.Open(gold, codedsm.NewBank[uint64],
+		codedsm.WithNodes(nodes), codedsm.WithMachines(shards), codedsm.WithFaults(budget),
+		codedsm.WithByzantine(byz), codedsm.WithSeed(11))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -66,6 +66,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sort"
+	"sync"
 
 	"codedsm/internal/consensus"
 	"codedsm/internal/consensus/dolevstrong"
@@ -273,6 +274,12 @@ type Cluster[E comparable] struct {
 	// construction): events before it have been applied.
 	churnAt int
 	repairs RepairStats
+	// clientMu guards clientOpen — the ingress flag: while a Client is
+	// open its scheduler owns the cluster, so a second Open is refused
+	// until Close (the only cluster state that concurrent goroutines may
+	// legitimately contend on).
+	clientMu   sync.Mutex
+	clientOpen bool
 }
 
 // New builds and initializes a cluster, distributing coded initial states.
@@ -299,7 +306,7 @@ func New[E comparable](cfg Config[E]) (*Cluster[E], error) {
 		}
 	}
 	if err := budgetCheck(cfg.N, cfg.MaxFaults, cfg.Mode, cfg.Consensus, cfg.Byzantine); err != nil {
-		return nil, fmt.Errorf("csm: %w", err)
+		return nil, err // budgetCheck errors wrap the csm-prefixed sentinels
 	}
 	if cfg.MaxTicksPerRound == 0 {
 		cfg.MaxTicksPerRound = 200
@@ -485,10 +492,6 @@ type RoundResult[E comparable] struct {
 	Ticks int
 }
 
-// ErrRoundStuck reports a round that did not complete within the tick
-// budget (e.g. too many silent nodes in partial synchrony).
-var ErrRoundStuck = errors.New("csm: round did not complete within tick budget")
-
 // batchMsg is the consensus payload: the batch's command vectors, one per
 // machine per batch step, flattened step-major (step j, machine k at
 // index j*K+k; a single-round batch is exactly one vector per machine).
@@ -585,13 +588,18 @@ func (c *Cluster[E]) ExecuteRound(cmds [][]E) (*RoundResult[E], error) {
 // single consensus instance and executes them as micro-steps (batch[j][k]
 // is machine k's command vector in the batch's j-th round). It returns one
 // report per round; on a mid-batch error the reports of the rounds that
-// fully completed are returned alongside the error. The whole batch is
-// validated before consensus: a malformed round fails the batch up front
-// (the error names that round) and none of its rounds execute, just as a
+// fully completed are returned alongside a *BatchError whose Round is the
+// batch-relative index of the failed round. The whole batch is validated
+// before consensus: a malformed round fails the batch up front (the error
+// names that round) and none of its rounds execute, just as a
 // leader-corrupted batch is skipped as a whole (every report carries
 // Skipped).
 func (c *Cluster[E]) ExecuteBatch(batch [][][]E) ([]*RoundResult[E], error) {
-	return c.executeBatch(batch, nil)
+	out, err := c.executeBatch(batch, nil)
+	if err != nil {
+		return out, newBatchError(err, out, 0, len(out))
+	}
+	return out, nil
 }
 
 // runConsensus agrees on the command batch. It returns the agreed

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"iter"
 
 	"codedsm/internal/field"
 	"codedsm/internal/ints"
@@ -362,19 +363,6 @@ func (e *batchRoundError) Error() string {
 }
 func (e *batchRoundError) Unwrap() error { return e.err }
 
-// wrapRoundErr attributes a batch error to a workload round: base is the
-// batch's first workload round, failed the first round that did not
-// complete. A batchRoundError names the offending round (which may sit
-// later in the failed batch than the rounds it prevented from executing);
-// any other error is attributed to the first unexecuted round.
-func wrapRoundErr(err error, base, failed int) error {
-	var bre *batchRoundError
-	if errors.As(err, &bre) {
-		return fmt.Errorf("csm: round %d: %w", base+bre.offset, bre.err)
-	}
-	return fmt.Errorf("csm: round %d: %w", failed, err)
-}
-
 // batchSize returns the effective rounds-per-consensus-instance.
 func (c *Cluster[E]) batchSize() int {
 	if c.cfg.BatchSize > 1 {
@@ -393,9 +381,8 @@ func (c *Cluster[E]) BatchSize() int { return c.batchSize() }
 //
 // Error contract: on a mid-workload error Run returns the reports of every
 // round that fully completed — always a prefix of the workload — together
-// with the error, wrapped with the index of the failed round. Callers that
-// ignore the partial slice lose nothing but history; callers like
-// cmd/csmsim surface the completed-round count.
+// with a *BatchError carrying that same prefix and the index of the failed
+// round (recover both with errors.As; no string inspection needed).
 func (c *Cluster[E]) Run(rounds [][][]E) ([]*RoundResult[E], error) {
 	if c.cfg.Pipeline > 0 {
 		return c.RunPipelined(rounds)
@@ -407,10 +394,42 @@ func (c *Cluster[E]) Run(rounds [][][]E) ([]*RoundResult[E], error) {
 		res, err := c.executeBatch(rounds[start:end], nil)
 		out = append(out, res...)
 		if err != nil {
-			return out, wrapRoundErr(err, start, start+len(res))
+			return out, newBatchError(err, out, start, start+len(res))
 		}
 	}
 	return out, nil
+}
+
+// Rounds executes a whole workload like Run but streams the reports: the
+// returned iterator yields each round's report as soon as its client phase
+// completes, so experiment harnesses consume rounds without materializing
+// the result slice. On a mid-workload failure the final yield carries a
+// nil report and the *BatchError naming the failed round, after which the
+// iteration ends. Unlike Run's error, the streamed BatchError leaves
+// Completed nil — the completed reports were already yielded, and
+// retaining them would defeat the no-materialization point of streaming
+// (the failed round's index tells the consumer how many preceded it).
+//
+// Rounds drives the sequential engine regardless of Config.Pipeline —
+// streaming consumers need each report finished before it is yielded — and
+// the reports are bit-identical to Run's for any engine configuration.
+func (c *Cluster[E]) Rounds(rounds [][][]E) iter.Seq2[*RoundResult[E], error] {
+	return func(yield func(*RoundResult[E], error) bool) {
+		bs := c.batchSize()
+		for start := 0; start < len(rounds); start += bs {
+			end := min(start+bs, len(rounds))
+			res, err := c.executeBatch(rounds[start:end], nil)
+			for _, r := range res {
+				if !yield(r, nil) {
+					return
+				}
+			}
+			if err != nil {
+				yield(nil, newBatchError[E](err, nil, start, start+len(res)))
+				return
+			}
+		}
+	}
 }
 
 // RandomWorkload generates a reproducible workload: rounds x K command

@@ -90,7 +90,8 @@ func (s *clientStage[E]) drain() (int, error) {
 // happens-before contract that makes the overlap safe.
 //
 // The error contract matches Run: the reports of every fully completed
-// round (a workload prefix) are returned together with the first error.
+// round (a workload prefix) are returned together with a *BatchError
+// carrying that prefix and the failed round's index.
 func (c *Cluster[E]) RunPipelined(rounds [][][]E) ([]*RoundResult[E], error) {
 	if c.cfg.Delegated {
 		return nil, fmt.Errorf("csm: pipelining requires the decentralized execution phase")
@@ -101,14 +102,15 @@ func (c *Cluster[E]) RunPipelined(rounds [][][]E) ([]*RoundResult[E], error) {
 	}
 	stage := newClientStage(c, depth)
 	out := make([]*RoundResult[E], 0, len(rounds))
-	var firstErr error
+	var cause error
+	var causeBase, causeFailed int
 	bs := c.batchSize()
 	for start := 0; start < len(rounds); start += bs {
 		end := min(start+bs, len(rounds))
 		res, err := c.executeBatch(rounds[start:end], stage)
 		out = append(out, res...)
 		if err != nil {
-			firstErr = wrapRoundErr(err, start, start+len(res))
+			cause, causeBase, causeFailed = err, start, start+len(res)
 			break
 		}
 		if stage.failed() != nil {
@@ -121,7 +123,7 @@ func (c *Cluster[E]) RunPipelined(rounds [][][]E) ([]*RoundResult[E], error) {
 		// before any driver error, which can only strike a later round
 		// (the driver runs ahead of the stage). Report the first failure
 		// so the error names the round right after the returned prefix.
-		firstErr = wrapRoundErr(stageErr, completed, completed)
+		cause, causeBase, causeFailed = stageErr, completed, completed
 	}
 	if completed < len(out) {
 		// Keep Round() consistent with the returned prefix, exactly as
@@ -130,5 +132,8 @@ func (c *Cluster[E]) RunPipelined(rounds [][][]E) ([]*RoundResult[E], error) {
 		c.round -= len(out) - completed
 		out = out[:completed]
 	}
-	return out, firstErr
+	if cause != nil {
+		return out, newBatchError(cause, out, causeBase, causeFailed)
+	}
+	return out, nil
 }

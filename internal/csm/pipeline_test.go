@@ -2,7 +2,7 @@ package csm
 
 import (
 	"bytes"
-	"strings"
+	"errors"
 	"testing"
 
 	"codedsm/internal/field"
@@ -124,8 +124,8 @@ func TestPipelinedPartialSyncByzantineMixRace(t *testing.T) {
 
 // TestRunPartialResultsOnError pins the Run error contract: a
 // mid-workload failure returns the reports of every fully completed round
-// (a workload prefix) plus an error naming the failed round — on both
-// engines.
+// (a workload prefix) plus a BatchError carrying that prefix and the
+// failed round's index — on both engines.
 func TestRunPartialResultsOnError(t *testing.T) {
 	wl := RandomWorkload[uint64](gold, 5, 2, 1, 3)
 	wl[3] = [][]uint64{{1, 2}, {3}} // malformed: wrong command length
@@ -140,8 +140,16 @@ func TestRunPartialResultsOnError(t *testing.T) {
 		if len(out) != 3 {
 			t.Fatalf("pipeline=%d: %d completed rounds returned, want 3", pipeline, len(out))
 		}
-		if !strings.Contains(err.Error(), "round 3") {
-			t.Fatalf("pipeline=%d: error does not name the failed round: %v", pipeline, err)
+		var batchErr *BatchError[uint64]
+		if !errors.As(err, &batchErr) {
+			t.Fatalf("pipeline=%d: error is not a BatchError: %v", pipeline, err)
+		}
+		if batchErr.Round != 3 {
+			t.Fatalf("pipeline=%d: error blames round %d, want 3: %v", pipeline, batchErr.Round, err)
+		}
+		if len(batchErr.Completed) != len(out) {
+			t.Fatalf("pipeline=%d: BatchError carries %d completed rounds, want %d",
+				pipeline, len(batchErr.Completed), len(out))
 		}
 		for r, res := range out {
 			if !res.Correct {
@@ -161,11 +169,9 @@ func TestRunPartialResultsOnError(t *testing.T) {
 	cfg.BatchSize = 3
 	c := newCluster(t, cfg)
 	out, err := c.Run(wl)
-	if err == nil || !strings.Contains(err.Error(), "round 5") {
-		t.Fatalf("batched error must name the malformed round: %v", err)
-	}
-	if strings.Contains(err.Error(), "round 3") {
-		t.Fatalf("batched error must not also blame the batch head: %v", err)
+	var batchErr *BatchError[uint64]
+	if err == nil || !errors.As(err, &batchErr) || batchErr.Round != 5 {
+		t.Fatalf("batched error must name the malformed round (5): %v", err)
 	}
 	if len(out) != 3 {
 		t.Fatalf("batched: %d completed rounds returned, want 3 (first batch only)", len(out))

@@ -79,16 +79,16 @@ func budgetCheck(n, maxFaults int, mode transport.Mode, consensus ConsensusKind,
 		}
 	}
 	if load > 2*maxFaults {
-		return fmt.Errorf("fault load %d (an error costs 2 parity symbols, an erasure 1) exceeds the budget 2b=%d", load, 2*maxFaults)
+		return fmt.Errorf("%w: fault load %d (an error costs 2 parity symbols, an erasure 1) exceeds the budget 2b=%d", ErrFaultBudgetExceeded, load, 2*maxFaults)
 	}
 	if nonHonest > n-maxFaults-1 {
-		return fmt.Errorf("%d faulty nodes leave fewer than the b+1=%d honest repliers output delivery needs (Table 2)", nonHonest, maxFaults+1)
+		return fmt.Errorf("%w: %d faulty nodes leave fewer than the b+1=%d honest repliers output delivery needs (Table 2)", ErrQuorumUnreachable, nonHonest, maxFaults+1)
 	}
 	if mode == transport.PartialSync && dark > maxFaults {
-		return fmt.Errorf("%d non-sending nodes exceed b=%d: the N-b partially synchronous decode threshold would be unreachable", dark, maxFaults)
+		return fmt.Errorf("%w: %d non-sending nodes exceed b=%d: the N-b partially synchronous decode threshold would be unreachable", ErrQuorumUnreachable, dark, maxFaults)
 	}
 	if consensus == PBFT && crashed > n-2*maxFaults-1 {
-		return fmt.Errorf("%d crashed nodes leave fewer than the 2b+1=%d voters the PBFT quorum needs", crashed, 2*maxFaults+1)
+		return fmt.Errorf("%w: %d crashed nodes leave fewer than the 2b+1=%d voters the PBFT quorum needs", ErrQuorumUnreachable, crashed, 2*maxFaults+1)
 	}
 	return nil
 }
@@ -319,7 +319,8 @@ func (c *Cluster[E]) Corrupt(node int, behavior Behavior) error {
 		return fmt.Errorf("csm: corrupt node %d: node is %v (repair it first)", node, cur)
 	}
 	if err := budgetCheck(c.cfg.N, c.cfg.MaxFaults, c.cfg.Mode, c.cfg.Consensus, c.behaviorsWith(node, behavior)); err != nil {
-		return fmt.Errorf("csm: corrupting node %d: %w", node, err)
+		// budgetCheck errors carry the csm-prefixed sentinels already.
+		return fmt.Errorf("corrupting node %d: %w", node, err)
 	}
 	c.setBehavior(node, behavior)
 	return nil
@@ -337,7 +338,8 @@ func (c *Cluster[E]) Crash(node int) error {
 		return fmt.Errorf("csm: crash node %d: already %v", node, cur)
 	}
 	if err := budgetCheck(c.cfg.N, c.cfg.MaxFaults, c.cfg.Mode, c.cfg.Consensus, c.behaviorsWith(node, Crashed)); err != nil {
-		return fmt.Errorf("csm: crashing node %d: %w", node, err)
+		// budgetCheck errors carry the csm-prefixed sentinels already.
+		return fmt.Errorf("crashing node %d: %w", node, err)
 	}
 	if err := c.net.SetDown(transport.NodeID(node), true); err != nil {
 		return err
@@ -443,7 +445,9 @@ func (c *Cluster[E]) RepairNode(i int) error {
 // client command is eventually executed — the paper's Liveness requirement
 // (Section 2.1). Only the skipped suffix is retried: rounds that already
 // executed are never re-submitted. maxAttempts bounds consecutive skipped
-// attempts; <1 selects a full leader rotation (N attempts).
+// attempts; <1 selects a full leader rotation (N attempts). Exhausting the
+// budget fails with ErrRoundLimit; every failure carries a *BatchError
+// with the executed prefix and the index of the first unexecuted round.
 func (c *Cluster[E]) RunQueue(rounds [][][]E, maxAttempts int) ([]*RoundResult[E], error) {
 	if maxAttempts < 1 {
 		maxAttempts = c.cfg.N // a full leader rotation
@@ -453,6 +457,7 @@ func (c *Cluster[E]) RunQueue(rounds [][][]E, maxAttempts int) ([]*RoundResult[E
 	pending := rounds
 	attempts := 0
 	for len(pending) > 0 {
+		base := len(rounds) - len(pending)
 		end := min(bs, len(pending))
 		res, err := c.executeBatch(pending[:end], nil)
 		if err != nil {
@@ -460,7 +465,7 @@ func (c *Cluster[E]) RunQueue(rounds [][][]E, maxAttempts int) ([]*RoundResult[E
 			// advanced, clients tallied) — report them, or a caller that
 			// re-submits everything past len(out) would double-execute.
 			out = append(out, res...)
-			return out, fmt.Errorf("csm: queued round %d attempt %d: %w", len(rounds)-len(pending)+len(res), attempts, err)
+			return out, newBatchError(err, out, base, base+len(res))
 		}
 		executed := 0
 		for _, r := range res {
@@ -477,8 +482,12 @@ func (c *Cluster[E]) RunQueue(rounds [][][]E, maxAttempts int) ([]*RoundResult[E
 		}
 		attempts++
 		if attempts >= maxAttempts {
-			return out, fmt.Errorf("csm: %d queued rounds not executed within %d attempts: %w",
-				len(pending), maxAttempts, ErrRoundStuck)
+			return out, &BatchError[E]{
+				Completed: out,
+				Round:     len(rounds) - len(pending),
+				Err: fmt.Errorf("%w: %d queued rounds not executed within %d attempts",
+					ErrRoundLimit, len(pending), maxAttempts),
+			}
 		}
 	}
 	return out, nil

@@ -9,6 +9,7 @@
 package metrics
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"text/tabwriter"
@@ -18,7 +19,6 @@ import (
 	"codedsm/internal/lcc"
 	"codedsm/internal/replication"
 	"codedsm/internal/sm"
-	"codedsm/internal/transport"
 )
 
 // Table1Row is one scheme's measured row of Table 1.
@@ -114,10 +114,9 @@ func Table1(cfg Table1Config) ([]Table1Row, error) {
 	workload := csm.RandomWorkload[uint64](gold, cfg.Rounds, k, 1, cfg.Seed)
 
 	// Full replication.
-	full, err := replication.NewFull(replication.Config[uint64]{
-		BaseField: gold, NewTransition: replFactory(cfg.D), K: k, N: cfg.N, Seed: cfg.Seed,
-		Parallelism: cfg.Parallelism,
-	})
+	full, err := replication.OpenFull(gold, replFactory(cfg.D),
+		replication.WithNodes(cfg.N), replication.WithMachines(k),
+		replication.WithSeed(cfg.Seed), replication.WithParallelism(cfg.Parallelism))
 	if err != nil {
 		return nil, err
 	}
@@ -129,10 +128,9 @@ func Table1(cfg Table1Config) ([]Table1Row, error) {
 		full.OpCounts(), cfg.Rounds, correct))
 
 	// Partial replication.
-	part, err := replication.NewPartial(replication.Config[uint64]{
-		BaseField: gold, NewTransition: replFactory(cfg.D), K: k, N: cfg.N, Seed: cfg.Seed,
-		Parallelism: cfg.Parallelism,
-	})
+	part, err := replication.OpenPartial(gold, replFactory(cfg.D),
+		replication.WithNodes(cfg.N), replication.WithMachines(k),
+		replication.WithSeed(cfg.Seed), replication.WithParallelism(cfg.Parallelism))
 	if err != nil {
 		return nil, err
 	}
@@ -158,28 +156,59 @@ func Table1(cfg Table1Config) ([]Table1Row, error) {
 	for len(byz) < b { // collision fill
 		byz[len(byz)*11%cfg.N] = csm.WrongResult
 	}
-	cluster, err := csm.New(csm.Config[uint64]{
-		BaseField: gold, NewTransition: bankLike(cfg.D),
-		K: k, N: cfg.N, MaxFaults: b,
-		Mode: transport.Sync, Consensus: csm.Oracle,
-		Byzantine: byz, Seed: cfg.Seed,
-		Parallelism: cfg.Parallelism,
-		BatchSize:   cfg.BatchSize, Pipeline: cfg.Pipeline,
-	})
+	cluster, err := csm.Open(gold, bankLike(cfg.D),
+		csm.WithNodes(cfg.N), csm.WithMachines(k), csm.WithFaults(b),
+		csm.WithByzantine(byz), csm.WithSeed(cfg.Seed),
+		csm.WithParallelism(cfg.Parallelism),
+		csm.WithBatching(cfg.BatchSize), csm.WithPipeline(cfg.Pipeline))
 	if err != nil {
 		return nil, err
 	}
-	results, err := cluster.Run(workload)
+	correct, err = runCorrect(cluster, workload, cfg.Pipeline > 0, "table1 csm")
 	if err != nil {
 		return nil, err
-	}
-	correct = true
-	for _, res := range results {
-		correct = correct && res.Correct
 	}
 	rows = append(rows, makeRow("csm", cfg.N, k, b, b, float64(k),
 		cluster.OpCounts(), cfg.Rounds, correct))
 	return rows, nil
+}
+
+// runCorrect folds per-round correctness over a workload without dropping
+// any completed round's report on a mid-workload failure: rounds are
+// consumed through the streaming Rounds iterator (or Run when the cluster
+// is configured for the pipelined engine, whose overlap a streaming
+// consumer would serialize), and the returned error names the failed round
+// and the number of rounds that did complete — recovered with errors.As,
+// not string inspection.
+func runCorrect(cluster *csm.Cluster[uint64], workload [][][]uint64, pipelined bool, what string) (bool, error) {
+	wrap := func(correct bool, completed int, err error) (bool, error) {
+		var batchErr *csm.BatchError[uint64]
+		if errors.As(err, &batchErr) {
+			return correct, fmt.Errorf("metrics: %s: %d/%d rounds completed: %w",
+				what, completed, len(workload), err)
+		}
+		return correct, fmt.Errorf("metrics: %s: %w", what, err)
+	}
+	correct := true
+	if pipelined {
+		results, err := cluster.Run(workload)
+		for _, res := range results {
+			correct = correct && res.Correct
+		}
+		if err != nil {
+			return wrap(correct, len(results), err)
+		}
+		return correct, nil
+	}
+	completed := 0
+	for res, err := range cluster.Rounds(workload) {
+		if err != nil {
+			return wrap(correct, completed, err)
+		}
+		correct = correct && res.Correct
+		completed++
+	}
+	return correct, nil
 }
 
 func makeRow(scheme string, n, k, b, security int, storage float64,

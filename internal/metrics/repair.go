@@ -11,7 +11,6 @@ import (
 	"codedsm/internal/lcc"
 	"codedsm/internal/poly"
 	"codedsm/internal/sm"
-	"codedsm/internal/transport"
 )
 
 // RepairRow is one measured point of the repair-cost experiment
@@ -66,30 +65,29 @@ func RepairCost(ns []int, mu float64, d, rounds int, seed uint64) ([]RepairRow, 
 			target++
 		}
 		half := max(rounds/2, 1)
-		cluster, err := csm.New(csm.Config[uint64]{
-			BaseField: gold,
-			NewTransition: func(f field.Field[uint64]) (*sm.Transition[uint64], error) {
+		cluster, err := csm.Open(gold,
+			func(f field.Field[uint64]) (*sm.Transition[uint64], error) {
 				return sm.NewPolynomialRegister(f, d)
 			},
-			K: k, N: n, MaxFaults: b,
-			Mode: transport.Sync, Consensus: csm.Oracle,
-			Byzantine: byz, Seed: seed,
-			Churn: []csm.ChurnEvent{
-				{Round: half, Node: target, Op: csm.ChurnCrash},
-				{Round: 2 * half, Node: target, Op: csm.ChurnRejoin},
-			},
-		})
+			csm.WithNodes(n), csm.WithMachines(k), csm.WithFaults(b),
+			csm.WithByzantine(byz), csm.WithSeed(seed),
+			csm.WithChurn(
+				csm.ChurnEvent{Round: half, Node: target, Op: csm.ChurnCrash},
+				csm.ChurnEvent{Round: 2 * half, Node: target, Op: csm.ChurnRejoin},
+			))
 		if err != nil {
 			return nil, err
 		}
 		wl := csm.RandomWorkload[uint64](gold, 2*half+1, k, cluster.Transition().CmdLen(), seed)
-		results, err := cluster.Run(wl)
-		if err != nil {
-			return nil, fmt.Errorf("metrics: repair run N=%d: %w", n, err)
-		}
+		completed := 0
 		correct := true
-		for _, res := range results {
+		for res, err := range cluster.Rounds(wl) {
+			if err != nil {
+				return nil, fmt.Errorf("metrics: repair run N=%d: %d/%d rounds completed: %w",
+					n, completed, len(wl), err)
+			}
 			correct = correct && res.Correct
+			completed++
 		}
 		stats := cluster.RepairStats()
 		if stats.Repairs != 1 {
@@ -103,7 +101,7 @@ func RepairCost(ns []int, mu float64, d, rounds int, seed uint64) ([]RepairRow, 
 		out = append(out, RepairRow{
 			N: n, K: k, B: b,
 			RepairOps:       stats.Ops.Total(),
-			RoundOpsPerNode: float64(total-stats.Ops.Total()) / float64(n*len(results)),
+			RoundOpsPerNode: float64(total-stats.Ops.Total()) / float64(n*completed),
 			FullDecodeOps:   fullOps,
 			Correct:         correct,
 		})

@@ -10,7 +10,6 @@ import (
 	"codedsm/internal/lcc"
 	"codedsm/internal/poly"
 	"codedsm/internal/sm"
-	"codedsm/internal/transport"
 )
 
 // ScalingRow is one point of the Theorem 1 series: at network size N with
@@ -87,45 +86,32 @@ func ScalingSeries(cfg ScalingConfig) ([]ScalingRow, error) {
 		for i := 0; len(byz) < b; i++ {
 			byz[(i*5+2)%n] = csm.WrongResult
 		}
-		cluster, err := csm.New(csm.Config[uint64]{
-			BaseField: gold, NewTransition: bankLike(cfg.D),
-			K: k, N: n, MaxFaults: b,
-			Mode: transport.Sync, Consensus: csm.Oracle,
-			Byzantine: byz, Seed: cfg.Seed,
-			Parallelism: cfg.Parallelism,
-			BatchSize:   cfg.BatchSize, Pipeline: cfg.Pipeline,
-		})
+		cluster, err := csm.Open(gold, bankLike(cfg.D),
+			csm.WithNodes(n), csm.WithMachines(k), csm.WithFaults(b),
+			csm.WithByzantine(byz), csm.WithSeed(cfg.Seed),
+			csm.WithParallelism(cfg.Parallelism),
+			csm.WithBatching(cfg.BatchSize), csm.WithPipeline(cfg.Pipeline))
 		if err != nil {
 			return nil, err
 		}
 		workload := csm.RandomWorkload[uint64](gold, cfg.Rounds, k, 1, cfg.Seed)
-		results, err := cluster.Run(workload)
+		correct, err := runCorrect(cluster, workload, cfg.Pipeline > 0, fmt.Sprintf("scaling N=%d", n))
 		if err != nil {
 			return nil, err
-		}
-		correct := true
-		for _, res := range results {
-			correct = correct && res.Correct
 		}
 		// Same cluster, delegated execution phase (never pipelined).
-		delegatedCluster, err := csm.New(csm.Config[uint64]{
-			BaseField: gold, NewTransition: bankLike(cfg.D),
-			K: k, N: n, MaxFaults: b,
-			Mode: transport.Sync, Consensus: csm.Oracle,
-			NoEquivocation: true, Delegated: true,
-			Byzantine: byz, Seed: cfg.Seed,
-			Parallelism: cfg.Parallelism, BatchSize: cfg.BatchSize,
-		})
+		delegatedCluster, err := csm.Open(gold, bankLike(cfg.D),
+			csm.WithNodes(n), csm.WithMachines(k), csm.WithFaults(b),
+			csm.WithDelegated(), csm.WithByzantine(byz), csm.WithSeed(cfg.Seed),
+			csm.WithParallelism(cfg.Parallelism), csm.WithBatching(cfg.BatchSize))
 		if err != nil {
 			return nil, err
 		}
-		delegatedResults, err := delegatedCluster.Run(workload)
+		delegatedCorrect, err := runCorrect(delegatedCluster, workload, false, fmt.Sprintf("scaling delegated N=%d", n))
 		if err != nil {
 			return nil, err
 		}
-		for _, res := range delegatedResults {
-			correct = correct && res.Correct
-		}
+		correct = correct && delegatedCorrect
 		workerFast, naive, err := codingCosts(k, n, b, cfg.D, cfg.Seed)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,135 @@
+package replication
+
+import (
+	"fmt"
+
+	"codedsm/internal/field"
+	"codedsm/internal/transport"
+)
+
+// Option configures a baseline cluster built with OpenFull or OpenPartial.
+// Options validate eagerly, mirroring the csm package's Open: a
+// constructor given an out-of-range value returns an option that fails the
+// open call with a message naming the option.
+type Option func(*settings) error
+
+// settings accumulates the non-generic baseline knobs; the generic initial
+// states travel as an opaque value, type-checked in the open calls.
+type settings struct {
+	n, k          int
+	mode          transport.Mode
+	byzantine     map[int]Behavior
+	seed          uint64
+	parallelism   int
+	initialStates any // [][]E
+}
+
+func optionErr(format string, args ...any) Option {
+	err := fmt.Errorf(format, args...)
+	return func(*settings) error { return err }
+}
+
+// WithNodes sets the network size N. Required.
+func WithNodes(n int) Option {
+	if n < 1 {
+		return optionErr("WithNodes(%d): need at least one node", n)
+	}
+	return func(s *settings) error { s.n = n; return nil }
+}
+
+// WithMachines sets the number of state machines K. Required.
+func WithMachines(k int) Option {
+	if k < 1 {
+		return optionErr("WithMachines(%d): need at least one machine", k)
+	}
+	return func(s *settings) error { s.k = k; return nil }
+}
+
+// WithPartialSync switches the security-bound formulas to the partially
+// synchronous ones ((N-1)/3-style instead of (N-1)/2).
+func WithPartialSync() Option {
+	return func(s *settings) error { s.mode = transport.PartialSync; return nil }
+}
+
+// WithByzantine assigns failure modes to nodes (merged over previous
+// applications; the map is copied).
+func WithByzantine(behaviors map[int]Behavior) Option {
+	return func(s *settings) error {
+		if s.byzantine == nil {
+			s.byzantine = make(map[int]Behavior, len(behaviors))
+		}
+		for i, b := range behaviors {
+			s.byzantine[i] = b
+		}
+		return nil
+	}
+}
+
+// WithSeed seeds the adversary's lies.
+func WithSeed(seed uint64) Option {
+	return func(s *settings) error { s.seed = seed; return nil }
+}
+
+// WithParallelism sets the replica-step worker count (rounds are
+// bit-identical for any value).
+func WithParallelism(workers int) Option {
+	return func(s *settings) error { s.parallelism = workers; return nil }
+}
+
+// WithInitialStates sets the K machines' initial state vectors. The
+// element type must match the cluster's field element.
+func WithInitialStates[E comparable](states [][]E) Option {
+	return func(s *settings) error { s.initialStates = states; return nil }
+}
+
+// buildConfig assembles the generic Config from applied options.
+func buildConfig[E comparable](f field.Field[E], tf TransitionFactory[E], opts []Option) (Config[E], error) {
+	var s settings
+	for _, opt := range opts {
+		if opt == nil {
+			return Config[E]{}, fmt.Errorf("replication: nil Option")
+		}
+		if err := opt(&s); err != nil {
+			return Config[E]{}, fmt.Errorf("replication: %w", err)
+		}
+	}
+	cfg := Config[E]{
+		BaseField:     f,
+		NewTransition: tf,
+		K:             s.k,
+		N:             s.n,
+		Mode:          s.mode,
+		Byzantine:     s.byzantine,
+		Seed:          s.seed,
+		Parallelism:   s.parallelism,
+	}
+	if s.initialStates != nil {
+		states, ok := s.initialStates.([][]E)
+		if !ok {
+			return Config[E]{}, fmt.Errorf("replication: WithInitialStates element type %T does not match the cluster's field element %T",
+				s.initialStates, *new(E))
+		}
+		cfg.InitialStates = states
+	}
+	return cfg, nil
+}
+
+// OpenFull builds the full-replication baseline from functional options —
+// the options-based front door to NewFull.
+func OpenFull[E comparable](f field.Field[E], newTransition TransitionFactory[E], opts ...Option) (*FullCluster[E], error) {
+	cfg, err := buildConfig(f, newTransition, opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewFull(cfg)
+}
+
+// OpenPartial builds the partial-replication baseline from functional
+// options — the options-based front door to NewPartial.
+func OpenPartial[E comparable](f field.Field[E], newTransition TransitionFactory[E], opts ...Option) (*PartialCluster[E], error) {
+	cfg, err := buildConfig(f, newTransition, opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewPartial(cfg)
+}
