@@ -11,7 +11,7 @@ BASELINE ?=
 # BENCH_OUT: artifact the bench-json target writes.
 BENCH_OUT ?= BENCH_PR5.json
 
-.PHONY: all build test race bench bench-json bench-micro bench-pr3 bench-pr5 smoke-pipeline smoke-churn smoke-service staticcheck fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json bench-micro bench-pr3 bench-pr5 smoke-pipeline smoke-churn smoke-service smoke-processes fuzz-smoke staticcheck fmt fmt-check vet ci
 
 all: build test
 
@@ -70,6 +70,20 @@ smoke-churn:
 smoke-service:
 	$(GO) run -race ./examples/service
 
+# The multi-process deployment end to end (CI smoke): bootstrap a 4-node
+# localhost cluster of csmnode OS processes over the TCP transport, drive
+# a workload through the sequencer's socket ingress, and require outputs
+# and run digests bit-identical to the in-memory simulated oracle.
+smoke-processes:
+	$(GO) build -o bin/csmnode ./cmd/csmnode
+	$(GO) run ./examples/processes -csmnode bin/csmnode -n 4 -k 2 -rounds 8 -timeout 2m
+
+# Short fuzz runs over the TCP framing and message codec (CI smoke): the
+# checked-in corpus plus a few seconds of new coverage-guided inputs.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalMessage -fuzztime=10s ./internal/transport/
+	$(GO) test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=10s ./internal/transport/
+
 # Static analysis (CI installs staticcheck; locally it is skipped with a
 # notice when the binary is absent).
 staticcheck:
@@ -86,4 +100,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet staticcheck build race bench bench-micro smoke-pipeline smoke-churn smoke-service
+ci: fmt-check vet staticcheck build race bench bench-micro smoke-pipeline smoke-churn smoke-service smoke-processes fuzz-smoke

@@ -1,0 +1,444 @@
+// Command csmnode runs one node of a Coded State Machine cluster as its
+// own OS process, speaking the length-prefixed signed TCP transport to
+// its peers. A cluster is N csmnode processes, each started from a
+// static per-node config file; `csmnode bootstrap` writes a matching set
+// of config files for an N-node localhost cluster.
+//
+//	csmnode bootstrap -dir cluster -n 4 -k 2 -seed 42 -serve
+//	csmnode run -config cluster/node1.json &
+//	csmnode run -config cluster/node2.json &
+//	csmnode run -config cluster/node3.json &
+//	csmnode run -config cluster/node0.json -rounds 16   # leads a seeded workload
+//
+// Node 0 is the sequencer. With -rounds it leads a seeded random
+// workload; with -serve it listens on the config's client address and
+// sequences rounds submitted by nodeapi clients (the Submit ingress,
+// over a socket). Followers need neither flag — they execute whatever
+// the sequencer agrees until the stop marker arrives.
+//
+// Every node prints `digest=<hex>` (a canonical SHA-256 over all decoded
+// outputs) and `rounds=<n>` on stdout when the run ends; honest nodes of
+// one run print identical digests, and the digest equals the in-memory
+// simulated cluster's on the same workload. SIGINT/SIGTERM shut the node
+// down gracefully: the transport closes, the barrier unblocks, and the
+// digest of the rounds executed so far is still printed.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"codedsm/internal/csm"
+	"codedsm/internal/field"
+	"codedsm/internal/lcc"
+	"codedsm/internal/nodeapi"
+	"codedsm/internal/sm"
+	"codedsm/internal/transport"
+)
+
+// nodeConfig is the static per-node cluster configuration. All fields
+// except Node, Listen, and ClientListen must be identical across the
+// cluster's config files.
+type nodeConfig struct {
+	Node   int      `json:"node"`   // this node's id (0 = sequencer)
+	N      int      `json:"n"`      // cluster size
+	K      int      `json:"k"`      // number of state machines
+	Faults int      `json:"faults"` // fault budget b the code is sized for
+	Degree int      `json:"degree"` // polynomial-register transition degree
+	Seed   uint64   `json:"seed"`   // shared cluster seed (keys + workload)
+	Batch  int      `json:"batch"`  // rounds per sequencer batch (workload mode)
+	Listen string   `json:"listen"` // this node's transport listen address
+	Peers  []string `json:"peers"`  // all N transport addresses, node order
+	// ClientListen is the sequencer's nodeapi ingress address (serve
+	// mode); empty elsewhere.
+	ClientListen  string `json:"client_listen,omitempty"`
+	StepTimeoutMS int    `json:"step_timeout_ms,omitempty"`
+}
+
+func (c nodeConfig) validate() error {
+	switch {
+	case c.N < 2:
+		return fmt.Errorf("n=%d: a multi-process cluster needs at least 2 nodes", c.N)
+	case c.Node < 0 || c.Node >= c.N:
+		return fmt.Errorf("node=%d out of range for n=%d", c.Node, c.N)
+	case c.K < 1:
+		return fmt.Errorf("k=%d: need at least one machine", c.K)
+	case c.Degree < 1:
+		return fmt.Errorf("degree=%d: need a degree >= 1 transition", c.Degree)
+	case c.Batch < 0:
+		return fmt.Errorf("batch=%d must be >= 0", c.Batch)
+	case len(c.Peers) != c.N:
+		return fmt.Errorf("%d peer addresses for n=%d", len(c.Peers), c.N)
+	case c.Listen == "":
+		return errors.New("listen address is empty")
+	}
+	return nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "bootstrap":
+		err = bootstrap(os.Args[2:])
+	case "run":
+		err = run(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csmnode:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  csmnode bootstrap -dir DIR [-n 4] [-k 2] [-faults 0] [-degree 2] [-seed 42] [-batch 1] [-serve]
+      write per-node config files for an N-node localhost cluster
+  csmnode run -config FILE [-rounds R] [-serve]
+      run one node; node 0 leads R seeded workload rounds (-rounds) or
+      serves the nodeapi Submit ingress (-serve)`)
+}
+
+// bootstrap writes node{i}.json config files for a localhost cluster,
+// probing the kernel for free ports.
+func bootstrap(args []string) error {
+	fs := flag.NewFlagSet("bootstrap", flag.ExitOnError)
+	dir := fs.String("dir", ".", "directory to write node config files into")
+	n := fs.Int("n", 4, "cluster size")
+	k := fs.Int("k", 2, "number of state machines")
+	faults := fs.Int("faults", 0, "fault budget the code is sized for")
+	degree := fs.Int("degree", 2, "polynomial-register transition degree")
+	seed := fs.Uint64("seed", 42, "shared cluster seed")
+	batch := fs.Int("batch", 1, "rounds per sequencer batch")
+	serve := fs.Bool("serve", false, "give node 0 a client ingress address")
+	fs.Parse(args)
+
+	if maxK := lcc.SyncMaxMachines(*n, *faults, *degree); *k > maxK {
+		return fmt.Errorf("k=%d exceeds capacity %d for n=%d faults=%d degree=%d (need n >= (k-1)*degree + 2*faults + 1)",
+			*k, maxK, *n, *faults, *degree)
+	}
+	ports := *n
+	if *serve {
+		ports++
+	}
+	addrs, err := probePorts(ports)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	for i := 0; i < *n; i++ {
+		cfg := nodeConfig{
+			Node: i, N: *n, K: *k, Faults: *faults, Degree: *degree,
+			Seed: *seed, Batch: *batch,
+			Listen: addrs[i], Peers: addrs[:*n],
+		}
+		if *serve && i == 0 {
+			cfg.ClientListen = addrs[*n]
+		}
+		if err := cfg.validate(); err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(cfg, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*dir, fmt.Sprintf("node%d.json", i))
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println(path)
+	}
+	return nil
+}
+
+// probePorts reserves n distinct localhost addresses by briefly binding
+// port 0. The listeners close before returning, so the ports are free
+// for the nodes to bind (a small reuse race a static config format has
+// to live with).
+func probePorts(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs, nil
+}
+
+// run runs one node until its workload finishes, its sequencer stops the
+// cluster, or a termination signal arrives.
+func run(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	configPath := fs.String("config", "", "node config file (required)")
+	rounds := fs.Int("rounds", 0, "sequencer only: lead this many seeded workload rounds")
+	serve := fs.Bool("serve", false, "sequencer only: serve the nodeapi Submit ingress")
+	fs.Parse(args)
+	if *configPath == "" {
+		return errors.New("run needs -config")
+	}
+	data, err := os.ReadFile(*configPath)
+	if err != nil {
+		return err
+	}
+	var cfg nodeConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fmt.Errorf("parsing %s: %w", *configPath, err)
+	}
+	if err := cfg.validate(); err != nil {
+		return fmt.Errorf("%s: %w", *configPath, err)
+	}
+	if cfg.Node == 0 {
+		if *serve && *rounds > 0 {
+			return errors.New("-serve and -rounds are mutually exclusive")
+		}
+		if !*serve && *rounds <= 0 {
+			return errors.New("the sequencer (node 0) needs -rounds or -serve")
+		}
+		if *serve && cfg.ClientListen == "" {
+			return errors.New("-serve needs a client_listen address in the config (bootstrap -serve)")
+		}
+	}
+
+	stepTimeout := time.Duration(cfg.StepTimeoutMS) * time.Millisecond
+	link, err := transport.NewTCP(transport.TCPConfig{
+		Self: transport.NodeID(cfg.Node), N: cfg.N, Seed: cfg.Seed,
+		Listen: cfg.Listen, Peers: cfg.Peers,
+		StepTimeout: stepTimeout,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "node %d: "+format+"\n", append([]any{cfg.Node}, a...)...)
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("bringing up transport: %w", err)
+	}
+	defer link.Close()
+
+	// Graceful shutdown: closing the link fails any blocked barrier with
+	// ErrClosed, which unwinds the engine; the digest still prints.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	var clientLn net.Listener
+	if cfg.Node == 0 && *serve {
+		clientLn, err = net.Listen("tcp", cfg.ClientListen)
+		if err != nil {
+			return fmt.Errorf("binding client ingress: %w", err)
+		}
+		defer clientLn.Close()
+	}
+	var interrupted atomic.Bool
+	go func() {
+		s := <-sigc
+		interrupted.Store(true)
+		fmt.Fprintf(os.Stderr, "node %d: received %v, shutting down\n", cfg.Node, s)
+		if clientLn != nil {
+			clientLn.Close()
+		}
+		link.Close()
+	}()
+
+	gold := field.NewGoldilocks()
+	proc, err := csm.NewNodeProcess(csm.RemoteConfig[uint64]{
+		BaseField: gold,
+		NewTransition: func(f field.Field[uint64]) (*sm.Transition[uint64], error) {
+			return sm.NewPolynomialRegister(f, cfg.Degree)
+		},
+		K:         cfg.K,
+		MaxFaults: cfg.Faults,
+	}, link)
+	if err != nil {
+		return err
+	}
+
+	digest := nodeapi.NewDigest()
+	executed := 0
+	record := func(outs [][][]uint64) {
+		for _, roundOut := range outs {
+			digest.AddRound(executed, roundOut)
+			executed++
+		}
+	}
+
+	var runErr error
+	switch {
+	case cfg.Node != 0:
+		outs, err := proc.Follow()
+		record(outs)
+		runErr = err
+	case *rounds > 0:
+		workload := csm.RandomWorkload[uint64](gold, *rounds, cfg.K, proc.Transition().CmdLen(), cfg.Seed)
+		outs, err := proc.Lead(workload, cfg.Batch)
+		record(outs)
+		runErr = err
+	default:
+		runErr = serveIngress(proc, clientLn, digest, &executed)
+	}
+	if interrupted.Load() && errors.Is(runErr, transport.ErrClosed) {
+		runErr = nil // clean signal shutdown
+	}
+	fmt.Printf("digest=%s\n", digest.Sum())
+	fmt.Printf("rounds=%d\n", executed)
+	return runErr
+}
+
+// serveIngress is the sequencer's serve mode: accept nodeapi clients one
+// at a time and sequence the rounds they submit. A round is cut as soon
+// as every machine has a pending command; flush cuts one immediately,
+// padding idle machines. The digest and round counter advance exactly as
+// in workload mode.
+func serveIngress(proc *csm.NodeProcess[uint64], ln net.Listener, digest *nodeapi.Digest, executed *int) error {
+	gold := field.NewGoldilocks()
+	cmdLen := proc.Transition().CmdLen()
+	for {
+		raw, err := ln.Accept()
+		if err != nil {
+			// Listener closed: a signal shutdown. Stop the cluster so the
+			// followers unwind too.
+			return proc.Stop()
+		}
+		done, err := serveClient(proc, nodeapi.NewConn(raw), gold, cmdLen, digest, executed)
+		raw.Close()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// serveClient drives one client session. done is true when the client
+// closed the cluster (as opposed to only disconnecting).
+func serveClient(proc *csm.NodeProcess[uint64], conn *nodeapi.Conn, gold field.Goldilocks, cmdLen int, digest *nodeapi.Digest, executed *int) (done bool, err error) {
+	K := proc.Machines()
+	pending := make([][][]uint64, K) // per-machine FIFO
+	fail := func(msg string) {
+		conn.WriteResponse(nodeapi.Response{Op: nodeapi.OpError, Msg: msg})
+	}
+	// cut sequences one round from the pending queues, padding machines
+	// with nothing queued, and streams all K outputs back.
+	cut := func() error {
+		cmds := make([][]uint64, K)
+		for m := 0; m < K; m++ {
+			if len(pending[m]) > 0 {
+				cmds[m] = pending[m][0]
+				pending[m] = pending[m][1:]
+			} else {
+				cmds[m] = make([]uint64, cmdLen) // pad: identity command
+			}
+		}
+		round := proc.Round()
+		outs, err := proc.LeadBatch([][][]uint64{cmds})
+		if err != nil {
+			return err
+		}
+		for _, roundOut := range outs {
+			digest.AddRound(*executed, roundOut)
+			*executed++
+			for m, out := range roundOut {
+				if err := conn.WriteResponse(nodeapi.Response{
+					Op: nodeapi.OpResult, Round: round, Machine: m, Output: out,
+				}); err != nil {
+					return err
+				}
+			}
+			round++
+		}
+		return nil
+	}
+	allPending := func() bool {
+		for m := 0; m < K; m++ {
+			if len(pending[m]) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	anyPending := func() bool {
+		for m := 0; m < K; m++ {
+			if len(pending[m]) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for {
+		req, err := conn.ReadRequest()
+		if err != nil {
+			// Client went away without closing the cluster; keep serving.
+			return false, nil
+		}
+		switch req.Op {
+		case nodeapi.OpSubmit:
+			if req.Machine < 0 || req.Machine >= K {
+				fail(fmt.Sprintf("machine %d out of range [0,%d)", req.Machine, K))
+				return false, nil
+			}
+			if len(req.Cmd) != cmdLen {
+				fail(fmt.Sprintf("command length %d, want %d", len(req.Cmd), cmdLen))
+				return false, nil
+			}
+			cmd := make([]uint64, cmdLen)
+			for i, v := range req.Cmd {
+				cmd[i] = gold.Uint64(gold.FromUint64(v)) // canonicalize into the field
+			}
+			pending[req.Machine] = append(pending[req.Machine], cmd)
+			for allPending() {
+				if err := cut(); err != nil {
+					fail(err.Error())
+					return false, err
+				}
+			}
+		case nodeapi.OpFlush:
+			for anyPending() {
+				if err := cut(); err != nil {
+					fail(err.Error())
+					return false, err
+				}
+			}
+		case nodeapi.OpClose:
+			if anyPending() {
+				if err := cut(); err != nil {
+					fail(err.Error())
+					return false, err
+				}
+			}
+			if err := proc.Stop(); err != nil {
+				fail(err.Error())
+				return false, err
+			}
+			conn.WriteResponse(nodeapi.Response{Op: nodeapi.OpClosed, Digest: digest.Sum()})
+			return true, nil
+		default:
+			fail(fmt.Sprintf("unknown op %q", req.Op))
+			return false, nil
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Processes: the multi-process deployment harness. Where every other
+// example simulates a whole cluster inside one process, this one runs a
+// real N-process cluster over localhost TCP sockets and proves it
+// faithful to the simulation:
+//
+//  1. run the workload on the in-memory simulated cluster (the
+//     deterministic oracle) and digest its outputs;
+//  2. `csmnode bootstrap` an N-node localhost cluster, start the N
+//     csmnode processes, and drive the same workload through the
+//     sequencer's Submit ingress over a socket;
+//  3. require the outputs streamed back — and the run digest every node
+//     prints at exit — to be bit-identical to the oracle's.
+//
+// Any divergence (or a hung cluster: everything runs under a deadline)
+// exits non-zero, which is what `make smoke-processes` and the CI
+// multiprocess job assert.
+//
+//	go build -o bin/csmnode ./cmd/csmnode
+//	go run ./examples/processes -csmnode bin/csmnode
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"codedsm"
+	"codedsm/internal/nodeapi"
+)
+
+func main() {
+	csmnode := flag.String("csmnode", "csmnode", "path to the csmnode binary")
+	n := flag.Int("n", 4, "cluster size")
+	k := flag.Int("k", 2, "number of state machines")
+	degree := flag.Int("degree", 2, "polynomial-register degree")
+	rounds := flag.Int("rounds", 8, "workload rounds to submit")
+	seed := flag.Uint64("seed", 4242, "workload and cluster seed")
+	timeout := flag.Duration("timeout", 2*time.Minute, "deadline for the whole scenario")
+	flag.Parse()
+	log.SetFlags(0)
+
+	deadline := time.AfterFunc(*timeout, func() {
+		log.Fatalf("FAIL: scenario exceeded %v", *timeout)
+	})
+	defer deadline.Stop()
+
+	gold := codedsm.NewGoldilocks()
+	workload := codedsm.RandomWorkload[uint64](gold, *rounds, *k, 1, *seed)
+
+	// 1. The in-memory oracle run.
+	oracle, oracleOutputs := oracleDigest(gold, workload, *n, *k, *degree, *seed)
+	log.Printf("oracle:   %d rounds on the simulated cluster, digest=%s", *rounds, oracle)
+
+	// 2. Bootstrap and start the real processes.
+	dir, err := os.MkdirTemp("", "csmnode-cluster-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	bootstrap := exec.Command(*csmnode, "bootstrap", "-dir", dir,
+		"-n", fmt.Sprint(*n), "-k", fmt.Sprint(*k), "-degree", fmt.Sprint(*degree),
+		"-seed", fmt.Sprint(*seed), "-serve")
+	bootstrap.Stderr = os.Stderr
+	if err := bootstrap.Run(); err != nil {
+		log.Fatalf("csmnode bootstrap: %v", err)
+	}
+	clientAddr := clientListenAddr(filepath.Join(dir, "node0.json"))
+
+	procs := make([]*exec.Cmd, *n)
+	outputs := make([]*strings.Builder, *n)
+	for i := range procs {
+		args := []string{"run", "-config", filepath.Join(dir, fmt.Sprintf("node%d.json", i))}
+		if i == 0 {
+			args = append(args, "-serve")
+		}
+		procs[i] = exec.Command(*csmnode, args...)
+		outputs[i] = &strings.Builder{}
+		procs[i].Stdout = outputs[i]
+		procs[i].Stderr = os.Stderr
+		if err := procs[i].Start(); err != nil {
+			log.Fatalf("starting node %d: %v", i, err)
+		}
+	}
+	defer func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				p.Process.Kill()
+			}
+		}
+	}()
+	log.Printf("cluster:  %d csmnode processes up, ingress at %s", *n, clientAddr)
+
+	// 3. Drive the workload through the socket ingress, round by round,
+	// checking every streamed output against the oracle as it arrives.
+	client, err := nodeapi.Dial(clientAddr, 30*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for r, cmds := range workload {
+		for m, cmd := range cmds {
+			if err := client.Submit(m, cmd); err != nil {
+				log.Fatalf("submit round %d machine %d: %v", r, m, err)
+			}
+		}
+		for range cmds {
+			resp, err := client.ReadResult()
+			if err != nil {
+				log.Fatalf("reading results of round %d: %v", r, err)
+			}
+			want := oracleOutputs[resp.Round][resp.Machine]
+			if !equalU64(resp.Output, want) {
+				log.Fatalf("FAIL: round %d machine %d: cluster output %v, oracle %v",
+					resp.Round, resp.Machine, resp.Output, want)
+			}
+		}
+	}
+	remoteDigest, err := client.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("ingress:  %d rounds submitted over the socket, digest=%s", *rounds, remoteDigest)
+
+	// 4. Every process must exit cleanly and print the oracle digest.
+	for i, p := range procs {
+		if err := p.Wait(); err != nil {
+			log.Fatalf("FAIL: node %d exited with %v\n%s", i, err, outputs[i])
+		}
+	}
+	if remoteDigest != oracle {
+		log.Fatalf("FAIL: ingress digest %s, oracle %s", remoteDigest, oracle)
+	}
+	for i := range procs {
+		d := digestLine(outputs[i].String())
+		if d != oracle {
+			log.Fatalf("FAIL: node %d digest %s, oracle %s", i, d, oracle)
+		}
+	}
+	log.Printf("PASS: %d processes x %d rounds bit-identical to the in-memory oracle", *n, *rounds)
+}
+
+// oracleDigest runs the workload on the simulated cluster and returns
+// the canonical digest plus the per-round outputs for streaming checks.
+func oracleDigest(gold codedsm.Goldilocks, workload [][][]uint64, n, k, degree int, seed uint64) (string, [][][]uint64) {
+	cluster, err := codedsm.Open(gold,
+		func(f codedsm.Field[uint64]) (*codedsm.Transition[uint64], error) {
+			return codedsm.NewPolynomialRegister(f, degree)
+		},
+		codedsm.WithNodes(n),
+		codedsm.WithMachines(k),
+		codedsm.WithFaults(0),
+		codedsm.WithSeed(seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := cluster.Run(workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	digest := nodeapi.NewDigest()
+	outputs := make([][][]uint64, len(results))
+	for r, res := range results {
+		if !res.Correct {
+			log.Fatalf("oracle round %d incorrect", r)
+		}
+		digest.AddRound(r, res.Outputs)
+		outputs[r] = res.Outputs
+	}
+	return digest.Sum(), outputs
+}
+
+// clientListenAddr extracts client_listen from the sequencer's config.
+func clientListenAddr(path string) string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg struct {
+		ClientListen string `json:"client_listen"`
+	}
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Fatalf("parsing %s: %v", path, err)
+	}
+	if cfg.ClientListen == "" {
+		log.Fatalf("no client_listen in %s (bootstrap without -serve?)", path)
+	}
+	return cfg.ClientListen
+}
+
+// digestLine extracts the digest=<hex> line a csmnode prints at exit.
+func digestLine(out string) string {
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		if d, ok := strings.CutPrefix(sc.Text(), "digest="); ok {
+			return d
+		}
+	}
+	return "<no digest line>"
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -505,23 +505,29 @@ type batchMsg struct {
 // decoder dominated the steady-state allocation profile. Layout (all
 // little-endian uint64): round, element count, then the canonical field
 // representation of each element.
+//
+// The codec is package-level because it IS the wire format: the simulated
+// cluster and the multi-process remote engine (remote.go) encode and
+// decode result broadcasts with these exact functions, which is what
+// makes a TCP run's traffic round-trip through the same bytes as the
+// in-memory oracle's.
 const resultHdrLen = 16
 
-// encodeResultPayload serializes a round's result vector.
-func (c *Cluster[E]) encodeResultPayload(round int, result []E) []byte {
+// encodeResult serializes a round's result vector.
+func encodeResult[E comparable](f field.Field[E], round int, result []E) []byte {
 	buf := make([]byte, resultHdrLen+8*len(result))
 	binary.LittleEndian.PutUint64(buf[0:], uint64(round))
 	binary.LittleEndian.PutUint64(buf[8:], uint64(len(result)))
 	for i, e := range result {
-		binary.LittleEndian.PutUint64(buf[resultHdrLen+8*i:], c.cfg.BaseField.Uint64(e))
+		binary.LittleEndian.PutUint64(buf[resultHdrLen+8*i:], f.Uint64(e))
 	}
 	return buf
 }
 
-// decodeResultPayload parses a result broadcast, converting the wire values
+// decodeResult parses a result broadcast, converting the wire values
 // straight into field elements. ok is false for malformed payloads (which
 // collect ignores, like any other garbage message).
-func (c *Cluster[E]) decodeResultPayload(data []byte) (round int, result []E, ok bool) {
+func decodeResult[E comparable](f field.Field[E], data []byte) (round int, result []E, ok bool) {
 	if len(data) < resultHdrLen {
 		return 0, nil, false
 	}
@@ -534,9 +540,20 @@ func (c *Cluster[E]) decodeResultPayload(data []byte) (round int, result []E, ok
 	}
 	result = make([]E, count)
 	for i := range result {
-		result[i] = c.cfg.BaseField.FromUint64(binary.LittleEndian.Uint64(data[resultHdrLen+8*i:]))
+		result[i] = f.FromUint64(binary.LittleEndian.Uint64(data[resultHdrLen+8*i:]))
 	}
 	return int(binary.LittleEndian.Uint64(data)), result, true
+}
+
+// encodeResultPayload serializes a round's result vector (counting-field
+// conversions excluded: the codec works on canonical uint64s).
+func (c *Cluster[E]) encodeResultPayload(round int, result []E) []byte {
+	return encodeResult(c.cfg.BaseField, round, result)
+}
+
+// decodeResultPayload parses a result broadcast.
+func (c *Cluster[E]) decodeResultPayload(data []byte) (round int, result []E, ok bool) {
+	return decodeResult(c.cfg.BaseField, data)
 }
 
 func encodePayload(v any) ([]byte, error) {
@@ -698,26 +715,50 @@ func (c *Cluster[E]) runPBFT(valid []byte) ([]byte, int, error) {
 	return decided, budget, nil
 }
 
-// validateBatch checks a decided batch of the given step count; garbage
-// yields a skipped batch (nil commands).
-func (c *Cluster[E]) validateBatch(decided []byte, steps, ticks int) ([][][]E, int, error) {
+// parseBatchMsg decodes a batch payload (the gob batchMsg both the
+// consensus phase and the multi-process sequencer broadcast) into per-step
+// command vectors. steps < 0 infers the step count from the command count
+// (the remote follower does not know the sequencer's batch size up
+// front); a non-negative steps additionally pins it. ok is false for
+// anything malformed.
+func parseBatchMsg[E comparable](f field.Field[E], data []byte, steps, k, cmdLen int) ([][][]E, bool) {
 	var batch batchMsg
-	if err := decodePayload(decided, &batch); err != nil {
-		return nil, ticks, nil // garbage decision: skip batch
+	if err := decodePayload(data, &batch); err != nil {
+		return nil, false
 	}
-	if len(batch.Cmds) != steps*c.cfg.K {
-		return nil, ticks, nil
+	if steps < 0 {
+		if k < 1 || len(batch.Cmds) == 0 || len(batch.Cmds)%k != 0 {
+			return nil, false
+		}
+		steps = len(batch.Cmds) / k
+	}
+	if len(batch.Cmds) != steps*k {
+		return nil, false
 	}
 	out := make([][][]E, steps)
 	for j := range out {
-		out[j] = make([][]E, c.cfg.K)
-		for k := 0; k < c.cfg.K; k++ {
-			w := batch.Cmds[j*c.cfg.K+k]
-			if len(w) != c.tr.CmdLen() {
-				return nil, ticks, nil
+		out[j] = make([][]E, k)
+		for i := 0; i < k; i++ {
+			w := batch.Cmds[j*k+i]
+			if len(w) != cmdLen {
+				return nil, false
 			}
-			out[j][k] = c.fromWire(w)
+			vec := make([]E, cmdLen)
+			for x, v := range w {
+				vec[x] = f.FromUint64(v)
+			}
+			out[j][i] = vec
 		}
+	}
+	return out, true
+}
+
+// validateBatch checks a decided batch of the given step count; garbage
+// yields a skipped batch (nil commands).
+func (c *Cluster[E]) validateBatch(decided []byte, steps, ticks int) ([][][]E, int, error) {
+	out, ok := parseBatchMsg(c.cfg.BaseField, decided, steps, c.cfg.K, c.tr.CmdLen())
+	if !ok {
+		return nil, ticks, nil // garbage decision: skip batch
 	}
 	return out, ticks, nil
 }

@@ -69,24 +69,29 @@ type nodeDecode[E comparable] struct {
 	faulty     []int
 }
 
-// lagrangeEncodeInto accumulates the node's Lagrange encode Σ_k c_ik
+// lagrangeRowInto accumulates one node's Lagrange encode Σ_k row[k]
 // vecs[k] into dst — (re)allocated at the given length when it does not
-// match — on the counted bulk kernels (K ScaleAccVec calls). It returns
-// dst.
-func (n *node[E]) lagrangeEncodeInto(dst []E, length int, vecs [][]E) []E {
-	c := n.cluster
+// match — on the bulk kernels (K ScaleAccVec calls). It returns dst.
+// Shared by the simulated node and the multi-process NodeProcess, which
+// run the identical encode over different transports.
+func lagrangeRowInto[E comparable](bulk field.Bulk[E], zero E, row []E, vecs [][]E, dst []E, length int) []E {
 	if len(dst) != length {
 		dst = make([]E, length)
 	}
-	zero := c.counting.Zero()
 	for j := range dst {
 		dst[j] = zero
 	}
-	row := c.code.Coeffs()[n.id]
 	for k := range vecs {
-		c.bulk.ScaleAccVec(dst, row[k], vecs[k])
+		bulk.ScaleAccVec(dst, row[k], vecs[k])
 	}
 	return dst
+}
+
+// lagrangeEncodeInto is the node-side wrapper over lagrangeRowInto, on
+// the counted kernels and the node's own coefficient row.
+func (n *node[E]) lagrangeEncodeInto(dst []E, length int, vecs [][]E) []E {
+	c := n.cluster
+	return lagrangeRowInto(c.bulk, c.counting.Zero(), c.code.Coeffs()[n.id], vecs, dst, length)
 }
 
 // computeResultAt runs the coded execution step for the batch's micro-th

@@ -1,0 +1,45 @@
+package nodeapi
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+)
+
+// Digest accumulates a canonical run digest over decoded outputs: every
+// output vector is absorbed as (round, machine, length, elements), all
+// little-endian uint64, in (round, machine) order. Every honest node of a
+// cluster — and the in-memory oracle run on the same workload — produces
+// the same digest, which is the multi-process smoke test's equality
+// check.
+type Digest struct {
+	h hash.Hash
+}
+
+// NewDigest returns an empty digest.
+func NewDigest() *Digest { return &Digest{h: sha256.New()} }
+
+// Add absorbs one machine's output for one round. Call in (round,
+// machine) order.
+func (d *Digest) Add(round, machine int, output []uint64) {
+	var buf [8]byte
+	for _, v := range []uint64{uint64(round), uint64(machine), uint64(len(output))} {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		d.h.Write(buf[:])
+	}
+	for _, v := range output {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		d.h.Write(buf[:])
+	}
+}
+
+// AddRound absorbs a whole round's outputs in machine order.
+func (d *Digest) AddRound(round int, outputs [][]uint64) {
+	for k, out := range outputs {
+		d.Add(round, k, out)
+	}
+}
+
+// Sum returns the hex digest of everything absorbed so far.
+func (d *Digest) Sum() string { return hex.EncodeToString(d.h.Sum(nil)) }

@@ -1,0 +1,168 @@
+// Package nodeapi is the client-facing ingress protocol of a csmnode
+// cluster: newline-delimited JSON over TCP between a client and the
+// sequencer node. Clients submit per-machine commands; the sequencer cuts
+// a workload round whenever every machine has a pending command (or on an
+// explicit flush, padding idle machines), leads the round through the
+// coded cluster, and streams every machine's decoded output back.
+//
+// The protocol is deliberately lock-step-friendly: a client that submits
+// one command per machine and then reads K results observes exactly the
+// deterministic-admission schedule of the in-process ingress
+// (csm.Client with WithDeterministicAdmission), which is what lets the
+// examples/processes harness compare a socket-driven cluster digest
+// against the in-memory oracle bit for bit.
+package nodeapi
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Ops a client sends.
+const (
+	OpSubmit = "submit" // Machine + Cmd
+	OpFlush  = "flush"  // cut a round now, padding machines with no pending command
+	OpClose  = "close"  // stop the cluster and finish the stream
+)
+
+// Ops the sequencer sends.
+const (
+	OpResult = "result" // Round + Machine + Output
+	OpError  = "error"  // Msg (fatal; the connection closes after it)
+	OpClosed = "closed" // Digest over the whole run; last frame of the stream
+)
+
+// Request is one client frame.
+type Request struct {
+	Op      string   `json:"op"`
+	Machine int      `json:"machine,omitempty"`
+	Cmd     []uint64 `json:"cmd,omitempty"`
+}
+
+// Response is one sequencer frame.
+type Response struct {
+	Op      string   `json:"op"`
+	Round   int      `json:"round,omitempty"`
+	Machine int      `json:"machine,omitempty"`
+	Output  []uint64 `json:"output,omitempty"`
+	Msg     string   `json:"msg,omitempty"`
+	Digest  string   `json:"digest,omitempty"`
+}
+
+// Conn wraps a net.Conn with the frame codec; it is used by both ends.
+type Conn struct {
+	c   net.Conn
+	r   *bufio.Reader
+	enc *json.Encoder
+}
+
+// NewConn wraps an established connection.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{c: c, r: bufio.NewReader(c), enc: json.NewEncoder(c)}
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// WriteRequest sends one client frame.
+func (c *Conn) WriteRequest(req Request) error { return c.enc.Encode(req) }
+
+// WriteResponse sends one sequencer frame.
+func (c *Conn) WriteResponse(resp Response) error { return c.enc.Encode(resp) }
+
+// ReadRequest reads one client frame (sequencer side).
+func (c *Conn) ReadRequest() (Request, error) {
+	var req Request
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return req, err
+	}
+	if err := json.Unmarshal(line, &req); err != nil {
+		return req, fmt.Errorf("nodeapi: malformed request: %w", err)
+	}
+	return req, nil
+}
+
+// ReadResponse reads one sequencer frame (client side).
+func (c *Conn) ReadResponse() (Response, error) {
+	var resp Response
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return resp, err
+	}
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return resp, fmt.Errorf("nodeapi: malformed response: %w", err)
+	}
+	return resp, nil
+}
+
+// Client is the submission front of a remote csmnode cluster.
+type Client struct {
+	conn *Conn
+}
+
+// Dial connects to a sequencer's client-ingress address, retrying with a
+// fixed backoff until the deadline (the daemon may still be binding).
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		c, err := net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			return &Client{conn: NewConn(c)}, nil
+		}
+		if !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("nodeapi: dialing %s: %w", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Submit enqueues one command for one machine. Results stream back
+// asynchronously; read them with ReadResult.
+func (c *Client) Submit(machine int, cmd []uint64) error {
+	return c.conn.WriteRequest(Request{Op: OpSubmit, Machine: machine, Cmd: cmd})
+}
+
+// Flush forces the sequencer to cut a round now, padding machines that
+// have no pending command.
+func (c *Client) Flush() error {
+	return c.conn.WriteRequest(Request{Op: OpFlush})
+}
+
+// ReadResult reads the next result frame. It returns an error on OpError
+// frames and on transport failures.
+func (c *Client) ReadResult() (Response, error) {
+	resp, err := c.conn.ReadResponse()
+	if err != nil {
+		return resp, err
+	}
+	if resp.Op == OpError {
+		return resp, fmt.Errorf("nodeapi: sequencer: %s", resp.Msg)
+	}
+	return resp, nil
+}
+
+// Close stops the cluster: it sends the close frame, drains the stream to
+// the closed marker, and returns the sequencer's run digest.
+func (c *Client) Close() (digest string, err error) {
+	defer c.conn.Close()
+	if err := c.conn.WriteRequest(Request{Op: OpClose}); err != nil {
+		return "", err
+	}
+	for {
+		resp, err := c.conn.ReadResponse()
+		if err != nil {
+			return "", err
+		}
+		switch resp.Op {
+		case OpClosed:
+			return resp.Digest, nil
+		case OpError:
+			return "", fmt.Errorf("nodeapi: sequencer: %s", resp.Msg)
+		}
+		// Late results between close and closed are drained silently.
+	}
+}

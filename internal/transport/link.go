@@ -1,0 +1,147 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrClosed is returned by Link operations after the link (or its peer
+// group) has been closed.
+var ErrClosed = errors.New("transport: link closed")
+
+// Link is the per-node transport surface of a lock-step cluster: the
+// interface a single node's process drives, as opposed to *Network, which
+// a single-process simulation drives for all N nodes at once. Two
+// implementations exist:
+//
+//   - NewLocalLinks adapts the simulated Network: N links in one process,
+//     Step is a barrier that advances the shared network once all N nodes
+//     have arrived. This is the deterministic test oracle.
+//   - NewTCP speaks length-prefixed frames over real sockets: one link
+//     per OS process, Step is a distributed barrier over per-peer DONE
+//     markers. This is the production path.
+//
+// Both deliver messages with the synchronous model's one-round latency
+// (sent in round r, delivered in round r+1) and both carry the same
+// signed Message envelope, so a protocol driven over a Link is
+// bit-identical across the two — the property the remote-engine
+// equivalence tests pin.
+//
+// Simulation-only knobs (SetDown crash injection; the delay models and
+// equivocation coercion of Config) are honoured by the local links and
+// rejected with ErrSimulationOnly by the TCP transport.
+type Link interface {
+	// Self is the node this link belongs to.
+	Self() NodeID
+	// N is the cluster size.
+	N() int
+	// Round is the current lock-step round.
+	Round() int
+	// Send transmits a signed message to one node.
+	Send(to NodeID, kind string, payload []byte) error
+	// Broadcast transmits a signed message to every other node.
+	Broadcast(kind string, payload []byte) error
+	// Step ends this node's round: it blocks until every node in the
+	// cluster has ended the same round, advances to the next one, and
+	// returns the messages delivered to this node (everything sent to it
+	// during the round that just ended).
+	Step() ([]Message, error)
+	// SetDown injects a crash (simulation only; the TCP transport fails
+	// with ErrSimulationOnly).
+	SetDown(id NodeID, down bool) error
+	// Close releases the link. Closing any link of a local group, or a
+	// TCP link, aborts blocked and future Steps with ErrClosed.
+	Close() error
+}
+
+// localGroup synchronizes the N local links of one simulated network:
+// the last link to arrive at the barrier advances the network.
+type localGroup struct {
+	net     *Network
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	gen     uint64
+	closed  bool
+}
+
+// localLink adapts one Endpoint of a simulated Network to the Link
+// interface.
+type localLink struct {
+	g  *localGroup
+	ep *Endpoint
+}
+
+// NewLocalLinks returns one Link per node of the simulated network. The
+// links share a barrier: each node's Step blocks until all N nodes have
+// called Step, the network advances exactly once, and every link then
+// returns its own inbox — the same delivery schedule a single-process
+// simulation sees, but drivable by N independent goroutines. Closing any
+// link closes the whole group (the lock-step run cannot continue without
+// every node).
+func NewLocalLinks(net *Network) ([]Link, error) {
+	g := &localGroup{net: net}
+	g.cond = sync.NewCond(&g.mu)
+	links := make([]Link, net.N())
+	for i := range links {
+		ep, err := net.Endpoint(NodeID(i))
+		if err != nil {
+			return nil, err
+		}
+		links[i] = &localLink{g: g, ep: ep}
+	}
+	return links, nil
+}
+
+func (l *localLink) Self() NodeID { return l.ep.ID() }
+func (l *localLink) N() int       { return l.g.net.N() }
+func (l *localLink) Round() int   { return l.g.net.Round() }
+
+func (l *localLink) Send(to NodeID, kind string, payload []byte) error {
+	return l.ep.Send(to, kind, payload)
+}
+
+func (l *localLink) Broadcast(kind string, payload []byte) error {
+	return l.ep.Broadcast(kind, payload)
+}
+
+func (l *localLink) SetDown(id NodeID, down bool) error {
+	return l.g.net.SetDown(id, down)
+}
+
+func (l *localLink) Step() ([]Message, error) {
+	g := l.g
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil, fmt.Errorf("transport: local link %d: %w", l.ep.ID(), ErrClosed)
+	}
+	myGen := g.gen
+	g.arrived++
+	if g.arrived == g.net.N() {
+		g.net.Step()
+		g.arrived = 0
+		g.gen++
+		g.cond.Broadcast()
+	} else {
+		for g.gen == myGen && !g.closed {
+			g.cond.Wait()
+		}
+	}
+	closed := g.closed
+	g.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("transport: local link %d: %w", l.ep.ID(), ErrClosed)
+	}
+	return l.ep.Receive(), nil
+}
+
+func (l *localLink) Close() error {
+	g := l.g
+	g.mu.Lock()
+	g.closed = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,575 @@
+package transport
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TCPConfig configures one node's TCP link into a multi-process cluster.
+type TCPConfig struct {
+	// Self is this process's node id.
+	Self NodeID
+	// N is the cluster size; Peers must name all N listen addresses.
+	N int
+	// Seed derives the cluster's deterministic ed25519 keys (DeriveKeys);
+	// every process of a cluster must use the same seed.
+	Seed uint64
+	// Listen is the address this node accepts peer connections on
+	// (host:port; port 0 picks a free port, see Addr).
+	Listen string
+	// Peers maps node id -> listen address for the whole cluster
+	// (Peers[Self] is ignored; it may repeat Listen).
+	Peers []string
+	// DialTimeout bounds the total time spent establishing (or
+	// re-establishing) a connection to one peer, backoff included.
+	// Defaults to 30s.
+	DialTimeout time.Duration
+	// RetryBackoff is the initial redial backoff; it doubles per attempt
+	// up to 2s. Defaults to 50ms.
+	RetryBackoff time.Duration
+	// StepTimeout bounds how long Step waits for the round barrier before
+	// failing — the guard that keeps a wedged peer from hanging the whole
+	// process forever. Defaults to 60s.
+	StepTimeout time.Duration
+	// Logf, when non-nil, receives connection-lifecycle diagnostics
+	// (dials, retries, replaced connections). Protocol traffic is never
+	// logged.
+	Logf func(format string, args ...any)
+}
+
+// outConn is the dedicated outbound (send-only) connection to one peer,
+// with the retransmit buffer that makes reconnects lossless: frames of
+// the current and previous round are replayed after a redial, and the
+// receiving side deduplicates. Only the driving goroutine writes, so no
+// lock is needed beyond the TCP struct's own.
+type outConn struct {
+	id   NodeID
+	addr string
+	// mu guards conn and the replay buffers: writes come from the driving
+	// goroutine, but Close (from a signal handler, say) must also reach
+	// the connection.
+	mu      sync.Mutex
+	conn    net.Conn
+	round   int      // round the buffered frames belong to
+	bufCur  [][]byte // raw frames written this round (data + done)
+	bufPrev [][]byte // previous round's frames (the peer may not have read them yet)
+}
+
+// TCP is a Link over real sockets. Each process owns one node; rounds
+// advance by a distributed barrier: a node ends its round by sending a
+// DONE marker to every peer, and Step returns once the markers of all
+// peers for the same round have arrived. Per-connection FIFO guarantees
+// that a peer's DONE(r) trails all of its round-r messages, so when the
+// barrier completes, the round's traffic is complete too — the same
+// "sent in round r, delivered in round r+1" contract as the simulated
+// synchronous network.
+//
+// Simulation-only knobs are rejected: SetDown fails with
+// ErrSimulationOnly, and there is no equivalent of the simulator's delay
+// models or equivocation coercion.
+type TCP struct {
+	cfg  TCPConfig
+	pubs []ed25519.PublicKey
+	priv ed25519.PrivateKey
+	ln   net.Listener
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	round    int
+	buffered map[int][]Message       // send round -> verified messages for Self
+	seen     map[int]map[string]bool // send round -> frame bodies (reconnect dedup)
+	doneFrom map[int]map[NodeID]bool // round -> peers whose DONE arrived
+	inConns  map[NodeID]net.Conn     // inbound (receive-only) connections
+	out      map[NodeID]*outConn     // outbound (send-only) connections
+	closed   bool
+	stats    Stats
+
+	wg sync.WaitGroup
+}
+
+// NewTCP opens the node's listener, dials every peer (with backoff until
+// DialTimeout), and returns the ready link. Inbound connections from
+// peers are accepted for the life of the link; a peer that reconnects
+// replaces its previous connection.
+func NewTCP(cfg TCPConfig) (*TCP, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("transport: need at least one node, got %d", cfg.N)
+	}
+	if int(cfg.Self) < 0 || int(cfg.Self) >= cfg.N {
+		return nil, fmt.Errorf("transport: self %d out of range [0,%d)", cfg.Self, cfg.N)
+	}
+	if len(cfg.Peers) != cfg.N {
+		return nil, fmt.Errorf("transport: %d peer addresses for N=%d", len(cfg.Peers), cfg.N)
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 30 * time.Second
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	if cfg.StepTimeout <= 0 {
+		cfg.StepTimeout = 60 * time.Second
+	}
+	pubs, privs := DeriveKeys(cfg.Seed, cfg.N)
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: node %d listen on %s: %w", cfg.Self, cfg.Listen, err)
+	}
+	t := &TCP{
+		cfg:      cfg,
+		pubs:     pubs,
+		priv:     privs[cfg.Self],
+		ln:       ln,
+		buffered: make(map[int][]Message),
+		seen:     make(map[int]map[string]bool),
+		doneFrom: make(map[int]map[NodeID]bool),
+		inConns:  make(map[NodeID]net.Conn),
+		out:      make(map[NodeID]*outConn),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	t.wg.Add(1)
+	go t.acceptLoop()
+	// Dial the full outbound mesh concurrently: peers come up in any
+	// order, so each dial retries with backoff until DialTimeout.
+	var dialWG sync.WaitGroup
+	dialErrs := make([]error, cfg.N)
+	for id := 0; id < cfg.N; id++ {
+		if NodeID(id) == cfg.Self {
+			continue
+		}
+		dialWG.Add(1)
+		go func(id NodeID) {
+			defer dialWG.Done()
+			conn, err := t.dialPeer(id)
+			if err != nil {
+				dialErrs[id] = err
+				return
+			}
+			t.mu.Lock()
+			t.out[id] = &outConn{id: id, addr: cfg.Peers[id], conn: conn}
+			t.mu.Unlock()
+		}(NodeID(id))
+	}
+	dialWG.Wait()
+	if err := errors.Join(dialErrs...); err != nil {
+		t.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with "host:0" configs).
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+func (t *TCP) logf(format string, args ...any) {
+	if t.cfg.Logf != nil {
+		t.cfg.Logf(format, args...)
+	}
+}
+
+// dialPeer connects to one peer with exponential backoff, sends the
+// signed hello, and returns the connection.
+func (t *TCP) dialPeer(id NodeID) (net.Conn, error) {
+	deadline := time.Now().Add(t.cfg.DialTimeout)
+	backoff := t.cfg.RetryBackoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if t.isClosed() {
+			return nil, fmt.Errorf("transport: node %d dialing %d: %w", t.cfg.Self, id, ErrClosed)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: node %d could not reach node %d at %s within %v: %w",
+				t.cfg.Self, id, t.cfg.Peers[id], t.cfg.DialTimeout, lastErr)
+		}
+		conn, err := net.DialTimeout("tcp", t.cfg.Peers[id], time.Until(deadline))
+		if err == nil {
+			hello := helloBody(t.cfg.Self, func(context string, data []byte) []byte {
+				return ed25519.Sign(t.priv, blobBytes(context, data))
+			})
+			if err = writeFrame(conn, frameHello, hello); err == nil {
+				if attempt > 0 {
+					t.logf("node %d reconnected to node %d after %d retries", t.cfg.Self, id, attempt)
+				}
+				return conn, nil
+			}
+			conn.Close()
+		}
+		lastErr = err
+		t.logf("node %d dialing node %d at %s: %v (retry in %v)", t.cfg.Self, id, t.cfg.Peers[id], err, backoff)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+// acceptLoop registers inbound peer connections for the life of the link.
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.handleInbound(conn)
+		}()
+	}
+}
+
+// handleInbound validates the hello and runs the connection's read loop.
+func (t *TCP) handleInbound(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	typ, body, err := readFrame(conn)
+	if err != nil || typ != frameHello {
+		conn.Close()
+		return
+	}
+	id, err := parseHello(body, t.cfg.N, func(id NodeID, context string, data, sig []byte) bool {
+		return ed25519.Verify(t.pubs[id], blobBytes(context, data), sig)
+	})
+	if err != nil || id == t.cfg.Self {
+		t.logf("node %d rejected inbound connection: %v", t.cfg.Self, err)
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if old := t.inConns[id]; old != nil {
+		old.Close() // the peer reconnected; its old reader unblocks and exits
+	}
+	t.inConns[id] = conn
+	t.mu.Unlock()
+	t.readLoop(id, conn)
+}
+
+// readLoop ingests one peer's frames until the connection breaks.
+func (t *TCP) readLoop(id NodeID, conn net.Conn) {
+	for {
+		typ, body, err := readFrame(conn)
+		if err != nil {
+			if !t.isClosed() && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				t.logf("node %d lost inbound connection from node %d: %v", t.cfg.Self, id, err)
+			}
+			return
+		}
+		switch typ {
+		case frameData:
+			t.ingestData(body)
+		case frameDone:
+			round, err := parseDone(body)
+			if err != nil {
+				continue
+			}
+			t.mu.Lock()
+			// A peer is legitimately at most one round ahead (it cannot
+			// pass barrier r+1 without our DONE(r+1)); anything further is
+			// garbage and must not grow the maps unboundedly.
+			if round >= t.round && round <= t.round+1 {
+				set := t.doneFrom[round]
+				if set == nil {
+					set = make(map[NodeID]bool, t.cfg.N)
+					t.doneFrom[round] = set
+				}
+				set[id] = true
+				t.cond.Broadcast()
+			}
+			t.mu.Unlock()
+		default:
+			// Unknown frame type: ignore (forward compatibility).
+		}
+	}
+}
+
+// ingestData verifies and buffers one data frame. Retransmitted frames
+// (after a peer's reconnect) are deduplicated by their exact bytes.
+func (t *TCP) ingestData(body []byte) {
+	m, err := UnmarshalMessage(body)
+	if err != nil {
+		return
+	}
+	if m.To != t.cfg.Self {
+		return // not ours; a confused or malicious peer
+	}
+	if int(m.From) < 0 || int(m.From) >= t.cfg.N ||
+		!ed25519.Verify(t.pubs[m.From], signingBytes(m.From, m.Round, m.Kind, m.Payload), m.Sig) {
+		t.mu.Lock()
+		t.stats.ForgeriesDropped++
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if m.Round < t.round || m.Round > t.round+1 {
+		// Late (its delivery round has passed) or impossibly far ahead (a
+		// peer cannot be more than one barrier ahead): drop, so garbage
+		// rounds cannot grow the buffers unboundedly.
+		return
+	}
+	set := t.seen[m.Round]
+	if set == nil {
+		set = make(map[string]bool)
+		t.seen[m.Round] = set
+	}
+	if set[string(body)] {
+		return // replayed after a reconnect
+	}
+	set[string(body)] = true
+	t.buffered[m.Round] = append(t.buffered[m.Round], m)
+	t.stats.MessagesDelivered++
+	t.stats.BytesDelivered += uint64(len(m.Payload))
+}
+
+func (t *TCP) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+// Self returns this process's node id.
+func (t *TCP) Self() NodeID { return t.cfg.Self }
+
+// N returns the cluster size.
+func (t *TCP) N() int { return t.cfg.N }
+
+// Round returns the current lock-step round.
+func (t *TCP) Round() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.round
+}
+
+// Stats returns a snapshot of delivery counters.
+func (t *TCP) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// SetDown is a simulation-only knob: over real sockets a crash happens to
+// a process, it is not declared by a peer.
+func (t *TCP) SetDown(id NodeID, down bool) error {
+	return fmt.Errorf("transport: SetDown(%d, %v) on the TCP transport: %w", id, down, ErrSimulationOnly)
+}
+
+// writePeer frames and writes one message to a peer's outbound
+// connection, buffering it for replay and redialing with backoff if the
+// connection broke. Only the driving goroutine calls it.
+func (t *TCP) writePeer(o *outConn, typ byte, body []byte, round int) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if round != o.round {
+		o.bufPrev, o.bufCur = o.bufCur, nil
+		o.round = round
+	}
+	frame := make([]byte, 5+len(body))
+	frame[4] = typ
+	copy(frame[5:], body)
+	frame[0] = byte(len(body))
+	frame[1] = byte(len(body) >> 8)
+	frame[2] = byte(len(body) >> 16)
+	frame[3] = byte(len(body) >> 24)
+	o.bufCur = append(o.bufCur, frame)
+	if o.conn != nil {
+		if _, err := o.conn.Write(frame); err == nil {
+			return nil
+		}
+		o.conn.Close()
+		o.conn = nil
+	}
+	// Reconnect and replay everything the peer may have missed: the
+	// previous round's frames (it may not have processed our DONE) and
+	// the current round's. The receiver deduplicates byte-identical
+	// frames, so over-replay is harmless.
+	conn, err := t.dialPeer(o.id)
+	if err != nil {
+		return err
+	}
+	o.conn = conn
+	for _, f := range o.bufPrev {
+		if _, err := conn.Write(f); err != nil {
+			conn.Close()
+			o.conn = nil
+			return fmt.Errorf("transport: node %d replaying to node %d: %w", t.cfg.Self, o.id, err)
+		}
+	}
+	for _, f := range o.bufCur {
+		if _, err := conn.Write(f); err != nil {
+			conn.Close()
+			o.conn = nil
+			return fmt.Errorf("transport: node %d replaying to node %d: %w", t.cfg.Self, o.id, err)
+		}
+	}
+	return nil
+}
+
+// send signs and transmits one message. A self-addressed message is
+// buffered locally (the simulator's Endpoint.Send allows it too).
+func (t *TCP) send(to NodeID, round int, kind string, payload, sig []byte) error {
+	m := Message{From: t.cfg.Self, To: to, Round: round, Kind: kind, Payload: payload, Sig: sig}
+	body, err := AppendMessage(nil, m)
+	if err != nil {
+		return err
+	}
+	if to == t.cfg.Self {
+		t.ingestData(body)
+		return nil
+	}
+	t.mu.Lock()
+	o := t.out[to]
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return fmt.Errorf("transport: node %d send: %w", t.cfg.Self, ErrClosed)
+	}
+	if o == nil {
+		return fmt.Errorf("transport: node %d has no connection to node %d", t.cfg.Self, to)
+	}
+	return t.writePeer(o, frameData, body, round)
+}
+
+// Send transmits a signed message to a single node.
+func (t *TCP) Send(to NodeID, kind string, payload []byte) error {
+	if int(to) < 0 || int(to) >= t.cfg.N {
+		return fmt.Errorf("transport: recipient %d out of range", to)
+	}
+	round := t.Round()
+	payload = append([]byte(nil), payload...)
+	sig := ed25519.Sign(t.priv, signingBytes(t.cfg.Self, round, kind, payload))
+	return t.send(to, round, kind, payload, sig)
+}
+
+// Broadcast transmits a signed message to every other node. As on the
+// simulated network, the signature covers (sender, round, kind, payload)
+// but not the recipient, so one ed25519 signature is shared by all N-1
+// copies.
+func (t *TCP) Broadcast(kind string, payload []byte) error {
+	round := t.Round()
+	payload = append([]byte(nil), payload...)
+	sig := ed25519.Sign(t.priv, signingBytes(t.cfg.Self, round, kind, payload))
+	for to := 0; to < t.cfg.N; to++ {
+		if NodeID(to) == t.cfg.Self {
+			continue
+		}
+		if err := t.send(NodeID(to), round, kind, payload, sig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step ends this node's round: it sends DONE to every peer, waits (up to
+// StepTimeout) for every peer's DONE of the same round, advances, and
+// returns the round's deliveries sorted in the simulated network's
+// deterministic order.
+func (t *TCP) Step() ([]Message, error) {
+	t.mu.Lock()
+	r := t.round
+	outs := make([]*outConn, 0, len(t.out))
+	for _, o := range t.out {
+		outs = append(outs, o)
+	}
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("transport: node %d step: %w", t.cfg.Self, ErrClosed)
+	}
+	sort.Slice(outs, func(i, j int) bool { return outs[i].id < outs[j].id })
+	done := doneBody(r)
+	for _, o := range outs {
+		if err := t.writePeer(o, frameDone, done, r); err != nil {
+			return nil, err
+		}
+	}
+	// Barrier: all peers must end round r before we advance. A timer
+	// wakes the wait so a dead peer fails the Step instead of hanging it.
+	deadline := time.Now().Add(t.cfg.StepTimeout)
+	timer := time.AfterFunc(t.cfg.StepTimeout, func() {
+		t.mu.Lock()
+		t.cond.Broadcast()
+		t.mu.Unlock()
+	})
+	defer timer.Stop()
+	t.mu.Lock()
+	for !t.closed && len(t.doneFrom[r]) < t.cfg.N-1 {
+		if !time.Now().Before(deadline) {
+			missing := make([]NodeID, 0, t.cfg.N)
+			for id := 0; id < t.cfg.N; id++ {
+				if NodeID(id) != t.cfg.Self && !t.doneFrom[r][NodeID(id)] {
+					missing = append(missing, NodeID(id))
+				}
+			}
+			t.mu.Unlock()
+			return nil, fmt.Errorf("transport: node %d round %d barrier timed out after %v waiting for peers %v",
+				t.cfg.Self, r, t.cfg.StepTimeout, missing)
+		}
+		t.cond.Wait()
+	}
+	if t.closed {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("transport: node %d step: %w", t.cfg.Self, ErrClosed)
+	}
+	t.round = r + 1
+	due := t.buffered[r]
+	delete(t.buffered, r)
+	delete(t.seen, r)
+	delete(t.doneFrom, r)
+	t.mu.Unlock()
+	// The simulator delivers sorted by sender, recipient, kind; recipient
+	// is constant here.
+	sort.SliceStable(due, func(i, j int) bool {
+		if due[i].From != due[j].From {
+			return due[i].From < due[j].From
+		}
+		return due[i].Kind < due[j].Kind
+	})
+	return due, nil
+}
+
+// Close shuts the link down: the listener stops accepting, all
+// connections close, and blocked Steps fail with ErrClosed.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.cond.Broadcast()
+	conns := make([]net.Conn, 0, len(t.inConns))
+	for _, c := range t.inConns {
+		conns = append(conns, c)
+	}
+	outs := make([]*outConn, 0, len(t.out))
+	for _, o := range t.out {
+		outs = append(outs, o)
+	}
+	t.mu.Unlock()
+	t.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, o := range outs {
+		o.mu.Lock()
+		if o.conn != nil {
+			o.conn.Close()
+			o.conn = nil
+		}
+		o.mu.Unlock()
+	}
+	t.wg.Wait()
+	return nil
+}

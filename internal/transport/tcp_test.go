@@ -1,0 +1,263 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// reservePorts grabs n distinct localhost listen addresses by briefly
+// binding port 0. The listeners are closed before returning, so the
+// addresses are free for the nodes to bind (a small reuse race CI has to
+// live with — the alternative is a config file format that cannot name
+// ports up front).
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// startTCPCluster brings up an n-node in-process TCP cluster.
+func startTCPCluster(t *testing.T, n int, seed uint64) []Link {
+	t.Helper()
+	addrs := reservePorts(t, n)
+	links := make([]Link, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tcp, err := NewTCP(TCPConfig{
+				Self: NodeID(i), N: n, Seed: seed,
+				Listen: addrs[i], Peers: addrs,
+				DialTimeout: 10 * time.Second, StepTimeout: 10 * time.Second,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			links[i] = tcp
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, l := range links {
+			if l != nil {
+				l.Close()
+			}
+		}
+	})
+	return links
+}
+
+// delivery is the observable content of one delivered message.
+type delivery struct {
+	Round   int
+	From    NodeID
+	Kind    string
+	Payload string
+}
+
+// driveExchange runs the same small protocol over any Link
+// implementation: every node broadcasts a round-stamped payload each
+// round and sends a point-to-point message to its successor, for the
+// given number of rounds. It returns each node's full delivery sequence.
+func driveExchange(t *testing.T, links []Link, rounds int) [][]delivery {
+	t.Helper()
+	n := len(links)
+	out := make([][]delivery, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i, l := range links {
+		wg.Add(1)
+		go func(i int, l Link) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := l.Broadcast("bcast", fmt.Appendf(nil, "b/%d/%d", i, r)); err != nil {
+					errs[i] = err
+					return
+				}
+				succ := NodeID((i + 1) % n)
+				if err := l.Send(succ, "p2p", fmt.Appendf(nil, "p/%d/%d", i, r)); err != nil {
+					errs[i] = err
+					return
+				}
+				msgs, err := l.Step()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				for _, m := range msgs {
+					out[i] = append(out[i], delivery{Round: m.Round, From: m.From, Kind: m.Kind, Payload: string(m.Payload)})
+				}
+			}
+		}(i, l)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	return out
+}
+
+// TestTCPDeliveryMatchesSimulatedOracle is the transport-equivalence
+// contract: the same protocol driven over real localhost sockets delivers
+// exactly the messages, in exactly the order, that the deterministic
+// in-memory oracle delivers.
+func TestTCPDeliveryMatchesSimulatedOracle(t *testing.T) {
+	const n, rounds, seed = 4, 3, 1234
+	sim, err := New(Config{N: n, Mode: Sync, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simLinks, err := NewLocalLinks(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := driveExchange(t, simLinks, rounds)
+	got := driveExchange(t, startTCPCluster(t, n, seed), rounds)
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("node %d: TCP delivered %d messages, oracle %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("node %d delivery %d: TCP %+v, oracle %+v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestTCPSimulationOnlyKnobs pins the typed error: crash injection is an
+// oracle-only knob and must fail loudly on the production transport
+// rather than silently no-op.
+func TestTCPSimulationOnlyKnobs(t *testing.T) {
+	links := startTCPCluster(t, 2, 5)
+	err := links[0].SetDown(1, true)
+	if err == nil {
+		t.Fatal("SetDown on the TCP transport succeeded; want ErrSimulationOnly")
+	}
+	if !errors.Is(err, ErrSimulationOnly) {
+		t.Fatalf("SetDown error %v does not wrap ErrSimulationOnly", err)
+	}
+}
+
+// TestTCPDialRetriesUntilPeerListens exercises the reconnect-with-backoff
+// path: node 0 starts dialing before node 1's listener exists and must
+// keep retrying until it comes up.
+func TestTCPDialRetriesUntilPeerListens(t *testing.T) {
+	addrs := reservePorts(t, 2)
+	var links [2]Link
+	var wg sync.WaitGroup
+	var errs [2]error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tcp, err := NewTCP(TCPConfig{
+			Self: 0, N: 2, Seed: 9, Listen: addrs[0], Peers: addrs[:],
+			DialTimeout: 10 * time.Second, RetryBackoff: 10 * time.Millisecond,
+		})
+		links[0], errs[0] = tcp, err
+	}()
+	time.Sleep(300 * time.Millisecond) // node 0 is now failing its dials
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tcp, err := NewTCP(TCPConfig{
+			Self: 1, N: 2, Seed: 9, Listen: addrs[1], Peers: addrs[:],
+			DialTimeout: 10 * time.Second, RetryBackoff: 10 * time.Millisecond,
+		})
+		links[1], errs[1] = tcp, err
+	}()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	defer links[0].Close()
+	defer links[1].Close()
+	// The late mesh must still carry a full round.
+	if err := links[0].Broadcast("hello", []byte("after-backoff")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := links[0].Step()
+		done <- err
+	}()
+	msgs, err := links[1].Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || string(msgs[0].Payload) != "after-backoff" {
+		t.Fatalf("node 1 delivered %v, want the after-backoff broadcast", msgs)
+	}
+}
+
+// TestTCPCloseUnblocksStep: closing a link fails a blocked barrier with
+// ErrClosed instead of hanging until the step timeout.
+func TestTCPCloseUnblocksStep(t *testing.T) {
+	links := startTCPCluster(t, 2, 11)
+	stepErr := make(chan error, 1)
+	go func() {
+		_, err := links[0].Step() // blocks: node 1 never steps
+		stepErr <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	links[0].Close()
+	select {
+	case err := <-stepErr:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Step after Close returned %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Step still blocked 5s after Close")
+	}
+}
+
+// TestTCPForgeryDropped: a frame carrying a bad signature is counted and
+// dropped, exactly like the simulated network's Inject path.
+func TestTCPForgeryDropped(t *testing.T) {
+	links := startTCPCluster(t, 2, 21)
+	tcp0 := links[0].(*TCP)
+	// Hand-deliver a forged body to node 0's ingest path: claims to be
+	// from node 1 but is signed with garbage.
+	body, err := AppendMessage(nil, Message{From: 1, To: 0, Round: 0, Kind: "forged", Payload: []byte("x"), Sig: make([]byte, 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp0.ingestData(body)
+	if got := tcp0.Stats().ForgeriesDropped; got != 1 {
+		t.Fatalf("ForgeriesDropped = %d, want 1", got)
+	}
+	if n := len(tcp0.buffered[0]); n != 0 {
+		t.Fatalf("forged message was buffered (%d pending)", n)
+	}
+}

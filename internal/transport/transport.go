@@ -16,11 +16,22 @@ import (
 	"bytes"
 	"crypto/ed25519"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"sort"
 	"sync"
 )
+
+// ErrSimulationOnly is returned by non-simulated transports (the TCP
+// transport of this package) for knobs that only make sense on the
+// deterministic in-memory oracle: crash injection (SetDown), adversarial
+// delay models (DelayFn / MaxPreGSTDelay), and broadcast-channel
+// equivocation coercion (NoEquivocation). A production transport cannot
+// silently no-op these — a test harness that "crashed" a node over TCP and
+// got no error would be reasoning about a fault that never happened — so
+// every such call fails with an error wrapping this sentinel.
+var ErrSimulationOnly = errors.New("transport: knob is supported only by the simulated in-memory transport")
 
 // NodeID identifies a node, 0..N-1.
 type NodeID int
@@ -137,18 +148,31 @@ func New(cfg Config) (*Network, error) {
 		inboxes:   make([][]Message, cfg.N),
 		firstSent: make(map[equivKey][]byte),
 		down:      make([]bool, cfg.N),
-		pubs:      make([]ed25519.PublicKey, cfg.N),
-		privs:     make([]ed25519.PrivateKey, cfg.N),
 	}
-	for i := 0; i < cfg.N; i++ {
+	n.pubs, n.privs = DeriveKeys(cfg.Seed, cfg.N)
+	return n, nil
+}
+
+// DeriveKeys deterministically derives the cluster's N ed25519 keypairs
+// from the shared cluster seed. Both the simulated network and the TCP
+// transport use this derivation, so a message signed by node i in one
+// process verifies against the keys any other process derived from the
+// same seed. (A deployment with real key distribution would instead load
+// per-node private keys and a public-key roster from configuration; the
+// shared-seed scheme keeps the two transports interchangeable and the
+// multi-process runs reproducible.)
+func DeriveKeys(clusterSeed uint64, n int) ([]ed25519.PublicKey, []ed25519.PrivateKey) {
+	pubs := make([]ed25519.PublicKey, n)
+	privs := make([]ed25519.PrivateKey, n)
+	for i := 0; i < n; i++ {
 		seed := make([]byte, ed25519.SeedSize)
-		binary.LittleEndian.PutUint64(seed, cfg.Seed^uint64(i)+0x9e3779b97f4a7c15)
+		binary.LittleEndian.PutUint64(seed, clusterSeed^uint64(i)+0x9e3779b97f4a7c15)
 		binary.LittleEndian.PutUint64(seed[8:], uint64(i)*0xbf58476d1ce4e5b9+1)
 		priv := ed25519.NewKeyFromSeed(seed)
-		n.privs[i] = priv
-		n.pubs[i] = priv.Public().(ed25519.PublicKey)
+		privs[i] = priv
+		pubs[i] = priv.Public().(ed25519.PublicKey)
 	}
-	return n, nil
+	return pubs, privs
 }
 
 // N returns the number of nodes.
@@ -184,6 +208,10 @@ func (n *Network) DelayDeterministic(round int) bool {
 }
 
 // SetDown marks a node as crashed (down=true) or back up (down=false).
+// It is a simulation-only knob — fault injection on the deterministic
+// oracle. The TCP transport's SetDown fails with ErrSimulationOnly
+// instead: over real sockets a crash is something that happens to a
+// process, not something a peer declares.
 // While a node is down, messages from it or to it are dropped at enqueue
 // time — before any delay randomness is drawn, so the seeded delay stream
 // of the surviving nodes is unaffected and runs stay reproducible for a

@@ -1,0 +1,173 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire format shared by every non-simulated transport. A TCP connection
+// carries a sequence of length-prefixed frames:
+//
+//	uint32 (LE)  body length
+//	byte         frame type (frameHello | frameData | frameDone)
+//	body         type-specific payload
+//
+// A frameData body is a Message in the fixed binary layout produced by
+// AppendMessage — the same signed envelope the simulated network passes
+// around in memory, so anything exchanged over sockets round-trips
+// through one codec and one signature scheme (the codec-equivalence tests
+// in wire_test.go pin this). frameHello identifies the sending node right
+// after dialing; frameDone is the lock-step barrier marker that ends a
+// peer's round (see tcp.go).
+//
+// All length fields are validated against hard caps before any
+// allocation, so a malformed or adversarial frame (fuzzed in
+// wire_fuzz_test.go) yields an error, never a panic or a huge make().
+const (
+	frameHello byte = 1
+	frameData  byte = 2
+	frameDone  byte = 3
+
+	// maxFrameBody bounds a frame body; a peer announcing more is cut off
+	// before any allocation happens.
+	maxFrameBody = 16 << 20
+	// maxWireKind bounds a message kind tag.
+	maxWireKind = 255
+	// wireMagic opens every hello frame: a cheap guard against a stray
+	// client speaking a different protocol on the cluster port.
+	wireMagic = 0x43534d31 // "CSM1"
+)
+
+// AppendMessage appends the fixed binary encoding of m to dst:
+//
+//	uint64 from | uint64 to | uint64 round |
+//	uint8 kindLen | kind | uint32 payloadLen | payload | uint8 sigLen | sig
+//
+// all little-endian. It returns the extended slice.
+func AppendMessage(dst []byte, m Message) ([]byte, error) {
+	if len(m.Kind) > maxWireKind {
+		return dst, fmt.Errorf("transport: kind %q longer than %d bytes", m.Kind[:32], maxWireKind)
+	}
+	if len(m.Payload) > maxFrameBody/2 {
+		return dst, fmt.Errorf("transport: payload of %d bytes exceeds the frame cap", len(m.Payload))
+	}
+	if len(m.Sig) > maxWireKind {
+		return dst, fmt.Errorf("transport: signature of %d bytes is malformed", len(m.Sig))
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(m.From))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(m.To))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(m.Round))
+	dst = append(dst, byte(len(m.Kind)))
+	dst = append(dst, m.Kind...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Payload)))
+	dst = append(dst, m.Payload...)
+	dst = append(dst, byte(len(m.Sig)))
+	dst = append(dst, m.Sig...)
+	return dst, nil
+}
+
+// UnmarshalMessage parses the binary encoding produced by AppendMessage.
+// Every length is checked against the remaining input before it is used,
+// so truncated, padded, or length-lying inputs fail cleanly.
+func UnmarshalMessage(b []byte) (Message, error) {
+	var m Message
+	if len(b) < 25 { // three uint64 headers + kindLen byte
+		return m, fmt.Errorf("transport: message truncated at %d bytes", len(b))
+	}
+	m.From = NodeID(int64(binary.LittleEndian.Uint64(b[0:])))
+	m.To = NodeID(int64(binary.LittleEndian.Uint64(b[8:])))
+	m.Round = int(int64(binary.LittleEndian.Uint64(b[16:])))
+	kindLen := int(b[24])
+	b = b[25:]
+	if len(b) < kindLen+4 {
+		return m, fmt.Errorf("transport: message kind truncated")
+	}
+	m.Kind = string(b[:kindLen])
+	payloadLen := int(binary.LittleEndian.Uint32(b[kindLen:]))
+	b = b[kindLen+4:]
+	if payloadLen > maxFrameBody/2 || len(b) < payloadLen+1 {
+		return m, fmt.Errorf("transport: message payload truncated")
+	}
+	m.Payload = append([]byte(nil), b[:payloadLen]...)
+	sigLen := int(b[payloadLen])
+	b = b[payloadLen+1:]
+	if len(b) != sigLen {
+		return m, fmt.Errorf("transport: %d trailing bytes after signature", len(b)-sigLen)
+	}
+	m.Sig = append([]byte(nil), b...)
+	return m, nil
+}
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, typ byte, body []byte) error {
+	if len(body) > maxFrameBody {
+		return fmt.Errorf("transport: frame body of %d bytes exceeds cap %d", len(body), maxFrameBody)
+	}
+	hdr := make([]byte, 5, 5+len(body))
+	binary.LittleEndian.PutUint32(hdr, uint32(len(body)))
+	hdr[4] = typ
+	_, err := w.Write(append(hdr, body...))
+	return err
+}
+
+// readFrame reads one length-prefixed frame, rejecting oversized bodies
+// before allocating.
+func readFrame(r io.Reader) (typ byte, body []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	size := binary.LittleEndian.Uint32(hdr[:4])
+	if size > maxFrameBody {
+		return 0, nil, fmt.Errorf("transport: frame of %d bytes exceeds cap %d", size, maxFrameBody)
+	}
+	body = make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], body, nil
+}
+
+// helloBody encodes the post-dial identification frame: magic, the
+// sender's node id, and a signature binding the id to the cluster's keys
+// (domain-separated so it cannot be replayed as a protocol message).
+func helloBody(id NodeID, sign func(context string, data []byte) []byte) []byte {
+	var b [12]byte
+	binary.LittleEndian.PutUint32(b[0:], wireMagic)
+	binary.LittleEndian.PutUint64(b[4:], uint64(id))
+	return append(b[:], sign("csm-hello", b[:])...)
+}
+
+// parseHello validates a hello frame against the cluster roster.
+func parseHello(body []byte, n int, verify func(id NodeID, context string, data, sig []byte) bool) (NodeID, error) {
+	if len(body) < 12 {
+		return 0, fmt.Errorf("transport: hello truncated at %d bytes", len(body))
+	}
+	if binary.LittleEndian.Uint32(body[0:]) != wireMagic {
+		return 0, fmt.Errorf("transport: bad hello magic %#x", binary.LittleEndian.Uint32(body[0:]))
+	}
+	id := NodeID(int64(binary.LittleEndian.Uint64(body[4:])))
+	if int(id) < 0 || int(id) >= n {
+		return 0, fmt.Errorf("transport: hello from out-of-range node %d", id)
+	}
+	if !verify(id, "csm-hello", body[:12], body[12:]) {
+		return 0, fmt.Errorf("transport: hello signature from node %d does not verify", id)
+	}
+	return id, nil
+}
+
+// doneBody encodes a barrier marker for the given round.
+func doneBody(round int) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(round))
+	return b[:]
+}
+
+// parseDone decodes a barrier marker.
+func parseDone(body []byte) (int, error) {
+	if len(body) != 8 {
+		return 0, fmt.Errorf("transport: done marker of %d bytes", len(body))
+	}
+	return int(int64(binary.LittleEndian.Uint64(body))), nil
+}
