@@ -11,7 +11,7 @@ BASELINE ?=
 # BENCH_OUT: artifact the bench-json target writes.
 BENCH_OUT ?= BENCH_PR5.json
 
-.PHONY: all build test race bench bench-json bench-micro bench-pr3 bench-pr5 smoke-pipeline smoke-churn smoke-service smoke-processes fuzz-smoke staticcheck fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json bench-micro bench-pr3 bench-pr5 smoke-pipeline smoke-churn smoke-service smoke-processes smoke-restart soak soak-short fuzz-smoke staticcheck fmt fmt-check vet ci
 
 all: build test
 
@@ -78,11 +78,34 @@ smoke-processes:
 	$(GO) build -o bin/csmnode ./cmd/csmnode
 	$(GO) run ./examples/processes -csmnode bin/csmnode -n 4 -k 2 -rounds 8 -timeout 2m
 
-# Short fuzz runs over the TCP framing and message codec (CI smoke): the
-# checked-in corpus plus a few seconds of new coverage-guided inputs.
+# Durable crash-restart end to end (CI smoke): a race-instrumented
+# 4-node durable csmnode cluster is whole-cluster SIGKILLed mid-workload
+# (plus one injected mid-record crash), restarted from its WALs and coded
+# snapshots each time, and must finish bit-identical to the in-memory
+# oracle.
+smoke-restart:
+	$(GO) build -race -o bin/csmnode ./cmd/csmnode
+	$(GO) run ./examples/restart -csmnode bin/csmnode -timeout 4m
+
+# Duration-bounded churn + crash soak: in-process MovingAdversary and
+# crash/repair churn interleaved with random whole-cluster SIGKILL and
+# restart of real csmnode processes. `soak` runs for minutes; CI runs the
+# seconds-sized `soak-short`.
+soak:
+	$(GO) build -race -o bin/csmnode ./cmd/csmnode
+	$(GO) run -race ./examples/soak -csmnode bin/csmnode -duration 3m
+
+soak-short:
+	$(GO) build -race -o bin/csmnode ./cmd/csmnode
+	$(GO) run -race ./examples/soak -csmnode bin/csmnode -duration 15s
+
+# Short fuzz runs over the TCP framing and message codec plus the WAL
+# record reader (CI smoke): the checked-in corpus plus a few seconds of
+# new coverage-guided inputs.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalMessage -fuzztime=10s ./internal/transport/
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=10s ./internal/transport/
+	$(GO) test -run='^$$' -fuzz=FuzzWALReader -fuzztime=10s ./internal/wal/
 
 # Static analysis (CI installs staticcheck; locally it is skipped with a
 # notice when the binary is absent).
@@ -100,4 +123,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet staticcheck build race bench bench-micro smoke-pipeline smoke-churn smoke-service smoke-processes fuzz-smoke
+ci: fmt-check vet staticcheck build race bench bench-micro smoke-pipeline smoke-churn smoke-service smoke-processes smoke-restart soak-short fuzz-smoke

@@ -4,7 +4,7 @@
 // static per-node config file; `csmnode bootstrap` writes a matching set
 // of config files for an N-node localhost cluster.
 //
-//	csmnode bootstrap -dir cluster -n 4 -k 2 -seed 42 -serve
+//	csmnode bootstrap -dir cluster -n 4 -k 2 -seed 42 -serve -data-dir cluster/data
 //	csmnode run -config cluster/node1.json &
 //	csmnode run -config cluster/node2.json &
 //	csmnode run -config cluster/node3.json &
@@ -16,12 +16,21 @@
 // over a socket). Followers need neither flag — they execute whatever
 // the sequencer agrees until the stop marker arrives.
 //
+// With data_dir set (bootstrap -data-dir), every node write-ahead-logs
+// each decided batch and periodically snapshots its coded share, so a
+// killed cluster restarted on the same config files recovers its state,
+// reconciles residual crash skew peer-to-peer (csm's Recover handshake),
+// and resumes the workload where it stopped. CSMNODE_CRASH=<point>[@n]
+// arms the fault-injection hook: the process exits hard the n-th time
+// the WAL layer reaches the named crash point (see internal/wal).
+//
 // Every node prints `digest=<hex>` (a canonical SHA-256 over all decoded
-// outputs) and `rounds=<n>` on stdout when the run ends; honest nodes of
-// one run print identical digests, and the digest equals the in-memory
-// simulated cluster's on the same workload. SIGINT/SIGTERM shut the node
-// down gracefully: the transport closes, the barrier unblocks, and the
-// digest of the rounds executed so far is still printed.
+// outputs since round 0, surviving restarts) and `rounds=<n>` on stdout
+// when the run ends; honest nodes of one run print identical digests,
+// and the digest equals the in-memory simulated cluster's on the same
+// workload. SIGINT/SIGTERM shut the node down gracefully: the transport
+// closes, the barrier unblocks, and the digest of the rounds executed so
+// far is still printed.
 package main
 
 import (
@@ -33,6 +42,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -43,11 +54,13 @@ import (
 	"codedsm/internal/nodeapi"
 	"codedsm/internal/sm"
 	"codedsm/internal/transport"
+	"codedsm/internal/wal"
 )
 
 // nodeConfig is the static per-node cluster configuration. All fields
-// except Node, Listen, and ClientListen must be identical across the
-// cluster's config files.
+// except Node, Listen, ClientListen, and DataDir must be identical
+// across the cluster's config files — and DataDir must be set on either
+// all nodes or none, since recovery is a cluster-wide handshake.
 type nodeConfig struct {
 	Node   int      `json:"node"`   // this node's id (0 = sequencer)
 	N      int      `json:"n"`      // cluster size
@@ -62,6 +75,16 @@ type nodeConfig struct {
 	// mode); empty elsewhere.
 	ClientListen  string `json:"client_listen,omitempty"`
 	StepTimeoutMS int    `json:"step_timeout_ms,omitempty"`
+	// DataDir is this node's durable state directory (write-ahead log +
+	// coded snapshots). Empty disables durability.
+	DataDir string `json:"data_dir,omitempty"`
+	// SnapshotEvery is the snapshot cadence in rounds (0 = engine
+	// default).
+	SnapshotEvery int `json:"snapshot_every,omitempty"`
+	// Fsync selects the WAL sync policy: "always" (default; a decided
+	// batch survives any crash) or "never" (the OS decides; faster, may
+	// lose the tail on power loss — crash-kill safe either way).
+	Fsync string `json:"fsync,omitempty"`
 }
 
 func (c nodeConfig) validate() error {
@@ -80,8 +103,20 @@ func (c nodeConfig) validate() error {
 		return fmt.Errorf("%d peer addresses for n=%d", len(c.Peers), c.N)
 	case c.Listen == "":
 		return errors.New("listen address is empty")
+	case c.Fsync != "" && c.Fsync != "always" && c.Fsync != "never":
+		return fmt.Errorf("fsync=%q: want \"always\" or \"never\"", c.Fsync)
+	case c.SnapshotEvery < 0:
+		return fmt.Errorf("snapshot_every=%d must be >= 0", c.SnapshotEvery)
 	}
 	return nil
+}
+
+// syncPolicy maps the config's fsync string to the WAL policy.
+func (c nodeConfig) syncPolicy() wal.SyncPolicy {
+	if c.Fsync == "never" {
+		return wal.SyncNever
+	}
+	return wal.SyncAlways
 }
 
 func main() {
@@ -109,11 +144,14 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  csmnode bootstrap -dir DIR [-n 4] [-k 2] [-faults 0] [-degree 2] [-seed 42] [-batch 1] [-serve]
-      write per-node config files for an N-node localhost cluster
+  csmnode bootstrap -dir DIR [-n 4] [-k 2] [-faults 0] [-degree 2] [-seed 42] [-batch 1]
+                    [-serve] [-data-dir DIR] [-snapshot-every R] [-fsync always|never]
+      write per-node config files for an N-node localhost cluster;
+      -data-dir enables durable state under DIR/node<i>
   csmnode run -config FILE [-rounds R] [-serve]
       run one node; node 0 leads R seeded workload rounds (-rounds) or
-      serves the nodeapi Submit ingress (-serve)`)
+      serves the nodeapi Submit ingress (-serve). A node with durable
+      state resumes from it and reconciles with its peers first.`)
 }
 
 // bootstrap writes node{i}.json config files for a localhost cluster,
@@ -128,6 +166,9 @@ func bootstrap(args []string) error {
 	seed := fs.Uint64("seed", 42, "shared cluster seed")
 	batch := fs.Int("batch", 1, "rounds per sequencer batch")
 	serve := fs.Bool("serve", false, "give node 0 a client ingress address")
+	dataDir := fs.String("data-dir", "", "enable durability: per-node state under DIR/node<i>")
+	snapshotEvery := fs.Int("snapshot-every", 0, "snapshot cadence in rounds (0 = engine default)")
+	fsync := fs.String("fsync", "", `WAL sync policy: "always" (default) or "never"`)
 	fs.Parse(args)
 
 	if maxK := lcc.SyncMaxMachines(*n, *faults, *degree); *k > maxK {
@@ -150,9 +191,13 @@ func bootstrap(args []string) error {
 			Node: i, N: *n, K: *k, Faults: *faults, Degree: *degree,
 			Seed: *seed, Batch: *batch,
 			Listen: addrs[i], Peers: addrs[:*n],
+			SnapshotEvery: *snapshotEvery, Fsync: *fsync,
 		}
 		if *serve && i == 0 {
 			cfg.ClientListen = addrs[*n]
+		}
+		if *dataDir != "" {
+			cfg.DataDir = filepath.Join(*dataDir, fmt.Sprintf("node%d", i))
 		}
 		if err := cfg.validate(); err != nil {
 			return err
@@ -172,8 +217,8 @@ func bootstrap(args []string) error {
 
 // probePorts reserves n distinct localhost addresses by briefly binding
 // port 0. The listeners close before returning, so the ports are free
-// for the nodes to bind (a small reuse race a static config format has
-// to live with).
+// for the nodes to bind (a small reuse race the transport's bind retry
+// rides out).
 func probePorts(n int) ([]string, error) {
 	addrs := make([]string, n)
 	lns := make([]net.Listener, 0, n)
@@ -191,6 +236,61 @@ func probePorts(n int) ([]string, error) {
 		addrs[i] = ln.Addr().String()
 	}
 	return addrs, nil
+}
+
+// installCrashHook arms the fault-injection hook from CSMNODE_CRASH:
+// "<point>" or "<point>@<n>" makes the process exit hard — os.Exit, no
+// deferred cleanup, indistinguishable from a crash — the n-th time
+// (default: first) the WAL layer reaches that crash point. Used by the
+// restart harness; normal operation leaves the variable unset.
+func installCrashHook() {
+	spec := os.Getenv("CSMNODE_CRASH")
+	if spec == "" {
+		return
+	}
+	point, after, found := strings.Cut(spec, "@")
+	hits := int64(1)
+	if found {
+		if v, err := strconv.ParseInt(after, 10, 64); err == nil && v > 0 {
+			hits = v
+		}
+	}
+	var count atomic.Int64
+	wal.SetCrashHook(func(p wal.CrashPoint) {
+		if string(p) == point && count.Add(1) == hits {
+			fmt.Fprintf(os.Stderr, "csmnode: injected crash at %s\n", p)
+			os.Exit(137)
+		}
+	})
+}
+
+// procSequencer adapts the field-element node process to the ingress
+// server's plain-uint64 Sequencer surface.
+type procSequencer struct {
+	proc *csm.NodeProcess[uint64]
+	gold field.Goldilocks
+}
+
+func (s procSequencer) Machines() int     { return s.proc.Machines() }
+func (s procSequencer) CmdLen() int       { return s.proc.Transition().CmdLen() }
+func (s procSequencer) Round() int        { return s.proc.Round() }
+func (s procSequencer) DigestSum() string { return s.proc.DigestSum() }
+func (s procSequencer) Stop() error       { return s.proc.Stop() }
+
+func (s procSequencer) Canonicalize(cmd []uint64) []uint64 {
+	out := make([]uint64, len(cmd))
+	for i, v := range cmd {
+		out[i] = s.gold.Uint64(s.gold.FromUint64(v)) // canonicalize into the field
+	}
+	return out
+}
+
+func (s procSequencer) LeadRound(cmds [][]uint64) ([][]uint64, error) {
+	outs, err := s.proc.LeadBatch([][][]uint64{cmds})
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
 }
 
 // run runs one node until its workload finishes, its sequencer stops the
@@ -226,15 +326,20 @@ func run(args []string) error {
 			return errors.New("-serve needs a client_listen address in the config (bootstrap -serve)")
 		}
 	}
+	installCrashHook()
 
 	stepTimeout := time.Duration(cfg.StepTimeoutMS) * time.Millisecond
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "node %d: "+format+"\n", append([]any{cfg.Node}, a...)...)
+	}
 	link, err := transport.NewTCP(transport.TCPConfig{
 		Self: transport.NodeID(cfg.Node), N: cfg.N, Seed: cfg.Seed,
 		Listen: cfg.Listen, Peers: cfg.Peers,
 		StepTimeout: stepTimeout,
-		Logf: func(format string, a ...any) {
-			fmt.Fprintf(os.Stderr, "node %d: "+format+"\n", append([]any{cfg.Node}, a...)...)
-		},
+		// Ride out the bootstrap probe-to-bind reuse race (and, after a
+		// crash, a lingering socket from the previous incarnation).
+		BindRetries: 20, BindBackoff: 50 * time.Millisecond,
+		Logf: logf,
 	})
 	if err != nil {
 		return fmt.Errorf("bringing up transport: %w", err)
@@ -265,180 +370,50 @@ func run(args []string) error {
 	}()
 
 	gold := field.NewGoldilocks()
+	var dur *csm.DurabilityConfig
+	if cfg.DataDir != "" {
+		dur = &csm.DurabilityConfig{
+			Dir: cfg.DataDir, SnapshotEvery: cfg.SnapshotEvery, Sync: cfg.syncPolicy(),
+		}
+	}
 	proc, err := csm.NewNodeProcess(csm.RemoteConfig[uint64]{
 		BaseField: gold,
 		NewTransition: func(f field.Field[uint64]) (*sm.Transition[uint64], error) {
 			return sm.NewPolynomialRegister(f, cfg.Degree)
 		},
-		K:         cfg.K,
-		MaxFaults: cfg.Faults,
+		K:          cfg.K,
+		MaxFaults:  cfg.Faults,
+		Durability: dur,
 	}, link)
 	if err != nil {
 		return err
 	}
-
-	digest := nodeapi.NewDigest()
-	executed := 0
-	record := func(outs [][][]uint64) {
-		for _, roundOut := range outs {
-			digest.AddRound(executed, roundOut)
-			executed++
+	defer proc.Close()
+	if proc.Durable() {
+		if proc.Round() > 0 {
+			logf("resuming at round %d from %s", proc.Round(), cfg.DataDir)
+		}
+		// Reconcile residual crash skew with the peers before any batch.
+		if err := proc.Recover(); err != nil {
+			return fmt.Errorf("recovery handshake: %w", err)
 		}
 	}
 
 	var runErr error
 	switch {
 	case cfg.Node != 0:
-		outs, err := proc.Follow()
-		record(outs)
-		runErr = err
+		_, runErr = proc.Follow()
 	case *rounds > 0:
 		workload := csm.RandomWorkload[uint64](gold, *rounds, cfg.K, proc.Transition().CmdLen(), cfg.Seed)
-		outs, err := proc.Lead(workload, cfg.Batch)
-		record(outs)
-		runErr = err
+		resume := min(proc.Round(), len(workload))
+		_, runErr = proc.Lead(workload[resume:], cfg.Batch)
 	default:
-		runErr = serveIngress(proc, clientLn, digest, &executed)
+		runErr = nodeapi.NewServer(procSequencer{proc: proc, gold: gold}, logf).Serve(clientLn)
 	}
 	if interrupted.Load() && errors.Is(runErr, transport.ErrClosed) {
 		runErr = nil // clean signal shutdown
 	}
-	fmt.Printf("digest=%s\n", digest.Sum())
-	fmt.Printf("rounds=%d\n", executed)
+	fmt.Printf("digest=%s\n", proc.DigestSum())
+	fmt.Printf("rounds=%d\n", proc.Round())
 	return runErr
-}
-
-// serveIngress is the sequencer's serve mode: accept nodeapi clients one
-// at a time and sequence the rounds they submit. A round is cut as soon
-// as every machine has a pending command; flush cuts one immediately,
-// padding idle machines. The digest and round counter advance exactly as
-// in workload mode.
-func serveIngress(proc *csm.NodeProcess[uint64], ln net.Listener, digest *nodeapi.Digest, executed *int) error {
-	gold := field.NewGoldilocks()
-	cmdLen := proc.Transition().CmdLen()
-	for {
-		raw, err := ln.Accept()
-		if err != nil {
-			// Listener closed: a signal shutdown. Stop the cluster so the
-			// followers unwind too.
-			return proc.Stop()
-		}
-		done, err := serveClient(proc, nodeapi.NewConn(raw), gold, cmdLen, digest, executed)
-		raw.Close()
-		if err != nil {
-			return err
-		}
-		if done {
-			return nil
-		}
-	}
-}
-
-// serveClient drives one client session. done is true when the client
-// closed the cluster (as opposed to only disconnecting).
-func serveClient(proc *csm.NodeProcess[uint64], conn *nodeapi.Conn, gold field.Goldilocks, cmdLen int, digest *nodeapi.Digest, executed *int) (done bool, err error) {
-	K := proc.Machines()
-	pending := make([][][]uint64, K) // per-machine FIFO
-	fail := func(msg string) {
-		conn.WriteResponse(nodeapi.Response{Op: nodeapi.OpError, Msg: msg})
-	}
-	// cut sequences one round from the pending queues, padding machines
-	// with nothing queued, and streams all K outputs back.
-	cut := func() error {
-		cmds := make([][]uint64, K)
-		for m := 0; m < K; m++ {
-			if len(pending[m]) > 0 {
-				cmds[m] = pending[m][0]
-				pending[m] = pending[m][1:]
-			} else {
-				cmds[m] = make([]uint64, cmdLen) // pad: identity command
-			}
-		}
-		round := proc.Round()
-		outs, err := proc.LeadBatch([][][]uint64{cmds})
-		if err != nil {
-			return err
-		}
-		for _, roundOut := range outs {
-			digest.AddRound(*executed, roundOut)
-			*executed++
-			for m, out := range roundOut {
-				if err := conn.WriteResponse(nodeapi.Response{
-					Op: nodeapi.OpResult, Round: round, Machine: m, Output: out,
-				}); err != nil {
-					return err
-				}
-			}
-			round++
-		}
-		return nil
-	}
-	allPending := func() bool {
-		for m := 0; m < K; m++ {
-			if len(pending[m]) == 0 {
-				return false
-			}
-		}
-		return true
-	}
-	anyPending := func() bool {
-		for m := 0; m < K; m++ {
-			if len(pending[m]) > 0 {
-				return true
-			}
-		}
-		return false
-	}
-	for {
-		req, err := conn.ReadRequest()
-		if err != nil {
-			// Client went away without closing the cluster; keep serving.
-			return false, nil
-		}
-		switch req.Op {
-		case nodeapi.OpSubmit:
-			if req.Machine < 0 || req.Machine >= K {
-				fail(fmt.Sprintf("machine %d out of range [0,%d)", req.Machine, K))
-				return false, nil
-			}
-			if len(req.Cmd) != cmdLen {
-				fail(fmt.Sprintf("command length %d, want %d", len(req.Cmd), cmdLen))
-				return false, nil
-			}
-			cmd := make([]uint64, cmdLen)
-			for i, v := range req.Cmd {
-				cmd[i] = gold.Uint64(gold.FromUint64(v)) // canonicalize into the field
-			}
-			pending[req.Machine] = append(pending[req.Machine], cmd)
-			for allPending() {
-				if err := cut(); err != nil {
-					fail(err.Error())
-					return false, err
-				}
-			}
-		case nodeapi.OpFlush:
-			for anyPending() {
-				if err := cut(); err != nil {
-					fail(err.Error())
-					return false, err
-				}
-			}
-		case nodeapi.OpClose:
-			if anyPending() {
-				if err := cut(); err != nil {
-					fail(err.Error())
-					return false, err
-				}
-			}
-			if err := proc.Stop(); err != nil {
-				fail(err.Error())
-				return false, err
-			}
-			conn.WriteResponse(nodeapi.Response{Op: nodeapi.OpClosed, Digest: digest.Sum()})
-			return true, nil
-		default:
-			fail(fmt.Sprintf("unknown op %q", req.Op))
-			return false, nil
-		}
-	}
 }

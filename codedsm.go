@@ -39,6 +39,7 @@ import (
 	"codedsm/internal/replication"
 	"codedsm/internal/sm"
 	"codedsm/internal/transport"
+	"codedsm/internal/wal"
 )
 
 // ---- Fields ----
@@ -291,6 +292,41 @@ func WithChurnFn(fn func(round int) []ChurnEvent) Option { return csm.WithChurnF
 
 // WithInitialStates sets the K machines' initial state vectors.
 func WithInitialStates[E comparable](states [][]E) Option { return csm.WithInitialStates(states) }
+
+// ---- Durability (WAL + coded snapshots) ----
+
+// DurabilityConfig enables the durable state layer (ClusterConfig.Durability);
+// WithDurability is the options-based equivalent.
+type DurabilityConfig = csm.DurabilityConfig
+
+// DurabilityOption tunes the durable state layer enabled by WithDurability.
+type DurabilityOption = csm.DurabilityOption
+
+// WALSyncPolicy selects when the write-ahead log fsyncs.
+type WALSyncPolicy = wal.SyncPolicy
+
+// WAL fsync policies.
+const (
+	// SyncAlways fsyncs after every append: durable when Append returns.
+	SyncAlways = wal.SyncAlways
+	// SyncNever leaves syncing to the OS — faster, loses the tail of the
+	// log on a machine (not process) crash.
+	SyncNever = wal.SyncNever
+)
+
+// WithDurability persists the cluster's state under dir: decided batches
+// are write-ahead logged and coded snapshots rotate atomically on a
+// cadence, so an Open over a directory holding prior state resumes at
+// the last durable round bit-identically to the uninterrupted run.
+func WithDurability(dir string, opts ...DurabilityOption) Option {
+	return csm.WithDurability(dir, opts...)
+}
+
+// SnapshotEvery sets the snapshot cadence in executed rounds (default 32).
+func SnapshotEvery(rounds int) DurabilityOption { return csm.SnapshotEvery(rounds) }
+
+// SyncPolicy selects the WAL fsync policy (default SyncAlways).
+func SyncPolicy(policy WALSyncPolicy) DurabilityOption { return csm.SyncPolicy(policy) }
 
 // ---- Ingress (Submit-based serving) ----
 

@@ -244,6 +244,14 @@ type Config[E comparable] struct {
 	// Delegated. See MovingAdversary for the paper's Section 7 dynamic
 	// adversary as a ChurnFn.
 	ChurnFn func(round int) []ChurnEvent
+	// Durability enables the durable state layer (see durability.go):
+	// decided batches are logged write-ahead to a CRC-framed WAL and the
+	// full cluster state is snapshotted on a cadence; New recovers from
+	// the newest valid snapshot plus WAL replay when the directory holds
+	// prior state. Incompatible with Delegated. Durability never touches
+	// the cluster RNG, so a durable run's outputs are bit-identical to
+	// the same seed without it.
+	Durability *DurabilityConfig
 }
 
 // Cluster is a running CSM deployment.
@@ -280,6 +288,8 @@ type Cluster[E comparable] struct {
 	// legitimately contend on).
 	clientMu   sync.Mutex
 	clientOpen bool
+	// dur is the durable store (nil without Config.Durability).
+	dur *clusterStore
 }
 
 // New builds and initializes a cluster, distributing coded initial states.
@@ -429,6 +439,14 @@ func New[E comparable](cfg Config[E]) (*Cluster[E], error) {
 	}
 	// Encoding the initial states is setup, not steady-state work.
 	counting.Reset()
+	if cfg.Durability != nil {
+		// Recover (or cold-start) from the data directory. This runs last:
+		// WAL replay drives the fully-built cluster through the ordinary
+		// execution engine.
+		if err := c.openDurability(); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
 }
 

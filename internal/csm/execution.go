@@ -58,6 +58,23 @@ func (c *Cluster[E]) executeBatch(batch [][][]E, stage *clientStage[E]) ([]*Roun
 	if err != nil {
 		return nil, err
 	}
+	if c.dur != nil {
+		// Write-ahead: the decided batch (or the skipped instance) is on
+		// disk before execution mutates any state, so a crash mid-batch
+		// replays the whole decision on restart.
+		if err := c.logBatch(steps, agreed); err != nil {
+			return nil, err
+		}
+	}
+	return c.executeAgreed(agreed, steps, ticksConsensus, stage, false)
+}
+
+// executeAgreed runs the post-consensus phases of executeBatch for an
+// already-decided batch: the skipped-instance path, the delegated path,
+// or the coded execution micro-steps. WAL replay calls it directly with
+// replay set — the logged record is the decision, so consensus is
+// bypassed and no durability records are written while re-executing.
+func (c *Cluster[E]) executeAgreed(agreed [][][]E, steps, ticksConsensus int, stage *clientStage[E], replay bool) ([]*RoundResult[E], error) {
 	if agreed == nil {
 		// Byzantine leader: the whole batch is skipped (commands stay
 		// pending with the clients), consensus ticks charged to its first
@@ -71,6 +88,11 @@ func (c *Cluster[E]) executeBatch(batch [][][]E, stage *clientStage[E]) ([]*Roun
 			c.round++
 			if stage != nil {
 				stage.enqueue(&stepOutcome[E]{res: out[j], skip: true})
+			}
+		}
+		if c.dur != nil && !replay && stage == nil {
+			if err := c.maybeSnapshotDur(); err != nil {
+				return out, err
 			}
 		}
 		return out, nil
@@ -125,6 +147,15 @@ func (c *Cluster[E]) executeBatch(batch [][][]E, stage *clientStage[E]) ([]*Roun
 		}
 		c.round++
 		out = append(out, outcome.res)
+	}
+	// Snapshot at batch boundaries only when the client phase completed
+	// inline: under a pipelined stage the oracle state lags the execution
+	// rounds, so pipelined runs log batches but defer snapshots (recovery
+	// replays from the last non-pipelined snapshot).
+	if c.dur != nil && !replay && stage == nil {
+		if err := c.maybeSnapshotDur(); err != nil {
+			return out, err
+		}
 	}
 	return out, nil
 }

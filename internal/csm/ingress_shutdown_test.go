@@ -1,0 +1,177 @@
+// Shutdown audit for the ingress client: no future may be left hanging
+// by Close, whatever state its submission was in — queued but never
+// admitted, blocked on backpressure, mid-drain, or stranded behind a
+// sticky run failure. Each test runs under a deadline so a regression
+// shows up as a failure, not a stuck suite.
+package csm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"codedsm/internal/field"
+)
+
+// waitResolved asserts the future resolves within the deadline and
+// returns its outcome.
+func waitResolved(t *testing.T, fut *Future[uint64]) ([]uint64, error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	out, err := fut.Wait(ctx)
+	if ctx.Err() != nil {
+		t.Fatal("future did not resolve: shutdown left it hanging")
+	}
+	return out, err
+}
+
+// TestClosePendingPartialRoundResolves: in deterministic mode a round
+// only forms when every machine has a command, so a submission to one
+// machine alone sits queued indefinitely. Close must drain it — pad the
+// round, execute it, and resolve the future with a real output.
+func TestClosePendingPartialRoundResolves(t *testing.T) {
+	gold := field.NewGoldilocks()
+	c, err := Open(gold, bankFactory, WithNodes(12), WithMachines(3), WithFaults(2), WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.Open(WithDeterministicAdmission())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut, err := cl.Submit(context.Background(), 0, []uint64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := waitResolved(t, fut)
+	if err != nil {
+		t.Fatalf("drained future resolved with %v, want its padded round's output", err)
+	}
+	if len(out) == 0 {
+		t.Fatal("drained future resolved with no output")
+	}
+}
+
+// TestCloseUnblocksBackpressuredSubmit: a Submit blocked on a full
+// machine queue when Close arrives must return — either ErrClientClosed,
+// or (if the race admitted it into the drain) a future that resolves.
+func TestCloseUnblocksBackpressuredSubmit(t *testing.T) {
+	gold := field.NewGoldilocks()
+	c, err := Open(gold, bankFactory, WithNodes(12), WithMachines(2), WithFaults(2), WithSeed(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.Open(WithDeterministicAdmission(), WithSubmitQueueDepth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill machine 0's queue; machine 1 stays empty so nothing executes.
+	if _, err := cl.Submit(context.Background(), 0, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		fut *Future[uint64]
+		err error
+	}
+	blocked := make(chan outcome, 1)
+	go func() {
+		fut, err := cl.Submit(context.Background(), 0, []uint64{2})
+		blocked <- outcome{fut, err}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the Submit reach the full queue
+	closed := make(chan error, 1)
+	go func() { closed <- cl.Close() }()
+	select {
+	case o := <-blocked:
+		if o.err != nil {
+			if !errors.Is(o.err, ErrClientClosed) {
+				t.Fatalf("blocked submit returned %v, want ErrClientClosed", o.err)
+			}
+		} else if _, err := waitResolved(t, o.fut); err != nil {
+			t.Fatalf("admitted-at-close future resolved with %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close left a backpressured Submit blocked")
+	}
+	if err := <-closed; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseEndsResultsStream: a Results consumer blocked waiting for
+// admissions must terminate once Close has drained the final futures —
+// after yielding all of them.
+func TestCloseEndsResultsStream(t *testing.T) {
+	gold := field.NewGoldilocks()
+	c, err := Open(gold, bankFactory, WithNodes(12), WithMachines(2), WithFaults(2), WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.Open(WithDeterministicAdmission())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := cl.Results()
+	got := make(chan int, 1)
+	go func() {
+		n := 0
+		for fut := range stream {
+			if _, err := fut.Wait(context.Background()); err != nil {
+				t.Errorf("streamed future: %v", err)
+			}
+			n++
+		}
+		got <- n
+	}()
+	// One partial round: only the drain at Close admits it.
+	if _, err := cl.Submit(context.Background(), 1, []uint64{9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-got:
+		if n != 1 {
+			t.Fatalf("stream yielded %d futures, want 1", n)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close left the Results stream blocked")
+	}
+}
+
+// TestStickyFailureResolvesQueuedFutures: once the scheduler has a
+// sticky run error, submissions still queued when Close drains must
+// resolve with that error (not hang, not execute), and later Submits
+// must fail with ErrClientClosed.
+func TestStickyFailureResolvesQueuedFutures(t *testing.T) {
+	gold := field.NewGoldilocks()
+	c, err := Open(gold, bankFactory, WithNodes(12), WithMachines(2), WithFaults(2), WithSeed(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.Open(WithDeterministicAdmission())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut, err := cl.Submit(context.Background(), 0, []uint64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected run failure")
+	cl.fail(boom) // the path every engine failure funnels through
+	if _, err := cl.Submit(context.Background(), 1, []uint64{4}); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("submit after failure: %v, want ErrClientClosed", err)
+	}
+	if err := cl.Close(); !errors.Is(err, boom) {
+		t.Fatalf("close returned %v, want the sticky failure", err)
+	}
+	if _, err := waitResolved(t, fut); !errors.Is(err, boom) {
+		t.Fatalf("queued future resolved with %v, want the sticky failure", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"codedsm/internal/field"
 	"codedsm/internal/lcc"
 	"codedsm/internal/transport"
+	"codedsm/internal/wal"
 )
 
 // Option configures a cluster built with Open. Options validate eagerly:
@@ -41,6 +42,7 @@ type settings struct {
 	pipeline         int
 	churn            []ChurnEvent
 	churnFn          func(round int) []ChurnEvent
+	durability       *DurabilityConfig
 	initialStates    any // [][]E, asserted in Open
 }
 
@@ -205,6 +207,45 @@ func WithChurnFn(fn func(round int) []ChurnEvent) Option {
 	return func(s *settings) error { s.churnFn = fn; return nil }
 }
 
+// DurabilityOption tunes the durable state layer enabled by
+// WithDurability.
+type DurabilityOption func(*DurabilityConfig)
+
+// SnapshotEvery sets the snapshot cadence in executed rounds
+// (default 32).
+func SnapshotEvery(rounds int) DurabilityOption {
+	return func(d *DurabilityConfig) { d.SnapshotEvery = rounds }
+}
+
+// SyncPolicy selects the WAL fsync policy (default wal.SyncAlways).
+func SyncPolicy(policy wal.SyncPolicy) DurabilityOption {
+	return func(d *DurabilityConfig) { d.Sync = policy }
+}
+
+// WithDurability persists the cluster's state under dir: decided
+// batches are logged write-ahead and full cluster snapshots rotate on a
+// cadence. Open recovers from the directory's newest valid snapshot
+// plus WAL replay when it holds prior state, so an Open after a crash
+// resumes at the last durable round. Incompatible with WithDelegated.
+func WithDurability(dir string, opts ...DurabilityOption) Option {
+	if dir == "" {
+		return optionErr("WithDurability(%q): need a data directory", dir)
+	}
+	return func(s *settings) error {
+		d := &DurabilityConfig{Dir: dir}
+		for _, opt := range opts {
+			if opt != nil {
+				opt(d)
+			}
+		}
+		if d.SnapshotEvery < 0 {
+			return fmt.Errorf("WithDurability(%q): negative snapshot cadence %d", dir, d.SnapshotEvery)
+		}
+		s.durability = d
+		return nil
+	}
+}
+
 // WithInitialStates sets the K machines' initial state vectors (the
 // default is all-zero states). The element type must match the cluster's
 // field element; Open reports a mismatch by name.
@@ -270,6 +311,7 @@ func Open[E comparable](f field.Field[E], newTransition TransitionFactory[E], op
 		Pipeline:         s.pipeline,
 		Churn:            s.churn,
 		ChurnFn:          s.churnFn,
+		Durability:       s.durability,
 	}
 	if s.initialStates != nil {
 		states, ok := s.initialStates.([][]E)

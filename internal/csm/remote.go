@@ -33,16 +33,20 @@ import (
 
 	"codedsm/internal/field"
 	"codedsm/internal/lcc"
+	"codedsm/internal/nodeapi"
 	"codedsm/internal/poly"
 	"codedsm/internal/sm"
 	"codedsm/internal/transport"
 )
 
 // Message kinds of the remote protocol. Result broadcasts reuse the
-// simulated engine's resultKind.
+// simulated engine's resultKind; recoverKind and deltaKind carry the
+// crash-recovery handshake (see Recover).
 const (
-	batchKind = "csm-batch"
-	stopKind  = "csm-stop"
+	batchKind   = "csm-batch"
+	stopKind    = "csm-stop"
+	recoverKind = "csm-recover"
+	deltaKind   = "csm-delta"
 )
 
 // SequencerID is the node that sequences batches in a multi-process
@@ -73,6 +77,11 @@ type RemoteConfig[E comparable] struct {
 	// MaxTicksPerRound bounds the lock-step ticks a node waits for the
 	// round's results before giving up (default 200).
 	MaxTicksPerRound int
+	// Durability persists this node's coded share, run digest, and
+	// decided batches under a data directory (see durability.go). A
+	// restarted process resumes from its last durable round; Recover
+	// then reconciles any round skew with the peers.
+	Durability *DurabilityConfig
 }
 
 // NodeProcess is one node of a multi-process CSM cluster.
@@ -89,6 +98,14 @@ type NodeProcess[E comparable] struct {
 	round      int // workload round (not the link's lock-step round)
 	codedState []E
 	stopped    bool
+
+	// digest is the canonical run digest over all decoded outputs; with
+	// durability it is persisted per round and survives restarts.
+	digest *nodeapi.Digest
+	// initialCoded keeps the round-0 share for recovery rollbacks.
+	initialCoded []E
+	// store is the durable state (nil without RemoteConfig.Durability).
+	store *nodeStore
 
 	// steady-state scratch, mirroring the simulated node's
 	cmdScratch   []E
@@ -151,6 +168,27 @@ func NewNodeProcess[E comparable](cfg RemoteConfig[E], link transport.Link) (*No
 		n:    n,
 	}
 	p.codedState = lagrangeRowInto(p.bulk, cfg.BaseField.Zero(), code.Coeffs()[p.self], initial, nil, tr.StateLen())
+	p.initialCoded = append([]E(nil), p.codedState...)
+	p.digest = nodeapi.NewDigest()
+	if cfg.Durability != nil {
+		store, err := openNodeStore(*cfg.Durability)
+		if err != nil {
+			return nil, err
+		}
+		p.store = store
+		if store.round > 0 {
+			// Resume from the last durable round: snapshot + WAL suffix.
+			if len(store.share) != tr.StateLen() {
+				return nil, fmt.Errorf("csm: durable share in %s has length %d, want %d (foreign data directory?)",
+					cfg.Durability.Dir, len(store.share), tr.StateLen())
+			}
+			p.round = store.round
+			p.codedState = vecFromWire(cfg.BaseField, store.share)
+			if err := p.digest.UnmarshalBinary(store.digest); err != nil {
+				return nil, fmt.Errorf("csm: restoring durable digest: %w", err)
+			}
+		}
+	}
 	return p, nil
 }
 
@@ -168,6 +206,24 @@ func (p *NodeProcess[E]) Machines() int { return p.cfg.K }
 
 // Transition returns the node's transition function.
 func (p *NodeProcess[E]) Transition() *sm.Transition[E] { return p.tr }
+
+// DigestSum returns the node's canonical run digest over every decoded
+// output so far — across restarts when durability is enabled.
+func (p *NodeProcess[E]) DigestSum() string { return p.digest.Sum() }
+
+// Durable reports whether the node persists state.
+func (p *NodeProcess[E]) Durable() bool { return p.store != nil }
+
+// Close releases the node's durable store (no-op without durability).
+// It does not stop the cluster; see Stop.
+func (p *NodeProcess[E]) Close() error {
+	if p.store == nil {
+		return nil
+	}
+	err := p.store.close()
+	p.store = nil
+	return err
+}
 
 // PadCommand returns the identity command the sequencer submits for
 // machines with nothing pending (the all-zero vector, matching the
@@ -215,6 +271,12 @@ func (p *NodeProcess[E]) LeadBatch(batch [][][]E) ([][][]E, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.store != nil {
+		// Write-ahead: the decided batch hits disk before any peer sees it.
+		if err := p.store.appendBatch(p.round, payload); err != nil {
+			return nil, err
+		}
+	}
 	if err := p.link.Broadcast(batchKind, payload); err != nil {
 		return nil, err
 	}
@@ -254,6 +316,11 @@ func (p *NodeProcess[E]) FollowBatch() (outputs [][][]E, done bool, err error) {
 				if err := decodePayload(m.Payload, &bm); err == nil && bm.Round != p.round {
 					return nil, false, fmt.Errorf("csm: node %d at round %d received batch for round %d (desynchronized)",
 						p.self, p.round, bm.Round)
+				}
+				if p.store != nil {
+					if err := p.store.appendBatch(p.round, m.Payload); err != nil {
+						return nil, false, err
+					}
 				}
 				out, err := p.executeSteps(batch)
 				return out, false, err
@@ -353,6 +420,29 @@ func (p *NodeProcess[E]) executeSteps(batch [][][]E) ([][][]E, error) {
 		p.codedState = newCoded
 		p.round++
 		out = append(out, outputs)
+		wireOuts := make([][]uint64, p.cfg.K)
+		for k := range outputs {
+			wireOuts[k] = vecToWire(f, outputs[k])
+		}
+		p.digest.AddRound(p.round-1, wireOuts)
+		if p.store != nil {
+			dstate, err := p.digest.MarshalBinary()
+			if err != nil {
+				return out, err
+			}
+			if err := p.store.appendApplied(p.round-1, vecToWire(f, p.codedState), dstate, wireOuts); err != nil {
+				return out, err
+			}
+		}
+	}
+	if p.store != nil {
+		dstate, err := p.digest.MarshalBinary()
+		if err != nil {
+			return out, err
+		}
+		if err := p.store.maybeSnapshot(p.round, vecToWire(f, p.codedState), dstate, false); err != nil {
+			return out, err
+		}
 	}
 	return out, nil
 }

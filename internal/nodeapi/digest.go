@@ -2,8 +2,10 @@ package nodeapi
 
 import (
 	"crypto/sha256"
+	"encoding"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"hash"
 )
 
@@ -43,3 +45,27 @@ func (d *Digest) AddRound(round int, outputs [][]uint64) {
 
 // Sum returns the hex digest of everything absorbed so far.
 func (d *Digest) Sum() string { return hex.EncodeToString(d.h.Sum(nil)) }
+
+// MarshalBinary captures the digest's running state (the standard
+// library's SHA-256 supports this), so a durable node can persist it
+// per round and resume the digest across a crash-restart.
+func (d *Digest) MarshalBinary() ([]byte, error) {
+	m, ok := d.h.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, errors.New("nodeapi: digest hash does not support marshaling")
+	}
+	return m.MarshalBinary()
+}
+
+// UnmarshalBinary restores a digest state captured by MarshalBinary.
+// An empty input leaves the digest fresh.
+func (d *Digest) UnmarshalBinary(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	u, ok := d.h.(encoding.BinaryUnmarshaler)
+	if !ok {
+		return errors.New("nodeapi: digest hash does not support unmarshaling")
+	}
+	return u.UnmarshalBinary(data)
+}

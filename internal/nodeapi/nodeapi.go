@@ -16,6 +16,7 @@ package nodeapi
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -25,6 +26,7 @@ import (
 const (
 	OpSubmit = "submit" // Machine + Cmd
 	OpFlush  = "flush"  // cut a round now, padding machines with no pending command
+	OpStatus = "status" // report round/machines/digest; echoed back as an OpStatus response
 	OpClose  = "close"  // stop the cluster and finish the stream
 )
 
@@ -34,6 +36,18 @@ const (
 	OpError  = "error"  // Msg (fatal; the connection closes after it)
 	OpClosed = "closed" // Digest over the whole run; last frame of the stream
 )
+
+// MaxLine caps one ndjson frame. A legitimate frame is one command or
+// one output vector — a few hundred bytes; a line that exceeds the cap
+// is rejected with ErrLineTooLong instead of buffering without bound.
+const MaxLine = 1 << 20
+
+// ErrLineTooLong reports a frame longer than MaxLine bytes.
+var ErrLineTooLong = errors.New("nodeapi: frame exceeds maximum line length")
+
+// ErrMalformed reports a frame that is not valid JSON. Wrapped errors
+// carry the parser detail; match with errors.Is.
+var ErrMalformed = errors.New("nodeapi: malformed frame")
 
 // Request is one client frame.
 type Request struct {
@@ -59,9 +73,20 @@ type Conn struct {
 	enc *json.Encoder
 }
 
-// NewConn wraps an established connection.
+// NewConn wraps an established connection. The read buffer is sized to
+// MaxLine so an over-long frame surfaces as ErrLineTooLong rather than
+// unbounded buffering.
 func NewConn(c net.Conn) *Conn {
-	return &Conn{c: c, r: bufio.NewReader(c), enc: json.NewEncoder(c)}
+	return &Conn{c: c, r: bufio.NewReaderSize(c, MaxLine), enc: json.NewEncoder(c)}
+}
+
+// readLine reads one newline-terminated frame, capped at MaxLine.
+func (c *Conn) readLine() ([]byte, error) {
+	line, err := c.r.ReadSlice('\n')
+	if errors.Is(err, bufio.ErrBufferFull) {
+		return nil, ErrLineTooLong
+	}
+	return line, err
 }
 
 // Close closes the underlying connection.
@@ -73,28 +98,31 @@ func (c *Conn) WriteRequest(req Request) error { return c.enc.Encode(req) }
 // WriteResponse sends one sequencer frame.
 func (c *Conn) WriteResponse(resp Response) error { return c.enc.Encode(resp) }
 
-// ReadRequest reads one client frame (sequencer side).
+// ReadRequest reads one client frame (sequencer side). A frame that is
+// not valid JSON returns an error wrapping ErrMalformed; a frame longer
+// than MaxLine returns ErrLineTooLong.
 func (c *Conn) ReadRequest() (Request, error) {
 	var req Request
-	line, err := c.r.ReadBytes('\n')
+	line, err := c.readLine()
 	if err != nil {
 		return req, err
 	}
 	if err := json.Unmarshal(line, &req); err != nil {
-		return req, fmt.Errorf("nodeapi: malformed request: %w", err)
+		return req, fmt.Errorf("%w: request: %v", ErrMalformed, err)
 	}
 	return req, nil
 }
 
-// ReadResponse reads one sequencer frame (client side).
+// ReadResponse reads one sequencer frame (client side), under the same
+// ErrMalformed/ErrLineTooLong contract as ReadRequest.
 func (c *Conn) ReadResponse() (Response, error) {
 	var resp Response
-	line, err := c.r.ReadBytes('\n')
+	line, err := c.readLine()
 	if err != nil {
 		return resp, err
 	}
 	if err := json.Unmarshal(line, &resp); err != nil {
-		return resp, fmt.Errorf("nodeapi: malformed response: %w", err)
+		return resp, fmt.Errorf("%w: response: %v", ErrMalformed, err)
 	}
 	return resp, nil
 }
@@ -130,6 +158,29 @@ func (c *Client) Submit(machine int, cmd []uint64) error {
 // have no pending command.
 func (c *Client) Flush() error {
 	return c.conn.WriteRequest(Request{Op: OpFlush})
+}
+
+// Status reports the sequencer's progress: the next round to be cut,
+// the machine count, and the canonical digest over everything decoded
+// so far. The reply is read synchronously, so call it only when no
+// result frames are pending (before submitting, or after draining a
+// submitted round's K results).
+func (c *Client) Status() (round, machines int, digest string, err error) {
+	if err := c.conn.WriteRequest(Request{Op: OpStatus}); err != nil {
+		return 0, 0, "", err
+	}
+	resp, err := c.conn.ReadResponse()
+	if err != nil {
+		return 0, 0, "", err
+	}
+	switch resp.Op {
+	case OpStatus:
+		return resp.Round, resp.Machine, resp.Digest, nil
+	case OpError:
+		return 0, 0, "", fmt.Errorf("nodeapi: sequencer: %s", resp.Msg)
+	default:
+		return 0, 0, "", fmt.Errorf("%w: expected a status reply, got op %q (results pending?)", ErrMalformed, resp.Op)
+	}
 }
 
 // ReadResult reads the next result frame. It returns an error on OpError

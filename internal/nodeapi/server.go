@@ -1,0 +1,198 @@
+// The sequencer side of the ingress protocol, extracted from cmd/csmnode
+// so its error paths are testable without real cluster processes: the
+// Server owns accept/serve/cut mechanics and drives the engine through
+// the narrow Sequencer interface.
+
+package nodeapi
+
+import (
+	"errors"
+	"fmt"
+	"net"
+)
+
+// Sequencer is the engine surface the ingress Server drives — the
+// sequencer-side node process, seen over plain uint64 command and output
+// vectors (cmd/csmnode adapts the field-element engine to it).
+type Sequencer interface {
+	// Machines returns K, the number of coded state machines.
+	Machines() int
+	// CmdLen returns the per-machine command length.
+	CmdLen() int
+	// Round returns the next round to be sequenced.
+	Round() int
+	// Canonicalize maps raw client words into the engine's field.
+	Canonicalize(cmd []uint64) []uint64
+	// LeadRound sequences one round of K canonical commands through the
+	// cluster and returns the K decoded outputs.
+	LeadRound(cmds [][]uint64) ([][]uint64, error)
+	// DigestSum returns the canonical run digest over every round
+	// decoded so far.
+	DigestSum() string
+	// Stop stops the whole cluster (close op, or listener shutdown).
+	Stop() error
+}
+
+// Server accepts ingress clients one at a time and sequences the rounds
+// they submit. A round is cut as soon as every machine has a pending
+// command; a flush cuts one immediately, padding idle machines with the
+// identity command.
+//
+// Client misbehavior is contained: a malformed or over-long frame gets
+// an error reply and drops that client, a mid-stream disconnect drops
+// the client silently, and in both cases the server keeps accepting.
+// Only a sequencing failure (the cluster itself broke) or a close op
+// ends serving.
+type Server struct {
+	seq  Sequencer
+	logf func(format string, a ...any)
+}
+
+// NewServer returns a server over the sequencer. logf, if non-nil,
+// receives one line per contained client failure.
+func NewServer(seq Sequencer, logf func(format string, a ...any)) *Server {
+	return &Server{seq: seq, logf: logf}
+}
+
+func (s *Server) logClient(format string, a ...any) {
+	if s.logf != nil {
+		s.logf(format, a...)
+	}
+}
+
+// Serve accepts clients on ln until a client closes the cluster (returns
+// nil), the listener closes (stops the cluster so followers unwind, and
+// returns Stop's error), or sequencing fails (returns that error).
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		raw, err := ln.Accept()
+		if err != nil {
+			// Listener closed: a signal shutdown.
+			return s.seq.Stop()
+		}
+		done, err := s.serveClient(NewConn(raw))
+		raw.Close()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// serveClient drives one client session. done is true when the client
+// closed the cluster (as opposed to only disconnecting); err is non-nil
+// only for failures of the cluster itself — client-side misbehavior
+// never stops the server.
+func (s *Server) serveClient(conn *Conn) (done bool, err error) {
+	K := s.seq.Machines()
+	cmdLen := s.seq.CmdLen()
+	pending := make([][][]uint64, K) // per-machine FIFO
+	fail := func(msg string) {
+		conn.WriteResponse(Response{Op: OpError, Msg: msg})
+	}
+	// cut sequences one round from the pending queues, padding machines
+	// with nothing queued, and streams all K outputs back.
+	cut := func() error {
+		cmds := make([][]uint64, K)
+		for m := 0; m < K; m++ {
+			if len(pending[m]) > 0 {
+				cmds[m] = pending[m][0]
+				pending[m] = pending[m][1:]
+			} else {
+				cmds[m] = make([]uint64, cmdLen) // pad: identity command
+			}
+		}
+		round := s.seq.Round()
+		outs, err := s.seq.LeadRound(cmds)
+		if err != nil {
+			return err
+		}
+		for m, out := range outs {
+			if err := conn.WriteResponse(Response{
+				Op: OpResult, Round: round, Machine: m, Output: out,
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	allPending := func() bool {
+		for m := 0; m < K; m++ {
+			if len(pending[m]) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	anyPending := func() bool {
+		for m := 0; m < K; m++ {
+			if len(pending[m]) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for {
+		req, err := conn.ReadRequest()
+		if err != nil {
+			if errors.Is(err, ErrMalformed) || errors.Is(err, ErrLineTooLong) {
+				// Protocol violation: tell the client why, drop it, keep
+				// serving.
+				fail(err.Error())
+				s.logClient("dropping ingress client: %v", err)
+				return false, nil
+			}
+			// Client went away without closing the cluster; keep serving.
+			return false, nil
+		}
+		switch req.Op {
+		case OpSubmit:
+			if req.Machine < 0 || req.Machine >= K {
+				fail(fmt.Sprintf("machine %d out of range [0,%d)", req.Machine, K))
+				return false, nil
+			}
+			if len(req.Cmd) != cmdLen {
+				fail(fmt.Sprintf("command length %d, want %d", len(req.Cmd), cmdLen))
+				return false, nil
+			}
+			pending[req.Machine] = append(pending[req.Machine], s.seq.Canonicalize(req.Cmd))
+			for allPending() {
+				if err := cut(); err != nil {
+					fail(err.Error())
+					return false, err
+				}
+			}
+		case OpFlush:
+			for anyPending() {
+				if err := cut(); err != nil {
+					fail(err.Error())
+					return false, err
+				}
+			}
+		case OpStatus:
+			if err := conn.WriteResponse(Response{
+				Op: OpStatus, Round: s.seq.Round(), Machine: K, Digest: s.seq.DigestSum(),
+			}); err != nil {
+				return false, nil
+			}
+		case OpClose:
+			if anyPending() {
+				if err := cut(); err != nil {
+					fail(err.Error())
+					return false, err
+				}
+			}
+			if err := s.seq.Stop(); err != nil {
+				fail(err.Error())
+				return false, err
+			}
+			conn.WriteResponse(Response{Op: OpClosed, Digest: s.seq.DigestSum()})
+			return true, nil
+		default:
+			fail(fmt.Sprintf("unknown op %q", req.Op))
+			return false, nil
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package nodeapi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeSequencer is a deterministic in-memory Sequencer: LeadRound echoes
+// each command prefixed with the round it was cut in, so tests can check
+// both sequencing order and result routing without a cluster.
+type fakeSequencer struct {
+	k, cmdLen int
+	round     int
+	stopped   bool
+	leadErr   error
+	led       [][][]uint64
+}
+
+func (s *fakeSequencer) Machines() int                      { return s.k }
+func (s *fakeSequencer) CmdLen() int                        { return s.cmdLen }
+func (s *fakeSequencer) Round() int                         { return s.round }
+func (s *fakeSequencer) Canonicalize(cmd []uint64) []uint64 { return cmd }
+func (s *fakeSequencer) DigestSum() string                  { return fmt.Sprintf("digest-at-%d", s.round) }
+func (s *fakeSequencer) Stop() error                        { s.stopped = true; return nil }
+
+func (s *fakeSequencer) LeadRound(cmds [][]uint64) ([][]uint64, error) {
+	if s.leadErr != nil {
+		return nil, s.leadErr
+	}
+	s.led = append(s.led, cmds)
+	outs := make([][]uint64, s.k)
+	for m := range outs {
+		outs[m] = append([]uint64{uint64(s.round)}, cmds[m]...)
+	}
+	s.round++
+	return outs, nil
+}
+
+// startServer serves seq on an ephemeral listener; the returned channel
+// yields Serve's result once.
+func startServer(t *testing.T, seq Sequencer) (addr string, served chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	served = make(chan error, 1)
+	go func() { served <- NewServer(seq, t.Logf).Serve(ln) }()
+	return ln.Addr().String(), served
+}
+
+// submitRound pushes one full round through the client and checks the
+// streamed results against the fake's echo scheme.
+func submitRound(t *testing.T, c *Client, k int, round int) {
+	t.Helper()
+	for m := 0; m < k; m++ {
+		if err := c.Submit(m, []uint64{uint64(100*round + m)}); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	for i := 0; i < k; i++ {
+		resp, err := c.ReadResult()
+		if err != nil {
+			t.Fatalf("result %d of round %d: %v", i, round, err)
+		}
+		want := []uint64{uint64(round), uint64(100*round + resp.Machine)}
+		if resp.Round != round || len(resp.Output) != 2 || resp.Output[0] != want[0] || resp.Output[1] != want[1] {
+			t.Fatalf("round %d machine %d: got round=%d output=%v, want output=%v",
+				round, resp.Machine, resp.Round, resp.Output, want)
+		}
+	}
+}
+
+func dialT(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// rawSession sends preformatted bytes and returns the first reply frame.
+func rawSession(t *testing.T, addr string, payload []byte) Response {
+	t.Helper()
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	conn := NewConn(raw)
+	go raw.Write(payload) // may block past the server's reply on big payloads
+	resp, err := conn.ReadResponse()
+	if err != nil {
+		t.Fatalf("reading the server's reply: %v", err)
+	}
+	return resp
+}
+
+// TestServerSurvivesMalformedFrame: a garbage line gets a typed error
+// reply and drops that client only — the next client is served in full.
+func TestServerSurvivesMalformedFrame(t *testing.T) {
+	seq := &fakeSequencer{k: 2, cmdLen: 1}
+	addr, served := startServer(t, seq)
+
+	resp := rawSession(t, addr, []byte("this is not json\n"))
+	if resp.Op != OpError || !strings.Contains(resp.Msg, "malformed") {
+		t.Fatalf("want a malformed-frame error reply, got %+v", resp)
+	}
+
+	c := dialT(t, addr)
+	submitRound(t, c, 2, 0)
+	if digest, err := c.Close(); err != nil || digest != "digest-at-1" {
+		t.Fatalf("close after recovery client: digest=%q err=%v", digest, err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if !seq.stopped {
+		t.Fatal("close op did not stop the sequencer")
+	}
+}
+
+// TestServerRejectsOversizedLine: a frame longer than MaxLine is
+// refused with ErrLineTooLong's message instead of buffering without
+// bound, and the server keeps serving.
+func TestServerRejectsOversizedLine(t *testing.T) {
+	seq := &fakeSequencer{k: 2, cmdLen: 1}
+	addr, served := startServer(t, seq)
+
+	huge := append(bytes.Repeat([]byte("a"), MaxLine+1), '\n')
+	resp := rawSession(t, addr, huge)
+	if resp.Op != OpError || !strings.Contains(resp.Msg, "maximum line length") {
+		t.Fatalf("want a line-too-long error reply, got %+v", resp)
+	}
+
+	c := dialT(t, addr)
+	submitRound(t, c, 2, 0)
+	if _, err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+// TestServerSurvivesMidStreamDisconnect: a client that vanishes with a
+// half-filled round leaves no residue — the next client starts from an
+// empty pending queue and the dropped commands are never sequenced.
+func TestServerSurvivesMidStreamDisconnect(t *testing.T) {
+	seq := &fakeSequencer{k: 2, cmdLen: 1}
+	addr, served := startServer(t, seq)
+
+	half := dialT(t, addr)
+	if err := half.Submit(0, []uint64{77}); err != nil {
+		t.Fatal(err)
+	}
+	half.conn.Close() // vanish without close: machine 1 never got a command
+
+	c := dialT(t, addr)
+	submitRound(t, c, 2, 0)
+	if _, err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if len(seq.led) != 1 {
+		t.Fatalf("sequenced %d rounds, want 1 (the disconnected client's half round must be dropped)", len(seq.led))
+	}
+	if seq.led[0][0][0] == 77 {
+		t.Fatal("the disconnected client's pending command leaked into the next session")
+	}
+}
+
+// TestServerSubmitValidation: out-of-range machines and wrong-length
+// commands get error replies, and the server survives both.
+func TestServerSubmitValidation(t *testing.T) {
+	seq := &fakeSequencer{k: 2, cmdLen: 1}
+	addr, served := startServer(t, seq)
+
+	bad := dialT(t, addr)
+	if err := bad.Submit(5, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.ReadResult(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("want an out-of-range error, got %v", err)
+	}
+
+	bad = dialT(t, addr)
+	if err := bad.Submit(0, []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.ReadResult(); err == nil || !strings.Contains(err.Error(), "length") {
+		t.Fatalf("want a command-length error, got %v", err)
+	}
+
+	c := dialT(t, addr)
+	submitRound(t, c, 2, 0)
+	if _, err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+// TestServerStatus: the status op reports round, machine count, and the
+// running digest, interleaved with submissions.
+func TestServerStatus(t *testing.T) {
+	seq := &fakeSequencer{k: 3, cmdLen: 1}
+	addr, served := startServer(t, seq)
+
+	c := dialT(t, addr)
+	round, machines, digest, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != 0 || machines != 3 || digest != "digest-at-0" {
+		t.Fatalf("fresh status = (%d, %d, %q)", round, machines, digest)
+	}
+	submitRound(t, c, 3, 0)
+	if round, _, digest, err = c.Status(); err != nil || round != 1 || digest != "digest-at-1" {
+		t.Fatalf("status after a round = (%d, %q, %v)", round, digest, err)
+	}
+	if _, err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+// TestServerSequencingFailureStopsServing: an engine failure is fatal —
+// the client gets the error frame and Serve returns the error.
+func TestServerSequencingFailureStopsServing(t *testing.T) {
+	boom := errors.New("cluster wedged")
+	seq := &fakeSequencer{k: 1, cmdLen: 1, leadErr: boom}
+	addr, served := startServer(t, seq)
+
+	c := dialT(t, addr)
+	if err := c.Submit(0, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadResult(); err == nil || !strings.Contains(err.Error(), "wedged") {
+		t.Fatalf("want the engine error surfaced to the client, got %v", err)
+	}
+	if err := <-served; !errors.Is(err, boom) {
+		t.Fatalf("serve returned %v, want the engine error", err)
+	}
+}
+
+// TestServerListenerCloseStopsCluster: tearing down the listener (the
+// signal path in csmnode) stops the cluster so followers unwind.
+func TestServerListenerCloseStopsCluster(t *testing.T) {
+	seq := &fakeSequencer{k: 1, cmdLen: 1}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- NewServer(seq, t.Logf).Serve(ln) }()
+	ln.Close()
+	if err := <-served; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if !seq.stopped {
+		t.Fatal("listener close did not stop the cluster")
+	}
+}

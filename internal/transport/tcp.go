@@ -8,6 +8,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 )
 
@@ -37,6 +38,15 @@ type TCPConfig struct {
 	// failing — the guard that keeps a wedged peer from hanging the whole
 	// process forever. Defaults to 60s.
 	StepTimeout time.Duration
+	// BindRetries is the number of extra listen attempts when the
+	// configured address is already in use (default 0: fail fast). A
+	// bootstrap-probed free port can be grabbed by another process
+	// between the probe and the daemon's bind; retrying with backoff
+	// rides out that reuse race instead of failing the node.
+	BindRetries int
+	// BindBackoff is the initial wait between bind attempts; it doubles
+	// per attempt up to 2s. Defaults to RetryBackoff.
+	BindBackoff time.Duration
 	// Logf, when non-nil, receives connection-lifecycle diagnostics
 	// (dials, retries, replaced connections). Protocol traffic is never
 	// logged.
@@ -116,10 +126,28 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 	if cfg.StepTimeout <= 0 {
 		cfg.StepTimeout = 60 * time.Second
 	}
+	if cfg.BindBackoff <= 0 {
+		cfg.BindBackoff = cfg.RetryBackoff
+	}
 	pubs, privs := DeriveKeys(cfg.Seed, cfg.N)
-	ln, err := net.Listen("tcp", cfg.Listen)
-	if err != nil {
-		return nil, fmt.Errorf("transport: node %d listen on %s: %w", cfg.Self, cfg.Listen, err)
+	var ln net.Listener
+	for attempt, backoff := 0, cfg.BindBackoff; ; attempt++ {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Listen)
+		if err == nil {
+			break
+		}
+		if attempt >= cfg.BindRetries || !errors.Is(err, syscall.EADDRINUSE) {
+			return nil, fmt.Errorf("transport: node %d listen on %s: %w", cfg.Self, cfg.Listen, err)
+		}
+		if cfg.Logf != nil {
+			cfg.Logf("node %d: %s in use, retrying bind in %v (attempt %d/%d)",
+				cfg.Self, cfg.Listen, backoff, attempt+1, cfg.BindRetries)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
 	}
 	t := &TCP{
 		cfg:      cfg,

@@ -261,3 +261,39 @@ func TestTCPForgeryDropped(t *testing.T) {
 		t.Fatalf("forged message was buffered (%d pending)", n)
 	}
 }
+
+// TestTCPBindRetriesRideOutReuseRace pins the bootstrap port-reuse fix:
+// a probed-free port can be grabbed by another process between the probe
+// and the daemon's bind. Without retries NewTCP fails fast; with
+// BindRetries it keeps attempting while the squatter holds the port and
+// binds as soon as it lets go.
+func TestTCPBindRetriesRideOutReuseRace(t *testing.T) {
+	addr := reservePorts(t, 1)[0]
+	squatter, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer squatter.Close()
+
+	if _, err := NewTCP(TCPConfig{
+		Self: 0, N: 1, Seed: 1, Listen: addr, Peers: []string{addr},
+	}); err == nil {
+		t.Fatal("expected an immediate bind failure with BindRetries unset")
+	}
+
+	released := make(chan struct{})
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		squatter.Close()
+		close(released)
+	}()
+	tcp, err := NewTCP(TCPConfig{
+		Self: 0, N: 1, Seed: 1, Listen: addr, Peers: []string{addr},
+		BindRetries: 100, BindBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("bind did not ride out the reuse race: %v", err)
+	}
+	<-released
+	tcp.Close()
+}

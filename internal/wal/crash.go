@@ -1,0 +1,57 @@
+package wal
+
+import "sync/atomic"
+
+// CrashPoint names a location in the WAL/snapshot write paths where the
+// fault-injection harness can take the process down. Hooks typically
+// call os.Exit (in a crash harness) or panic (in tests) — returning
+// normally continues the write.
+type CrashPoint string
+
+const (
+	// CrashBeforeAppend fires before any byte of a record is written:
+	// the decision is lost entirely, the log stays clean.
+	CrashBeforeAppend CrashPoint = "wal-before-append"
+	// CrashMidRecord fires after roughly half a record has hit the
+	// file: recovery must detect the torn tail and truncate it.
+	CrashMidRecord CrashPoint = "wal-mid-record"
+	// CrashBeforeSync fires after a full record is written but before
+	// fsync: the record may or may not survive, and recovery must
+	// accept either outcome.
+	CrashBeforeSync CrashPoint = "wal-before-sync"
+	// CrashSnapshotTemp fires after the snapshot temp file is fully
+	// written and synced but before the atomic rename: recovery must
+	// ignore the orphan temp and use the previous snapshot.
+	CrashSnapshotTemp CrashPoint = "snapshot-before-rename"
+	// CrashSnapshotRenamed fires after the rename but before old
+	// generations are pruned: recovery must pick the newest valid
+	// snapshot among several.
+	CrashSnapshotRenamed CrashPoint = "snapshot-after-rename"
+)
+
+// crashHook holds a func(CrashPoint) or nil. A process-global is the
+// point: the harness wants to kill the whole process at a precise byte
+// boundary, whichever log instance gets there first.
+var crashHook atomic.Value
+
+type hookBox struct{ fn func(CrashPoint) }
+
+// SetCrashHook installs fn to be called at every crash point in the
+// package; nil removes it. Intended for fault-injection tests and the
+// csmnode crash harness only — production paths leave it unset, which
+// keeps Append on a single-write fast path.
+func SetCrashHook(fn func(CrashPoint)) {
+	crashHook.Store(hookBox{fn: fn})
+}
+
+func hookInstalled() bool {
+	box, _ := crashHook.Load().(hookBox)
+	return box.fn != nil
+}
+
+func fire(p CrashPoint) {
+	box, _ := crashHook.Load().(hookBox)
+	if box.fn != nil {
+		box.fn(p)
+	}
+}

@@ -1,0 +1,136 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotWriteLoad(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := LoadSnapshot(dir); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("empty dir: err = %v, want ErrNoSnapshot", err)
+	}
+	if err := WriteSnapshot(dir, 1, []byte("gen-one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(dir, 2, []byte("gen-two")); err != nil {
+		t.Fatal(err)
+	}
+	seq, payload, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 || !bytes.Equal(payload, []byte("gen-two")) {
+		t.Fatalf("loaded seq=%d payload=%q, want newest generation", seq, payload)
+	}
+}
+
+func TestSnapshotCorruptNewestFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteSnapshot(dir, 1, []byte("gen-one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(dir, 2, []byte("gen-two")); err != nil {
+		t.Fatal(err)
+	}
+	// Smash a byte in the newest snapshot's payload.
+	path := filepath.Join(dir, SnapshotName(2))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seq, payload, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 || !bytes.Equal(payload, []byte("gen-one")) {
+		t.Fatalf("loaded seq=%d payload=%q, want fallback to generation 1", seq, payload)
+	}
+}
+
+func TestSnapshotPruneKeepsPreviousGeneration(t *testing.T) {
+	dir := t.TempDir()
+	for seq := uint64(1); seq <= 4; seq++ {
+		// Each generation also gets a paired WAL segment.
+		l, _, err := Open(filepath.Join(dir, SegmentName(seq)), SyncAlways)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Close()
+		if err := WriteSnapshot(dir, seq, []byte{byte(seq)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	want := map[string]bool{
+		SnapshotName(3): true, SnapshotName(4): true,
+		SegmentName(3): true, SegmentName(4): true,
+	}
+	if len(names) != len(want) {
+		t.Fatalf("dir holds %v, want exactly generations 3 and 4", names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Fatalf("unexpected leftover %s (dir: %v)", n, names)
+		}
+	}
+}
+
+func TestSnapshotCrashBeforeRename(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteSnapshot(dir, 1, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	crashAt(t, CrashSnapshotTemp, func() error {
+		return WriteSnapshot(dir, 2, []byte("new"))
+	})
+	// The orphan .tmp must not shadow the previous snapshot.
+	seq, payload, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 || !bytes.Equal(payload, []byte("old")) {
+		t.Fatalf("loaded seq=%d payload=%q, want previous generation", seq, payload)
+	}
+	// The next successful snapshot sweeps the orphan temp file.
+	if err := WriteSnapshot(dir, 2, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Fatalf("stale temp file %s survived rotation", e.Name())
+		}
+	}
+}
+
+func TestSnapshotCrashAfterRename(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteSnapshot(dir, 1, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	crashAt(t, CrashSnapshotRenamed, func() error {
+		return WriteSnapshot(dir, 2, []byte("new"))
+	})
+	seq, payload, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 || !bytes.Equal(payload, []byte("new")) {
+		t.Fatalf("loaded seq=%d payload=%q, want renamed generation 2", seq, payload)
+	}
+}
