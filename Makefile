@@ -11,7 +11,15 @@ BASELINE ?=
 # BENCH_OUT: artifact the bench-json target writes.
 BENCH_OUT ?= BENCH_PR5.json
 
-.PHONY: all build test race bench bench-json bench-micro bench-pr3 bench-pr5 smoke-pipeline smoke-churn smoke-service smoke-processes smoke-restart soak soak-short fuzz-smoke staticcheck fmt fmt-check vet ci
+# Pinned external tool versions, extracted from tools.go (the single
+# source of truth) and run via `go run module@version` so the module's
+# own dependency graph stays empty.
+STATICCHECK_MODULE  := $(shell sed -n 's/.*StaticcheckModule  = "\(.*\)".*/\1/p' tools.go)
+STATICCHECK_VERSION := $(shell sed -n 's/.*StaticcheckVersion = "\(.*\)".*/\1/p' tools.go)
+GOVULNCHECK_MODULE  := $(shell sed -n 's/.*GovulncheckModule  = "\(.*\)".*/\1/p' tools.go)
+GOVULNCHECK_VERSION := $(shell sed -n 's/.*GovulncheckVersion = "\(.*\)".*/\1/p' tools.go)
+
+.PHONY: all build test race bench bench-json bench-micro bench-pr3 bench-pr5 smoke-pipeline smoke-churn smoke-service smoke-processes smoke-restart soak soak-short fuzz-smoke csmlint staticcheck govulncheck lint fmt fmt-check vet ci
 
 all: build test
 
@@ -107,11 +115,28 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=10s ./internal/transport/
 	$(GO) test -run='^$$' -fuzz=FuzzWALReader -fuzztime=10s ./internal/wal/
 
-# Static analysis (CI installs staticcheck; locally it is skipped with a
-# notice when the binary is absent).
+# csmlint: the repo's own analyzer suite (determinism, wire-codec, and
+# crash-safety invariants; see internal/lint/README.md), run through the
+# cmd/go vet driver so findings carry standard vet formatting and caching.
+csmlint:
+	$(GO) build -o bin/csmlint ./cmd/csmlint
+	$(GO) vet -vettool=$(abspath bin/csmlint) ./...
+
+# staticcheck at the version pinned in tools.go. `go run` resolves the
+# pinned module directly — no install step, no silently-skipped check;
+# without network access this fails loudly instead.
 staticcheck:
-	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
-	else echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2025.1)"; fi
+	$(GO) run $(STATICCHECK_MODULE)@$(STATICCHECK_VERSION) ./...
+
+# Known-vulnerability scan over the module and its (standard-library)
+# dependency surface, pinned in tools.go.
+govulncheck:
+	$(GO) run $(GOVULNCHECK_MODULE)@$(GOVULNCHECK_VERSION) ./...
+
+# The full static-analysis gate CI runs: csmlint first (offline, catches
+# seeded protocol-invariant violations before anything needs a network),
+# then staticcheck and govulncheck at their pinned versions.
+lint: csmlint staticcheck govulncheck
 
 fmt:
 	gofmt -w .
@@ -123,4 +148,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet staticcheck build race bench bench-micro smoke-pipeline smoke-churn smoke-service smoke-processes smoke-restart soak-short fuzz-smoke
+ci: fmt-check vet lint build race bench bench-micro smoke-pipeline smoke-churn smoke-service smoke-processes smoke-restart soak-short fuzz-smoke

@@ -79,9 +79,9 @@ func main() {
 			!slices.Equal(s.FaultyDetected, p.FaultyDetected) {
 			log.Fatalf("round %d diverged between engines", r)
 		}
-		for k := range s.Outputs {
-			if !slices.Equal(s.Outputs[k], p.Outputs[k]) {
-				log.Fatalf("round %d machine %d outputs diverged", r, k)
+		for m := range s.Outputs {
+			if !slices.Equal(s.Outputs[m], p.Outputs[m]) {
+				log.Fatalf("round %d machine %d outputs diverged", r, m)
 			}
 		}
 		if !s.Correct {

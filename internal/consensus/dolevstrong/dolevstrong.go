@@ -135,6 +135,7 @@ func (n *Node) Tick(inbox []transport.Message) error {
 	}
 	if round >= n.cfg.MaxFaults+1 {
 		if len(n.extracted) == 1 {
+			//csmlint:allow detmap(single-entry map by the len==1 guard; iteration order cannot matter)
 			for _, v := range n.extracted {
 				n.decided = v
 			}

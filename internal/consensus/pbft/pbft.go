@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"codedsm/internal/consensus"
+	"codedsm/internal/ints"
 	"codedsm/internal/transport"
 )
 
@@ -391,9 +392,12 @@ func (nd *Node) onViewChange(vc viewChangeMsg, from transport.NodeID) error {
 }
 
 func (nd *Node) sendNewView(view int) error {
+	// Assemble the proof in sorted sender order: the slice is gob-encoded
+	// into the new-view message, so its order is part of the wire bytes,
+	// and the prepared-value fold below must not tie-break on map order.
 	proof := make([]viewChangeMsg, 0, len(nd.vcs[view]))
-	for _, vc := range nd.vcs[view] {
-		proof = append(proof, vc)
+	for _, sender := range ints.SortedMapKeys(nd.vcs[view]) {
+		proof = append(proof, nd.vcs[view][sender])
 	}
 	// Adopt the highest prepared value among the proof, else our own.
 	value := nd.cfg.Value

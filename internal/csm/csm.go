@@ -72,6 +72,7 @@ import (
 	"codedsm/internal/consensus/dolevstrong"
 	"codedsm/internal/consensus/pbft"
 	"codedsm/internal/field"
+	"codedsm/internal/ints"
 	"codedsm/internal/lcc"
 	"codedsm/internal/poly"
 	"codedsm/internal/sm"
@@ -304,7 +305,11 @@ func New[E comparable](cfg Config[E]) (*Cluster[E], error) {
 	// value is Honest is a (redundant) statement of the default, not a
 	// fault. Keys must name real nodes — nodes are built for 0..N-1 only,
 	// so an out-of-range key would otherwise be silently ignored.
-	for i, beh := range cfg.Byzantine {
+	// Validation walks the entries in sorted key order so that when
+	// several entries are invalid, every run rejects the same one —
+	// raw map iteration would make the returned error nondeterministic.
+	for _, i := range ints.SortedMapKeys(cfg.Byzantine) {
+		beh := cfg.Byzantine[i]
 		if i < 0 || i >= cfg.N {
 			return nil, fmt.Errorf("csm: Byzantine node %d out of range [0,%d)", i, cfg.N)
 		}

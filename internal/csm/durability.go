@@ -346,6 +346,7 @@ func (s *nodeStore) maybeSnapshot(round int, share []uint64, digest []byte, forc
 	s.log = log
 	s.seq = seq
 	s.prevSnap, s.lastSnap = s.lastSnap, round
+	//csmlint:allow detmap(order-independent pruning: every key below prevSnap is deleted, none is read)
 	for r := range s.applied {
 		if r < s.prevSnap {
 			delete(s.applied, r)

@@ -367,6 +367,7 @@ func (c *Cluster[E]) clientPhase(oracleOutputs [][]E, replies [][][]E, decodes [
 // wire-byte key.
 func acceptReply[E comparable](counts map[string]int, values map[string][]E, threshold int) []E {
 	best, bestKey := 0, ""
+	//csmlint:allow detmap(order-independent argmax: strict count comparison with smallest-key tie-break picks the same winner in any order)
 	for key, cnt := range counts {
 		if cnt < threshold || cnt < best {
 			continue

@@ -191,6 +191,7 @@ func (n *node[E]) tryDecode(force bool, need int) (bool, error) {
 		return false, nil
 	}
 	indices := n.idxScratch[:0]
+	//csmlint:allow detmap(keys are collected then sorted two lines down)
 	for idx := range n.received {
 		indices = append(indices, idx)
 	}

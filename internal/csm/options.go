@@ -111,6 +111,7 @@ func WithByzantine(behaviors map[int]Behavior) Option {
 		if s.byzantine == nil {
 			s.byzantine = make(map[int]Behavior, len(behaviors))
 		}
+		//csmlint:allow detmap(map-to-map merge of disjoint keys is order-independent)
 		for i, b := range behaviors {
 			s.byzantine[i] = b
 		}

@@ -87,6 +87,7 @@ func (p *NodeProcess[E]) Recover() error {
 		}
 	}
 	target, floor := p.round, p.round
+	//csmlint:allow detmap(min/max fold is commutative and order-independent)
 	for _, v := range rounds {
 		target = max(target, v)
 		floor = min(floor, v)

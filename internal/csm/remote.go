@@ -387,6 +387,7 @@ func (p *NodeProcess[E]) executeSteps(batch [][][]E) ([][][]E, error) {
 			}
 		}
 		indices := make([]int, 0, p.n)
+		//csmlint:allow detmap(keys are collected then sorted two lines down)
 		for idx := range received {
 			indices = append(indices, idx)
 		}

@@ -1,0 +1,57 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"codedsm/internal/lint/driver"
+	"codedsm/internal/lint/load"
+)
+
+// TestAllowValidation checks the annotation diagnostics on the allow
+// fixture. The flagged lines are themselves comment lines, so the
+// expectations are spelled here instead of as in-fixture want markers.
+func TestAllowValidation(t *testing.T) {
+	pkg, err := load.Dir("testdata/src/allow", "codedsm/internal/csm", load.StdImporter())
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	findings, err := driver.Analyze(pkg)
+	if err != nil {
+		t.Fatalf("analyzing fixture: %v", err)
+	}
+
+	want := []struct {
+		line int
+		sub  string
+	}{
+		{7, "malformed //csmlint:allow annotation"},
+		{9, `unknown check "nosuchcheck"`},
+		{11, "needs a reason"},
+		{13, "malformed //csmlint:allow annotation"},
+		{15, "suppresses nothing"},
+	}
+	for _, w := range want {
+		found := false
+		for _, f := range findings {
+			if f.Position.Line == w.line && strings.Contains(f.Message, w.sub) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("line %d: no %q diagnostic; findings:\n%s", w.line, w.sub, render(findings))
+		}
+	}
+	if len(findings) != len(want) {
+		t.Errorf("got %d findings, want %d:\n%s", len(findings), len(want), render(findings))
+	}
+}
+
+func render(findings []driver.Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		b.WriteString("  " + f.String() + "\n")
+	}
+	return b.String()
+}

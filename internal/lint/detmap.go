@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetMap flags `range` over a map in the protocol packages. Go
+// randomizes map iteration order per run, so any map range whose body
+// can influence protocol state, emitted bytes, or client-visible
+// output is a determinism bug — exactly the PR 3 client-tally bug,
+// where a first-map-iteration fold made two identical runs disagree.
+//
+// The fix is to iterate a sorted key slice (ints.SortedKeys for
+// map[int]bool sets, or sort.Ints/slices.Sort over collected keys).
+// A genuinely order-independent loop — pure accumulation into another
+// map, counting, closing everything — carries a
+// //csmlint:allow detmap(reason) annotation instead, so every
+// deliberately unordered iteration in the protocol layer is inventoried.
+var DetMap = &Analyzer{
+	Name: "detmap",
+	Doc: "flag range over a map in protocol packages (internal/csm, internal/lcc, " +
+		"internal/transport, internal/nodeapi, internal/consensus); iterate sorted keys " +
+		"(ints.SortedKeys) or annotate with //csmlint:allow detmap(reason)",
+	Run: runDetMap,
+}
+
+func runDetMap(pass *Pass) error {
+	if !pathMatchesAny(pass.Path, protocolPkgs) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			// Tests assert over maps freely; the invariant guards the
+			// engines themselves.
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			pass.Reportf(rng.For,
+				"range over map %s has nondeterministic order; iterate sorted keys (e.g. ints.SortedKeys) or annotate //csmlint:allow detmap(reason)",
+				types.ExprString(rng.X))
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetSource flags reads of nondeterministic sources — the wall clock
+// and unseeded randomness — in deterministic-engine code. The engines
+// must be pure functions of (config, seed, inputs): PR 3's DelayFn bug
+// showed how a single stray draw shifts the seeded RNG stream and
+// silently forks two "identical" runs. Randomness must come from the
+// *rand.Rand threaded through the config; time must come from the
+// simulated schedule. Test files, cmd/, and examples/ are exempt, as
+// are the OS-process harness and metrics packages, which legitimately
+// live on the wall clock.
+var DetSource = &Analyzer{
+	Name: "detsource",
+	Doc: "flag time.Now/Since/Until, global math/rand and math/rand/v2 draws, and " +
+		"crypto/rand reads in deterministic-engine code; use the seeded *rand.Rand from " +
+		"the config, or annotate //csmlint:allow detsource(reason)",
+	Run: runDetSource,
+}
+
+// mathRandConstructors are the math/rand and math/rand/v2 top-level
+// functions that build explicitly seeded generators — the compliant
+// pattern, not a draw from the global source.
+var mathRandConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewZipf":    true,
+	"NewChaCha8": true,
+}
+
+// wallClockFuncs are the time package functions that read the wall
+// clock. Construction (time.Duration arithmetic, time.Unix) and timers
+// are not flagged; deadline plumbing around real I/O carries
+// annotations instead.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runDetSource(pass *Pass) error {
+	if !inDeterministicScope(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg := importedPackage(pass, sel)
+			if pkg == nil {
+				return true
+			}
+			name := sel.Sel.Name
+			switch pkg.Path() {
+			case "time":
+				if wallClockFuncs[name] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock in deterministic-engine code; derive time from the simulated schedule or annotate //csmlint:allow detsource(reason)",
+						name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !mathRandConstructors[name] && isFunc(pass, sel) {
+					pass.Reportf(sel.Pos(),
+						"%s.%s draws from the global RNG; use the seeded *rand.Rand threaded through the config",
+						pkg.Name(), name)
+				}
+			case "crypto/rand":
+				// Any use — rand.Read, rand.Int, or the rand.Reader
+				// variable — injects OS entropy into the run.
+				pass.Reportf(sel.Pos(),
+					"crypto/rand.%s is a nondeterministic entropy source; deterministic-engine code must use the seeded *rand.Rand",
+					name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// importedPackage resolves sel's qualifier to a package if the
+// selector is a package-level reference (pkg.Name), not a field or
+// method access.
+func importedPackage(pass *Pass, sel *ast.SelectorExpr) *types.Package {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return nil
+	}
+	return pkgName.Imported()
+}
+
+// isFunc reports whether the selected package member is a function
+// (so math/rand/v2 type names like rand.Zipf pass through unflagged).
+func isFunc(pass *Pass, sel *ast.SelectorExpr) bool {
+	obj := pass.Info.Uses[sel.Sel]
+	_, ok := obj.(*types.Func)
+	return ok
+}

@@ -1,0 +1,88 @@
+// Package driver runs the csmlint analyzer suite over whole packages:
+// the standalone `csmlint ./...` mode, and the repo-is-clean meta-test.
+// (The `go vet -vettool` unitchecker protocol lives in cmd/csmlint; it
+// shares the per-package Analyze step below.)
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"codedsm/internal/lint"
+	"codedsm/internal/lint/load"
+)
+
+// A Finding is one rendered diagnostic.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+}
+
+// Analyze runs the full suite plus annotation validation over one
+// type-checked package.
+func Analyze(pkg *load.Package) ([]Finding, error) {
+	known := lint.AnalyzerNames()
+	allows := lint.ParseAllows(pkg.Fset, pkg.Files)
+	var findings []Finding
+	add := func(ds []lint.Diagnostic) {
+		for _, d := range ds {
+			findings = append(findings, Finding{
+				Position: pkg.Fset.Position(d.Pos),
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+	}
+	for _, a := range lint.Analyzers() {
+		diags, err := lint.Run(a, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, pkg.Path, allows)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", pkg.Path, a.Name, err)
+		}
+		add(diags)
+	}
+	add(allows.CheckDirectives(known))
+	add(allows.CheckUnused(known))
+	sortFindings(findings)
+	return findings, nil
+}
+
+// AnalyzeModule loads every package matching patterns in the module at
+// dir (test files included when tests is true) and runs the suite.
+func AnalyzeModule(dir string, tests bool, patterns ...string) ([]Finding, error) {
+	pkgs, err := load.Module(dir, tests, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		fs, err := Analyze(pkg)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Position, fs[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return fs[i].Message < fs[j].Message
+	})
+}

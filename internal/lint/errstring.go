@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrString flags string matching against err.Error(). Error text is
+// not API: wrapping (%w), fmt changes, and typed-error refactors all
+// reword messages without breaking errors.Is/errors.As, and PR 5's
+// migration to typed errors (BatchError, sentinel causes) had to chase
+// down exactly this pattern. Inspect errors with errors.Is against a
+// sentinel or errors.As against a typed error; a deliberate check of
+// human-readable rendering carries //csmlint:allow errstring(reason).
+// Test files are not exempt — tests are where message matching
+// ossifies.
+var ErrString = &Analyzer{
+	Name: "errstring",
+	Doc: "flag strings.Contains/HasPrefix/HasSuffix/EqualFold on err.Error() and " +
+		"==/!= comparisons of err.Error(); use errors.Is/errors.As against typed errors",
+	Run: runErrString,
+}
+
+// stringMatchFuncs are the strings-package predicates that turn error
+// text into control flow.
+var stringMatchFuncs = map[string]bool{
+	"Contains":  true,
+	"HasPrefix": true,
+	"HasSuffix": true,
+	"EqualFold": true,
+	"Index":     true,
+	"LastIndex": true,
+}
+
+func runErrString(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || !stringMatchFuncs[sel.Sel.Name] {
+					return true
+				}
+				pkg := importedPackage(pass, sel)
+				if pkg == nil || pkg.Path() != "strings" {
+					return true
+				}
+				for _, arg := range n.Args {
+					if isErrorMessageCall(pass, arg) {
+						pass.Reportf(n.Pos(),
+							"strings.%s on err.Error() matches error text; use errors.Is/errors.As against a typed error, or annotate //csmlint:allow errstring(reason)",
+							sel.Sel.Name)
+						break
+					}
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isErrorMessageCall(pass, n.X) || isErrorMessageCall(pass, n.Y) {
+					pass.Reportf(n.Pos(),
+						"comparing err.Error() with %s matches error text; use errors.Is/errors.As against a typed error",
+						n.Op)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isErrorMessageCall(pass, n.Tag) {
+					pass.Reportf(n.Tag.Pos(),
+						"switching on err.Error() matches error text; use errors.Is/errors.As against a typed error")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isErrorMessageCall reports whether expr is a call of the Error()
+// method of a value implementing the error interface.
+func isErrorMessageCall(pass *Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	recv, ok := pass.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	return implementsError(recv.Type)
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func implementsError(t types.Type) bool {
+	return types.Implements(t, errorIface) ||
+		types.Implements(types.NewPointer(t), errorIface)
+}

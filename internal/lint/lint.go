@@ -1,0 +1,376 @@
+// Package lint is csmlint: a suite of static analyzers that encode the
+// protocol invariants this repository's correctness rests on —
+// bit-identical runs across engines, byte-for-byte wire compatibility
+// between the simulated oracle and TCP, and fsync-before-rename WAL
+// durability. Each analyzer turns a bug class a past PR actually
+// shipped (map-iteration tallies, wall-clock reads in deterministic
+// code, string matching on error text, unsynced renames, map bytes on
+// the wire) into a machine-checked rule.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis —
+// Analyzer, Pass, Diagnostic — but is built on the standard library
+// only (go/ast, go/types, and compiler export data), so the module
+// keeps zero external dependencies and the linter builds offline.
+//
+// # Suppression
+//
+// A finding is suppressed by an annotation comment on the flagged line
+// or on the line directly above it:
+//
+//	//csmlint:allow <check>(<reason>)
+//
+// The reason is mandatory and non-empty; several <check>(<reason>)
+// groups may share one comment. Unknown check names and empty reasons
+// are themselves diagnostics (see CheckDirectives), so the annotations
+// double as a validated inventory of every deliberately
+// order-dependent or wall-clock site in the tree.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //csmlint:allow annotations.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Path is the import path the build system uses for the package.
+	// For testdata fixtures it is the directory under testdata/src, so
+	// scope decisions match real packages by suffix.
+	Path string
+
+	report func(Diagnostic)
+	allows *AllowSet
+}
+
+// Reportf records a finding unless an //csmlint:allow annotation for
+// this analyzer covers the position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.allows != nil && p.allows.Allowed(p.Fset, pos, p.Analyzer.Name) {
+		return
+	}
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. Several analyzers exempt tests (seeded clocks and RNGs are a
+// production-engine contract, not a test-harness one).
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.File(pos).Name(), "_test.go")
+}
+
+// Analyzers returns the full csmlint suite in stable order.
+//
+// nilness from x/tools is deliberately not bundled: it needs the SSA
+// packages of golang.org/x/tools, and this module builds with zero
+// external dependencies (and offline). Shadow is reimplemented here on
+// go/types scopes instead.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DetMap,
+		DetSource,
+		ErrString,
+		WALFsync,
+		WireMap,
+		Shadow,
+	}
+}
+
+// AnalyzerNames returns the set of valid check names for annotation
+// validation.
+func AnalyzerNames() map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// ---- //csmlint:allow annotations ----
+
+const allowPrefix = "//csmlint:allow"
+
+// allowGroupRE matches one <check>(<reason>) group. Reasons may hold
+// anything but a closing parenthesis.
+var allowGroupRE = regexp.MustCompile(`([a-zA-Z][a-zA-Z0-9_-]*)\(([^)]*)\)`)
+
+// An allowDirective is one parsed <check>(<reason>) group.
+type allowDirective struct {
+	check  string
+	reason string
+	pos    token.Pos
+	used   bool
+}
+
+// An AllowSet indexes every //csmlint:allow annotation in a package by
+// file and line.
+type AllowSet struct {
+	// byLine maps filename -> line -> directives on that line.
+	byLine map[string]map[int][]*allowDirective
+	// malformed collects annotations that do not parse: no
+	// <check>(<reason>) group at all, or trailing junk.
+	malformed []Diagnostic
+}
+
+// ParseAllows scans the comments of files for //csmlint:allow
+// annotations.
+func ParseAllows(fset *token.FileSet, files []*ast.File) *AllowSet {
+	s := &AllowSet{byLine: make(map[string]map[int][]*allowDirective)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				s.add(fset, c)
+			}
+		}
+	}
+	return s
+}
+
+func (s *AllowSet) add(fset *token.FileSet, c *ast.Comment) {
+	body := strings.TrimPrefix(c.Text, allowPrefix)
+	pos := fset.Position(c.Pos())
+	groups := allowGroupRE.FindAllStringSubmatch(body, -1)
+	// The whole annotation must be a sequence of groups: stripping
+	// every match and whitespace/commas must leave nothing, so typos
+	// like "detmap reason" or "detmap(x" fail loudly.
+	rest := allowGroupRE.ReplaceAllString(body, "")
+	rest = strings.Map(func(r rune) rune {
+		if r == ',' || r == ' ' || r == '\t' {
+			return -1
+		}
+		return r
+	}, rest)
+	if len(groups) == 0 || rest != "" {
+		s.malformed = append(s.malformed, Diagnostic{
+			Pos:      c.Pos(),
+			Message:  "malformed //csmlint:allow annotation: want //csmlint:allow check(reason)",
+			Analyzer: "allow",
+		})
+		return
+	}
+	file := pos.Filename
+	if s.byLine[file] == nil {
+		s.byLine[file] = make(map[int][]*allowDirective)
+	}
+	for _, g := range groups {
+		s.byLine[file][pos.Line] = append(s.byLine[file][pos.Line], &allowDirective{
+			check:  g[1],
+			reason: strings.TrimSpace(g[2]),
+			pos:    c.Pos(),
+		})
+	}
+}
+
+// Allowed reports whether a directive for check covers pos: same line,
+// or the line directly above (a full-line annotation comment).
+func (s *AllowSet) Allowed(fset *token.FileSet, pos token.Pos, check string) bool {
+	p := fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, d := range s.byLine[p.Filename][line] {
+			if d.check == check && d.reason != "" {
+				d.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CheckDirectives validates every annotation: malformed syntax, empty
+// reasons, and check names no analyzer owns are all diagnostics, so a
+// stale or typo'd suppression cannot silently disable a rule.
+func (s *AllowSet) CheckDirectives(known map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	diags = append(diags, s.malformed...)
+	var files []string
+	for f := range s.byLine {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		var lines []int
+		for l := range s.byLine[f] {
+			lines = append(lines, l)
+		}
+		sort.Ints(lines)
+		for _, l := range lines {
+			for _, d := range s.byLine[f][l] {
+				if !known[d.check] {
+					diags = append(diags, Diagnostic{
+						Pos:      d.pos,
+						Message:  fmt.Sprintf("//csmlint:allow names unknown check %q", d.check),
+						Analyzer: "allow",
+					})
+				}
+				if d.reason == "" {
+					diags = append(diags, Diagnostic{
+						Pos:      d.pos,
+						Message:  fmt.Sprintf("//csmlint:allow %s() needs a reason", d.check),
+						Analyzer: "allow",
+					})
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// CheckUnused reports directives that suppressed nothing after every
+// analyzer ran over the package: a stale annotation means either the
+// flagged code was fixed (delete the annotation) or the annotation is
+// on the wrong line (so the rule it documents is not actually
+// enforced). Must be called after the full suite, with the same
+// AllowSet handed to each Run.
+func (s *AllowSet) CheckUnused(known map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	var files []string
+	for f := range s.byLine {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		var lines []int
+		for l := range s.byLine[f] {
+			lines = append(lines, l)
+		}
+		sort.Ints(lines)
+		for _, l := range lines {
+			for _, d := range s.byLine[f][l] {
+				if known[d.check] && d.reason != "" && !d.used {
+					diags = append(diags, Diagnostic{
+						Pos:      d.pos,
+						Message:  fmt.Sprintf("//csmlint:allow %s(...) suppresses nothing; delete the stale annotation or move it to the flagged line", d.check),
+						Analyzer: "allow",
+					})
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// Run applies one analyzer to a type-checked package and returns its
+// findings after annotation filtering.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, path string, allows *AllowSet) ([]Diagnostic, error) {
+	if allows == nil {
+		allows = ParseAllows(fset, files)
+	}
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     fset,
+		Files:    files,
+		Pkg:      pkg,
+		Info:     info,
+		Path:     path,
+		allows:   allows,
+		report:   func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// ---- package scoping shared by the analyzers ----
+
+// pathMatches reports whether importPath lies in the package tree
+// rooted at pkg. Testdata fixtures use bare suffixes like
+// "internal/csm"; real packages are "codedsm/internal/csm"; consensus
+// implementations live in subpackages like
+// "codedsm/internal/consensus/pbft" — all match.
+func pathMatches(importPath, pkg string) bool {
+	importPath = strings.TrimSuffix(importPath, ".test")
+	importPath = strings.TrimSuffix(importPath, "_test")
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		importPath = importPath[:i] // "p [p.test]" build variants
+	}
+	return importPath == pkg ||
+		strings.HasSuffix(importPath, "/"+pkg) ||
+		strings.HasPrefix(importPath, pkg+"/") ||
+		strings.Contains(importPath, "/"+pkg+"/")
+}
+
+func pathMatchesAny(importPath string, pkgs []string) bool {
+	for _, p := range pkgs {
+		if pathMatches(importPath, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// protocolPkgs are the packages whose execution must be bit-identical
+// across the sequential, parallel, pipelined, and Submit engines: map
+// iteration order must never influence state, output, or wire bytes.
+var protocolPkgs = []string{
+	"internal/csm",
+	"internal/lcc",
+	"internal/transport",
+	"internal/nodeapi",
+	"internal/consensus",
+}
+
+// wirePkgs are the packages that produce bytes another process or a
+// digest will see: the wire codec, the node control protocol, the WAL,
+// and the engine/consensus layers that feed run digests.
+var wirePkgs = []string{
+	"internal/transport",
+	"internal/nodeapi",
+	"internal/wal",
+	"internal/csm",
+	"internal/consensus",
+}
+
+// nondetExemptPkgs hold code that legitimately lives on the wall
+// clock: OS-process harnesses and metrics. Everything else under the
+// module (outside cmd/ and examples/) is deterministic-engine code.
+var nondetExemptPkgs = []string{
+	"internal/procharness",
+	"internal/metrics",
+}
+
+// inDeterministicScope reports whether detsource applies to the
+// package: not a command, not an example, not an exempt harness.
+func inDeterministicScope(importPath string) bool {
+	if pathMatchesAny(importPath, nondetExemptPkgs) {
+		return false
+	}
+	for _, seg := range []string{"cmd/", "examples/"} {
+		if strings.HasPrefix(importPath, seg) || strings.Contains(importPath, "/"+seg) {
+			return false
+		}
+	}
+	return true
+}

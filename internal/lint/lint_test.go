@@ -1,0 +1,59 @@
+package lint_test
+
+import (
+	"testing"
+
+	"codedsm/internal/lint"
+	"codedsm/internal/lint/linttest"
+)
+
+func TestDetMap(t *testing.T) {
+	linttest.Run(t, "testdata/src/detmap", "codedsm/internal/csm", lint.DetMap)
+}
+
+func TestDetMapConsensusSubpackage(t *testing.T) {
+	// Tree-aware scoping: consensus implementations live in
+	// subpackages of internal/consensus and must be covered.
+	linttest.Run(t, "testdata/src/detmap", "codedsm/internal/consensus/pbft", lint.DetMap)
+}
+
+func TestDetMapOutOfScope(t *testing.T) {
+	linttest.Run(t, "testdata/src/outofscope", "codedsm/internal/other", lint.DetMap)
+}
+
+func TestDetSource(t *testing.T) {
+	linttest.Run(t, "testdata/src/detsource", "codedsm/internal/csm", lint.DetSource)
+}
+
+func TestDetSourceExemptHarness(t *testing.T) {
+	linttest.Run(t, "testdata/src/outofscope", "codedsm/internal/procharness", lint.DetSource)
+}
+
+func TestDetSourceExemptCommand(t *testing.T) {
+	linttest.Run(t, "testdata/src/outofscope", "codedsm/cmd/bench", lint.DetSource)
+}
+
+func TestErrString(t *testing.T) {
+	// errstring applies in every package, test files included.
+	linttest.Run(t, "testdata/src/errstring", "codedsm/internal/anywhere", lint.ErrString)
+}
+
+func TestWALFsync(t *testing.T) {
+	linttest.Run(t, "testdata/src/walfsync", "codedsm/internal/wal", lint.WALFsync)
+}
+
+func TestWALFsyncOutOfScope(t *testing.T) {
+	linttest.Run(t, "testdata/src/outofscope", "codedsm/internal/other", lint.WALFsync)
+}
+
+func TestWireMap(t *testing.T) {
+	linttest.Run(t, "testdata/src/wiremap", "codedsm/internal/transport", lint.WireMap)
+}
+
+func TestWireMapOutOfScope(t *testing.T) {
+	linttest.Run(t, "testdata/src/outofscope", "codedsm/internal/other", lint.WireMap)
+}
+
+func TestShadow(t *testing.T) {
+	linttest.Run(t, "testdata/src/shadow", "codedsm/internal/anywhere", lint.Shadow)
+}

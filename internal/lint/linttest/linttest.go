@@ -1,0 +1,162 @@
+// Package linttest runs csmlint analyzers over fixture packages and
+// compares their findings against expectations written in the fixtures
+// themselves — the analysistest convention, rebuilt on the stdlib-only
+// framework.
+//
+// A fixture is a directory of .go files (conventionally under
+// testdata/src/<name>) type-checked as one package. An expectation is a
+// comment on the line the diagnostic should land on:
+//
+//	for _, v := range m { // want `range over map m has nondeterministic order`
+//
+// Each quoted string after "want" is a regexp that must match one
+// diagnostic's message on that line; several expectations may share a
+// line. Both backquoted and double-quoted Go string syntax work. A
+// fixture with no want comments asserts the analyzers stay silent —
+// that is how out-of-scope packages and exempt files are tested.
+//
+// The same fixture directory may be run under different simulated
+// import paths, since package scoping is the very thing several
+// analyzers decide on.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"codedsm/internal/lint"
+	"codedsm/internal/lint/load"
+)
+
+// An expectation is one parsed want pattern.
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Run type-checks the fixture directory as a package with the given
+// import path, applies the analyzers (plus annotation validation, so
+// fixture annotations must be well-formed and non-stale), and reports
+// every mismatch between findings and want comments as a test error.
+func Run(t *testing.T, dir, path string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkg, err := load.Dir(dir, path, load.StdImporter())
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	want := parseExpectations(t, pkg)
+
+	known := make(map[string]bool)
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	allows := lint.ParseAllows(pkg.Fset, pkg.Files)
+	var diags []lint.Diagnostic
+	for _, a := range analyzers {
+		ds, err := lint.Run(a, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, pkg.Path, allows)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+		}
+		diags = append(diags, ds...)
+	}
+	diags = append(diags, allows.CheckDirectives(known)...)
+	diags = append(diags, allows.CheckUnused(known)...)
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !match(want, base(pos.Filename), pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s",
+				base(pos.Filename), pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range want {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none",
+				w.file, w.line, w.re)
+		}
+	}
+}
+
+// match pairs a diagnostic with the first unmet expectation on its
+// line whose regexp matches.
+func match(want []*expectation, file string, line int, msg string) bool {
+	for _, w := range want {
+		if !w.met && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantMarker introduces expectations inside a comment. The fixture
+// files spell it as a line comment; splitting the literal here keeps
+// this harness from matching its own source.
+var wantMarker = "// " + "want "
+
+// parseExpectations scans fixture comments for want patterns.
+func parseExpectations(t *testing.T, pkg *load.Package) []*expectation {
+	t.Helper()
+	var want []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				i := strings.Index(c.Text, wantMarker)
+				if i < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				res, err := parsePatterns(c.Text[i+len(wantMarker):])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", base(pos.Filename), pos.Line, err)
+				}
+				for _, re := range res {
+					want = append(want, &expectation{file: base(pos.Filename), line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return want
+}
+
+// parsePatterns reads a sequence of Go-quoted regexps.
+func parsePatterns(s string) ([]*regexp.Regexp, error) {
+	var res []*regexp.Regexp
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			break
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("want a quoted regexp, have %q", s)
+		}
+		lit, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad regexp %q: %v", lit, err)
+		}
+		res = append(res, re)
+		s = s[len(q):]
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("want comment with no patterns")
+	}
+	return res, nil
+}
+
+func base(filename string) string {
+	if i := strings.LastIndexByte(filename, '/'); i >= 0 {
+		return filename[i+1:]
+	}
+	return filename
+}

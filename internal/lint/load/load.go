@@ -1,0 +1,320 @@
+// Package load type-checks Go packages for csmlint using only the
+// standard library: sources are parsed with go/parser and imports are
+// resolved from compiler export data, either produced by
+// `go list -export` (standalone driver, tests) or handed over by the
+// go vet driver (unitchecker mode). This replaces
+// golang.org/x/tools/go/packages, which cannot be a dependency here —
+// the module builds offline with an empty dependency graph.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one type-checked unit ready for analysis.
+type Package struct {
+	// Path is the import path (external test packages get the
+	// conventional "_test" suffix).
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// NewInfo allocates the full set of type-checker fact maps the
+// analyzers consume.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Check parses and type-checks one package from explicit file paths.
+func Check(path string, files []string, imp types.Importer) (*Package, error) {
+	fset := token.NewFileSet()
+	var asts []*ast.File
+	for _, f := range files {
+		a, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, a)
+	}
+	return CheckFiles(path, fset, asts, imp)
+}
+
+// CheckFiles type-checks already-parsed files as one package.
+func CheckFiles(path string, fset *token.FileSet, asts []*ast.File, imp types.Importer) (*Package, error) {
+	info := NewInfo()
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, _ := conf.Check(path, fset, asts, info)
+	if len(typeErrs) > 0 {
+		var b strings.Builder
+		for i, e := range typeErrs {
+			if i == 8 {
+				fmt.Fprintf(&b, "\n\t... and %d more", len(typeErrs)-i)
+				break
+			}
+			fmt.Fprintf(&b, "\n\t%v", e)
+		}
+		return nil, fmt.Errorf("type-checking %s:%s", path, b.String())
+	}
+	return &Package{Path: path, Fset: fset, Files: asts, Pkg: pkg, Info: info}, nil
+}
+
+// ---- export-data importer ----
+
+// ExportImporter resolves imports from compiler export-data files, the
+// way the gc toolchain itself links packages together.
+type ExportImporter struct {
+	fset *token.FileSet
+	// exports maps canonical import path -> export data file.
+	exports map[string]string
+	// importMap translates source-level import paths to canonical ones
+	// (vendoring, test variants); may be nil.
+	importMap map[string]string
+	inner     types.ImporterFrom
+	// fallback, when non-nil, resolves paths missing from exports by
+	// invoking `go list -export` on demand (used by test harnesses for
+	// stdlib imports of fixture files).
+	fallback func(path string) (string, error)
+}
+
+// NewExportImporter builds an importer over a path->export-file map.
+func NewExportImporter(exports map[string]string, importMap map[string]string) *ExportImporter {
+	imp := &ExportImporter{
+		fset:      token.NewFileSet(),
+		exports:   exports,
+		importMap: importMap,
+	}
+	imp.inner = importer.ForCompiler(imp.fset, "gc", imp.lookup).(types.ImporterFrom)
+	return imp
+}
+
+func (imp *ExportImporter) lookup(path string) (io.ReadCloser, error) {
+	if imp.importMap != nil {
+		if canon, ok := imp.importMap[path]; ok {
+			path = canon
+		}
+	}
+	file, ok := imp.exports[path]
+	if !ok && imp.fallback != nil {
+		f, err := imp.fallback(path)
+		if err != nil {
+			return nil, fmt.Errorf("load: no export data for %q: %w", path, err)
+		}
+		imp.exports[path] = f
+		file = f
+		ok = true
+	}
+	if !ok {
+		return nil, fmt.Errorf("load: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// Import implements types.Importer.
+func (imp *ExportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return imp.inner.ImportFrom(path, "", 0)
+}
+
+// ---- `go list -export` front end ----
+
+// listPackage is the subset of `go list -json` output load consumes.
+type listPackage struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Export       string
+	ForTest      string
+	DepOnly      bool
+	Standard     bool
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Error        *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` (plus extra flags) in dir.
+func goList(dir string, extra []string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, extra...)
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Module loads, parses, and type-checks every package matching
+// patterns in the module rooted at dir. With tests true, in-package
+// _test.go files are checked together with their package and external
+// _test packages are checked as "<path>_test" units.
+func Module(dir string, tests bool, patterns ...string) ([]*Package, error) {
+	extra := []string{}
+	if tests {
+		extra = append(extra, "-test")
+	}
+	listed, err := goList(dir, extra, patterns)
+	if err != nil {
+		return nil, err
+	}
+	// Split the listing: plain export data for every dependency, the
+	// test-augmented export of each package under test (external test
+	// files may use symbols exported by in-package test files), and
+	// the target packages to re-check from source.
+	exports := make(map[string]string)
+	forTest := make(map[string]string)
+	var targets []*listPackage
+	for _, p := range listed {
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		path := p.ImportPath
+		if i := strings.IndexByte(path, ' '); i >= 0 {
+			path = path[:i] // "p [p.test]" build variant
+		}
+		if p.Export != "" {
+			if p.ForTest != "" && p.ForTest == path {
+				forTest[path] = p.Export
+			} else if _, ok := exports[path]; !ok && p.ForTest == "" {
+				exports[path] = p.Export
+			}
+		}
+		if !p.DepOnly && p.ForTest == "" && !strings.HasSuffix(path, ".test") && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	var out []*Package
+	for _, p := range targets {
+		files := AbsFiles(p.Dir, p.GoFiles)
+		if tests {
+			files = append(files, AbsFiles(p.Dir, p.TestGoFiles)...)
+		}
+		imp := NewExportImporter(exports, nil)
+		pkg, err := Check(p.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+		if tests && len(p.XTestGoFiles) > 0 {
+			// The external test package imports the test-augmented
+			// package under test when one was built.
+			xexports := exports
+			if aug, ok := forTest[p.ImportPath]; ok {
+				xexports = make(map[string]string, len(exports)+1)
+				for k, v := range exports {
+					xexports[k] = v
+				}
+				xexports[p.ImportPath] = aug
+			}
+			ximp := NewExportImporter(xexports, nil)
+			xpkg, err := Check(p.ImportPath+"_test", AbsFiles(p.Dir, p.XTestGoFiles), ximp)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, xpkg)
+		}
+	}
+	return out, nil
+}
+
+func AbsFiles(dir string, names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = filepath.Join(dir, n)
+	}
+	return out
+}
+
+// ---- fixture loading for the linttest harness ----
+
+// stdExports lazily resolves export data for standard-library imports
+// of fixture packages via one `go list -export` call per miss.
+var stdExports = make(map[string]string)
+
+// StdImporter returns an importer for fixture packages whose imports
+// are standard-library only. Export data is produced on demand by the
+// local go toolchain (compiled into the build cache, so this works
+// offline).
+func StdImporter() *ExportImporter {
+	imp := NewExportImporter(stdExports, nil)
+	imp.fallback = func(path string) (string, error) {
+		out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+		if err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				return "", fmt.Errorf("go list -export %s: %v: %s", path, err, ee.Stderr)
+			}
+			return "", fmt.Errorf("go list -export %s: %v", path, err)
+		}
+		file := strings.TrimSpace(string(out))
+		if file == "" {
+			return "", fmt.Errorf("go list -export %s: no export data", path)
+		}
+		return file, nil
+	}
+	return imp
+}
+
+// Dir parses and type-checks all .go files under dir as one package
+// with the given import path (files declaring a "_test"-suffixed
+// package name are grouped into a second, external-test unit that may
+// not reference unexported symbols of the first; fixture packages
+// currently keep everything in-package, so Dir rejects that split to
+// stay simple).
+func Dir(dir, path string, imp types.Importer) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	return Check(path, files, imp)
+}

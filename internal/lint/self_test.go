@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+
+	"codedsm/internal/lint/driver"
+)
+
+// TestRepoIsClean is the meta-test: the repository itself, tests
+// included, must hold zero csmlint findings. Every deliberately
+// order-dependent or wall-clock site carries a validated
+// //csmlint:allow annotation, so this test is what keeps the
+// annotation inventory and the code in sync.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	root := strings.TrimSpace(string(out))
+	findings, err := driver.AnalyzeModule(root, true, "./...")
+	if err != nil {
+		t.Fatalf("analyzing module: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

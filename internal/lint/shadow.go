@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Shadow flags inner short declarations that shadow an outer variable
+// of the identical type when the outer variable is still used after
+// the shadowing scope ends — the pattern where a `:=` silently splits
+// one logical variable into two and a later read sees a stale value.
+// This is a stdlib-only reimplementation of the x/tools `shadow`
+// vet check (which cannot be vendored here: the module builds with no
+// external dependencies), with two deliberate narrowings that keep it
+// quiet enough to enforce:
+//
+//   - only type-identical shadows are flagged (a shadow with a new
+//     type is almost always intentional);
+//   - `err` is exempt — guard-clause `if err := f(); err != nil`
+//     shadowing is idiomatic Go and not a correctness hazard.
+var Shadow = &Analyzer{
+	Name: "shadow",
+	Doc: "flag declarations that shadow an outer variable of identical type while " +
+		"the outer variable is used after the inner scope ends",
+	Run: runShadow,
+}
+
+func runShadow(pass *Pass) error {
+	// Reverse index: every use position of every object.
+	uses := make(map[types.Object][]token.Pos)
+	for id, obj := range pass.Info.Uses {
+		uses[obj] = append(uses[obj], id.Pos())
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok != token.DEFINE {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						checkShadow(pass, id, uses)
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Tok != token.DEFINE {
+					return true
+				}
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						checkShadow(pass, id, uses)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkShadow(pass *Pass, id *ast.Ident, uses map[types.Object][]token.Pos) {
+	if id.Name == "_" || id.Name == "err" {
+		return
+	}
+	obj := pass.Info.Defs[id]
+	if obj == nil {
+		return // reuse in a multi-assign :=, not a new declaration
+	}
+	inner := pass.Pkg.Scope().Innermost(id.Pos())
+	if inner == nil || inner.Parent() == nil {
+		return
+	}
+	outerScope, outerObj := inner.Parent().LookupParent(id.Name, id.Pos())
+	outer, ok := outerObj.(*types.Var)
+	if !ok || outerScope == types.Universe || outerScope == pass.Pkg.Scope() {
+		return // shadowing a package-level var or a non-variable is a different disease
+	}
+	if outer.IsField() || !types.Identical(obj.Type(), outer.Type()) {
+		return
+	}
+	// Only a hazard if the outer variable is read again once the
+	// shadow goes out of scope.
+	for _, p := range uses[outer] {
+		if p > inner.End() {
+			pass.Reportf(id.Pos(),
+				"declaration of %q shadows a %s declared at %s that is used after this scope ends",
+				id.Name, obj.Type(), pass.Fset.Position(outer.Pos()))
+			return
+		}
+	}
+}

@@ -1,0 +1,24 @@
+// Fixture for //csmlint:allow annotation validation: malformed syntax,
+// unknown check names, empty reasons, and stale suppressions are all
+// diagnostics. Expectations live in allow_test.go (the flagged lines
+// are themselves comments, so they cannot carry want markers).
+package fixture
+
+//csmlint:allow detmap
+
+//csmlint:allow nosuchcheck(tallies are order-free)
+
+//csmlint:allow detmap()
+
+//csmlint:allow detmap(x) trailing junk
+
+//csmlint:allow detmap(sorted before use)
+
+func used(m map[int]int) int {
+	n := 0
+	//csmlint:allow detmap(pure count, order-free)
+	for range m {
+		n++
+	}
+	return n
+}

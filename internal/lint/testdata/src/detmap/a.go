@@ -1,0 +1,49 @@
+// Fixture for the detmap analyzer, loaded under an in-scope protocol
+// package path.
+package fixture
+
+import "sort"
+
+func tally(votes map[int]int) int {
+	total := 0
+	for _, v := range votes { // want `range over map votes has nondeterministic order`
+		total += v
+	}
+	return total
+}
+
+func tallySorted(votes map[int]int) int {
+	keys := make([]int, 0, len(votes))
+	//csmlint:allow detmap(keys are sorted before any order-dependent use)
+	for k := range votes {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	total := 0
+	for _, k := range keys { // slice iteration: deterministic, no finding
+		total += votes[k]
+	}
+	return total
+}
+
+func sameLineAllow(votes map[int]int) int {
+	n := 0
+	for range votes { //csmlint:allow detmap(pure count, order-free)
+		n++
+	}
+	return n
+}
+
+func notMaps(xs []int, s string, ch chan int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	for _, r := range s {
+		total += int(r)
+	}
+	for x := range ch {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,11 @@
+// Test files are exempt from detmap: test assertions may iterate maps
+// freely.
+package fixture
+
+func tallyForTest(votes map[int]int) int {
+	total := 0
+	for _, v := range votes { // no finding: _test.go file
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,42 @@
+// Fixture for the detsource analyzer, loaded under a
+// deterministic-engine package path.
+package fixture
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now()     // want `time.Now reads the wall clock`
+	d := time.Since(t)  // want `time.Since reads the wall clock`
+	_ = time.Until(t)   // want `time.Until reads the wall clock`
+	_ = time.Unix(0, 0) // construction, not a clock read: no finding
+	return int64(d)
+}
+
+func globalDraws() int {
+	n := rand.Int()      // want `rand.Int draws from the global RNG`
+	n += randv2.IntN(7)  // want `rand.IntN draws from the global RNG`
+	rand.Shuffle(n, nil) // want `rand.Shuffle draws from the global RNG`
+	var z *randv2.Zipf   // type reference, not a draw: no finding
+	_ = z
+	return n
+}
+
+func seededDraws(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors are the compliant pattern
+	return r.Int()                      // method on a seeded *rand.Rand: no finding
+}
+
+func entropy(buf []byte) {
+	_, _ = crand.Read(buf) // want `crypto/rand.Read is a nondeterministic entropy source`
+	_ = crand.Reader       // want `crypto/rand.Reader is a nondeterministic entropy source`
+}
+
+func annotated() time.Time {
+	//csmlint:allow detsource(socket deadline on real I/O; never feeds protocol state)
+	return time.Now()
+}

@@ -1,0 +1,10 @@
+// Test files are exempt from detsource: wall-clock timing in a test
+// harness is legitimate.
+package fixture
+
+import "time"
+
+func elapsed() time.Duration {
+	start := time.Now() // no finding: _test.go file
+	return time.Since(start)
+}

@@ -1,0 +1,52 @@
+// Fixture for the errstring analyzer. Error text is not API — the
+// analyzer applies in every package.
+package fixture
+
+import (
+	"errors"
+	"strings"
+)
+
+var errSentinel = errors.New("boom")
+
+func matches(err error) bool {
+	if strings.Contains(err.Error(), "boom") { // want `strings.Contains on err.Error\(\) matches error text`
+		return true
+	}
+	if strings.HasPrefix(err.Error(), "wal:") { // want `strings.HasPrefix on err.Error\(\) matches error text`
+		return true
+	}
+	if err.Error() == "boom" { // want `comparing err.Error\(\) with == matches error text`
+		return true
+	}
+	if err.Error() != "calm" { // want `comparing err.Error\(\) with != matches error text`
+		return false
+	}
+	switch err.Error() { // want `switching on err.Error\(\) matches error text`
+	case "boom":
+		return true
+	}
+	return false
+}
+
+func compliant(err error, s string) bool {
+	if errors.Is(err, errSentinel) { // errors.Is: the right tool, no finding
+		return true
+	}
+	return strings.Contains(s, "boom") // plain string matching: no finding
+}
+
+// decoder has an Error method with a different signature, so it does
+// not implement error and its text is fair game.
+type decoder struct{}
+
+func (decoder) Error(code int) string { return "code" }
+
+func notAnError(d decoder) bool {
+	return strings.Contains(d.Error(0), "code") // no finding
+}
+
+func annotated(err error) bool {
+	//csmlint:allow errstring(third-party error exposes no typed cause)
+	return strings.Contains(err.Error(), "connection refused")
+}

@@ -1,0 +1,9 @@
+// Test files are NOT exempt from errstring — tests are where message
+// matching ossifies.
+package fixture
+
+import "strings"
+
+func assertBoom(err error) bool {
+	return strings.Contains(err.Error(), "boom") // want `strings.Contains on err.Error\(\) matches error text`
+}

@@ -1,0 +1,30 @@
+// Fixture exercising package scoping: every construct here would be
+// flagged in an in-scope package, and the harness runs this directory
+// under out-of-scope import paths expecting zero findings.
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+func mapIteration(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func wallClock() time.Time {
+	return time.Now()
+}
+
+func unsyncedRename(tmp, final string) error {
+	return os.Rename(tmp, final)
+}
+
+func mapRender(m map[int]int) string {
+	return fmt.Sprintf("%v", m)
+}

@@ -1,0 +1,52 @@
+// Fixture for the shadow analyzer.
+package fixture
+
+import "errors"
+
+func sum(rows [][]int) int {
+	n := 0
+	for _, row := range rows {
+		for _, n := range row { // want `declaration of "n" shadows a int declared at`
+			_ = n
+		}
+	}
+	return n
+}
+
+func rebind(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		if x > 0 {
+			total := x * 2 // want `declaration of "total" shadows a int declared at`
+			_ = total
+		}
+	}
+	return total
+}
+
+func errExempt() error {
+	err := errors.New("outer")
+	if true {
+		err := errors.New("inner") // err is exempt by convention: no finding
+		_ = err
+	}
+	return err
+}
+
+func differentType() int {
+	v := 0
+	{
+		v := "shadow of a different type is a rebind, not a hazard"
+		_ = v
+	}
+	return v
+}
+
+func noUseAfter(xs []int) {
+	n := 0
+	_ = n // only use of the outer n precedes the shadow
+	for _, x := range xs {
+		n := x // outer n never read after this scope ends: no finding
+		_ = n
+	}
+}

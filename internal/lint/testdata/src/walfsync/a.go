@@ -1,0 +1,69 @@
+// Fixture for the walfsync analyzer, loaded under the internal/wal
+// path.
+package fixture
+
+import "os"
+
+type lg struct {
+	f      *os.File
+	always bool
+}
+
+// publishBad renames with no preceding fsync: a crash can publish an
+// empty file.
+func publishBad(tmp, final string) error {
+	return os.Rename(tmp, final) // want `os.Rename\(tmp, final\) publishes a file with no preceding Sync`
+}
+
+// publishGood syncs the temp file before renaming it into place.
+func publishGood(f *os.File, tmp, final string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final) // no finding: Sync precedes
+}
+
+// appendNoSync writes and returns without ever reaching a Sync.
+func appendNoSync(l *lg, rec []byte) error {
+	_, err := l.f.Write(rec) // want `appendNoSync writes to an \*os.File with no Sync`
+	return err
+}
+
+// appendEarlyReturn has a success return in the write-to-sync window.
+func appendEarlyReturn(l *lg, rec []byte) error {
+	if _, err := l.f.Write(rec); err != nil {
+		return err // error path: exempt
+	}
+	if len(rec) == 0 {
+		return nil // want `appendEarlyReturn returns after a file write but before the SyncPolicy is honored`
+	}
+	return l.f.Sync() // the return performs the sync: exempt
+}
+
+// maybeSync is the SyncPolicy helper shape: the fact pass marks it (and
+// its callers' sync sites) as honoring the policy.
+func (l *lg) maybeSync() error {
+	if l.always {
+		return l.f.Sync()
+	}
+	return nil
+}
+
+// appendViaHelper honors the policy through maybeSync.
+func appendViaHelper(l *lg, rec []byte) error {
+	if _, err := l.f.Write(rec); err != nil {
+		return err
+	}
+	return l.maybeSync() // no finding: helper transitively syncs
+}
+
+// truncateBad is a write-shaped mutation with no sync.
+func truncateBad(l *lg) error {
+	return l.f.Truncate(0) // want `truncateBad writes to an \*os.File with no Sync`
+}
+
+// renameAnnotated documents a deliberate exception.
+func renameAnnotated(tmp, final string) error {
+	//csmlint:allow walfsync(directory entry only; content durability handled by the caller)
+	return os.Rename(tmp, final)
+}

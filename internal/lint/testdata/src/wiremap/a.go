@@ -1,0 +1,52 @@
+// Fixture for the wiremap analyzer, loaded under a wire-codec package
+// path.
+package fixture
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+type batchMsg struct {
+	Slot   int
+	Rounds map[int][]byte
+}
+
+type flatMsg struct {
+	Slot  int
+	Bytes []byte
+}
+
+func renderMap(m map[int]string) string {
+	return fmt.Sprintf("%v", m) // want `fmt.Sprintf renders map-typed m`
+}
+
+func renderCarrier(v batchMsg) string {
+	return fmt.Sprint(v) // want `fmt.Sprint renders map-typed v`
+}
+
+func gobCarrier(v batchMsg) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil { // want `gob-encoding map-typed v`
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobFlat(v flatMsg) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil { // no maps anywhere in flatMsg: no finding
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func renderScalar(n int, s string) string {
+	return fmt.Sprintf("%d/%s", n, s) // no finding
+}
+
+func annotated(m map[int]string) string {
+	//csmlint:allow wiremap(log line for humans; never hashed or sent)
+	return fmt.Sprintf("%v", m)
+}

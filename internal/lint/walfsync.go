@@ -1,0 +1,346 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WALFsync enforces the PR 7 durability contract inside internal/wal:
+//
+//  1. fsync-before-rename — os.Rename may only publish a file that was
+//     Sync'ed first (the snapshot .tmp protocol), otherwise a crash can
+//     leave a renamed-but-empty file, which is worse than no file;
+//  2. write-then-sync — a function that writes to an *os.File must
+//     reach a Sync (or a SyncPolicy-honoring helper like maybeSync)
+//     after its last write, and must not return success between a
+//     write and that sync.
+//
+// The check computes a package-local fact set first: any function
+// whose body (transitively) contains an (*os.File).Sync-shaped call —
+// maybeSync, syncDir, Log.Sync — counts as honoring the policy, so
+// refactoring the sync into a helper does not trip the analyzer.
+// Error-path returns (inside an `err != nil` guard) are not success
+// returns and are exempt. The analysis is lexical, not path-sensitive:
+// a Sync anywhere before the rename / after the last write satisfies
+// it, and deliberate exceptions carry //csmlint:allow walfsync(reason).
+var WALFsync = &Analyzer{
+	Name: "walfsync",
+	Doc: "in internal/wal, flag os.Rename without a preceding Sync and file-writing " +
+		"functions that return before honoring the SyncPolicy",
+	Run: runWALFsync,
+}
+
+func runWALFsync(pass *Pass) error {
+	if !pathMatches(pass.Path, "internal/wal") {
+		return nil
+	}
+	syncFuncs := collectSyncingFuncs(pass)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncDurability(pass, fd, syncFuncs)
+		}
+	}
+	return nil
+}
+
+// collectSyncingFuncs returns the package functions that (transitively)
+// contain a .Sync() call — the helpers through which the SyncPolicy is
+// honored.
+func collectSyncingFuncs(pass *Pass) map[*types.Func]bool {
+	type fn struct {
+		obj  *types.Func
+		body *ast.BlockStmt
+	}
+	var fns []fn
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fns = append(fns, fn{obj, fd.Body})
+		}
+	}
+	syncing := make(map[*types.Func]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fns {
+			if syncing[f.obj] {
+				continue
+			}
+			found := false
+			ast.Inspect(f.body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isDirectSyncCall(call) || syncing[callee(pass, call)] {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				syncing[f.obj] = true
+				changed = true
+			}
+		}
+	}
+	return syncing
+}
+
+// isDirectSyncCall matches x.Sync() — the *os.File method and anything
+// shaped like it (Log.Sync, a directory handle's Sync).
+func isDirectSyncCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Sync" && len(call.Args) == 0
+}
+
+// callee resolves the *types.Func a call invokes, or nil.
+func callee(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj, _ := pass.Info.Uses[id].(*types.Func)
+	return obj
+}
+
+// checkFuncDurability applies both WAL rules to one function.
+func checkFuncDurability(pass *Pass, fd *ast.FuncDecl, syncFuncs map[*types.Func]bool) {
+	var syncPositions, renames []token.Pos
+	var writes []token.Pos
+	var renameCalls []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			// Closures are separate durability scopes; a Sync inside a
+			// deferred closure does not order against this body.
+			_ = fl
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isDirectSyncCall(call) || syncFuncs[callee(pass, call)]:
+			syncPositions = append(syncPositions, call.Pos())
+		case isOSRenameCall(pass, call):
+			renames = append(renames, call.Pos())
+			renameCalls = append(renameCalls, call)
+		case isFileWriteCall(pass, call):
+			writes = append(writes, call.Pos())
+		}
+		return true
+	})
+
+	hasSyncBefore := func(pos token.Pos) bool {
+		for _, s := range syncPositions {
+			if s < pos {
+				return true
+			}
+		}
+		return false
+	}
+	hasSyncAfter := func(pos token.Pos) bool {
+		for _, s := range syncPositions {
+			if s > pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Rule 1: fsync-before-rename.
+	for i, pos := range renames {
+		if !hasSyncBefore(pos) {
+			pass.Reportf(pos,
+				"os.Rename(%s, %s) publishes a file with no preceding Sync; fsync the temp file (and its directory) before renaming it into place",
+				types.ExprString(renameCalls[i].Args[0]), types.ExprString(renameCalls[i].Args[1]))
+		}
+	}
+
+	// Rule 2: write-then-sync.
+	if len(writes) == 0 {
+		return
+	}
+	firstWrite, lastWrite := writes[0], writes[0]
+	for _, w := range writes[1:] {
+		if w < firstWrite {
+			firstWrite = w
+		}
+		if w > lastWrite {
+			lastWrite = w
+		}
+	}
+	if !hasSyncAfter(lastWrite) {
+		pass.Reportf(lastWrite,
+			"%s writes to an *os.File with no Sync (or SyncPolicy helper) after the last write; appends must reach stable storage before success is reported",
+			fd.Name.Name)
+		return
+	}
+	// First sync position after the first write bounds the window in
+	// which a success return would skip durability.
+	var syncAfterFirst token.Pos
+	for _, s := range syncPositions {
+		if s > firstWrite && (syncAfterFirst == token.NoPos || s < syncAfterFirst) {
+			syncAfterFirst = s
+		}
+	}
+	reportEarlyReturns(pass, fd, firstWrite, syncAfterFirst, syncFuncs)
+}
+
+// reportEarlyReturns flags success returns between a file write and
+// the sync that makes it durable. Returns inside an `err != nil` guard
+// are failure paths, and `return l.maybeSync()` — a return whose own
+// results perform the sync — is the honoring pattern; both are exempt.
+func reportEarlyReturns(pass *Pass, fd *ast.FuncDecl, writePos, syncPos token.Pos, syncFuncs map[*types.Func]bool) {
+	returnSyncs := func(n *ast.ReturnStmt) bool {
+		found := false
+		for _, res := range n.Results {
+			ast.Inspect(res, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && (isDirectSyncCall(call) || syncFuncs[callee(pass, call)]) {
+					found = true
+					return false
+				}
+				return true
+			})
+		}
+		return found
+	}
+	var walk func(n ast.Node, inErrGuard bool)
+	walk = func(n ast.Node, inErrGuard bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return
+		case *ast.ReturnStmt:
+			if n.Pos() > writePos && (syncPos == token.NoPos || n.Pos() < syncPos) && !inErrGuard && !returnSyncs(n) {
+				pass.Reportf(n.Pos(),
+					"%s returns after a file write but before the SyncPolicy is honored; sync (or maybeSync) before reporting success",
+					fd.Name.Name)
+			}
+		case *ast.IfStmt:
+			if n.Init != nil {
+				walk(n.Init, inErrGuard)
+			}
+			guard := inErrGuard || isErrNotNil(pass, n.Cond)
+			walk(n.Body, guard)
+			walk(n.Else, guard)
+			return
+		case *ast.BlockStmt:
+			for _, s := range n.List {
+				walk(s, inErrGuard)
+			}
+			return
+		}
+		// Generic descent for loops, switches, etc.
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			walk(s.Body, inErrGuard)
+		case *ast.RangeStmt:
+			walk(s.Body, inErrGuard)
+		case *ast.SwitchStmt:
+			walk(s.Body, inErrGuard)
+		case *ast.TypeSwitchStmt:
+			walk(s.Body, inErrGuard)
+		case *ast.SelectStmt:
+			walk(s.Body, inErrGuard)
+		case *ast.CaseClause:
+			for _, st := range s.Body {
+				walk(st, inErrGuard)
+			}
+		case *ast.CommClause:
+			for _, st := range s.Body {
+				walk(st, inErrGuard)
+			}
+		case *ast.LabeledStmt:
+			walk(s.Stmt, inErrGuard)
+		}
+	}
+	walk(fd.Body, false)
+}
+
+// isErrNotNil matches conditions guarding failure paths: any
+// comparison of an error-typed expression against nil.
+func isErrNotNil(pass *Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			if tv, ok := pass.Info.Types[side]; ok && tv.Type != nil && implementsError(tv.Type) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isOSRenameCall matches os.Rename(old, new).
+func isOSRenameCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Rename" || len(call.Args) != 2 {
+		return false
+	}
+	pkg := importedPackage(pass, sel)
+	return pkg != nil && pkg.Path() == "os"
+}
+
+// fileWriteMethods are the *os.File methods that put bytes on disk.
+var fileWriteMethods = map[string]bool{
+	"Write":       true,
+	"WriteAt":     true,
+	"WriteString": true,
+	"Truncate":    true,
+}
+
+// isFileWriteCall matches f.Write/WriteAt/WriteString/Truncate where f
+// is an *os.File (possibly via a struct field).
+func isFileWriteCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !fileWriteMethods[sel.Sel.Name] {
+		return false
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File"
+}

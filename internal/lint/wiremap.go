@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WireMap flags map-typed values being formatted or gob-encoded on
+// wire/digest paths. Byte streams that another process, a CRC, or a
+// run digest will see must be bit-identical across runs; fmt's
+// rendering of a map is not a stable wire codec, and encoding/gob
+// serializes map entries in random iteration order — the PR 2
+// tally-by-wire-bytes bug class. Wire paths must use the fixed binary
+// codec (length-prefixed, little-endian, sorted keys); a map headed
+// for a log line rather than the wire carries
+// //csmlint:allow wiremap(reason).
+var WireMap = &Analyzer{
+	Name: "wiremap",
+	Doc: "flag fmt formatting and gob encoding of map-typed values in wire/digest " +
+		"packages (transport, nodeapi, wal, csm, consensus); maps must be serialized " +
+		"through the fixed binary codec with sorted keys",
+	Run: runWireMap,
+}
+
+// fmtRenderFuncs are the fmt functions whose output could feed a wire
+// frame, a digest, or a file.
+var fmtRenderFuncs = map[string]bool{
+	"Sprint":   true,
+	"Sprintf":  true,
+	"Sprintln": true,
+	"Fprint":   true,
+	"Fprintf":  true,
+	"Fprintln": true,
+	"Appendf":  true,
+	"Append":   true,
+	"Appendln": true,
+}
+
+func runWireMap(pass *Pass) error {
+	if !pathMatchesAny(pass.Path, wirePkgs) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if pkg := importedPackage(pass, sel); pkg != nil && pkg.Path() == "fmt" && fmtRenderFuncs[sel.Sel.Name] {
+					for _, arg := range call.Args {
+						if t := argType(pass, arg); t != nil && containsMapType(t) {
+							pass.Reportf(arg.Pos(),
+								"fmt.%s renders map-typed %s; map formatting is not a wire codec — serialize through the fixed binary codec with sorted keys, or annotate //csmlint:allow wiremap(reason)",
+								sel.Sel.Name, types.ExprString(arg))
+						}
+					}
+				}
+				if sel.Sel.Name == "Encode" && isGobEncoder(pass, sel.X) {
+					for _, arg := range call.Args {
+						if t := argType(pass, arg); t != nil && containsMapType(t) {
+							pass.Reportf(arg.Pos(),
+								"gob-encoding map-typed %s serializes entries in random iteration order; wire bytes must come from the fixed binary codec with sorted keys",
+								types.ExprString(arg))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func argType(pass *Pass, arg ast.Expr) types.Type {
+	tv, ok := pass.Info.Types[arg]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// containsMapType reports whether t is a map, a pointer to one, or a
+// struct/slice/array carrying one — any shape whose default rendering
+// depends on iteration order.
+func containsMapType(t types.Type) bool {
+	seen := make(map[types.Type]bool)
+	var rec func(types.Type) bool
+	rec = func(t types.Type) bool {
+		if t == nil || seen[t] {
+			return false
+		}
+		seen[t] = true
+		switch u := t.Underlying().(type) {
+		case *types.Map:
+			return true
+		case *types.Pointer:
+			return rec(u.Elem())
+		case *types.Slice:
+			return rec(u.Elem())
+		case *types.Array:
+			return rec(u.Elem())
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if rec(u.Field(i).Type()) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return rec(t)
+}
+
+// isGobEncoder reports whether expr is an *encoding/gob.Encoder.
+func isGobEncoder(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "encoding/gob" && obj.Name() == "Encoder"
+}

@@ -45,6 +45,17 @@ const MaxLine = 1 << 20
 // ErrLineTooLong reports a frame longer than MaxLine bytes.
 var ErrLineTooLong = errors.New("nodeapi: frame exceeds maximum line length")
 
+// A RemoteError is a failure the sequencer reported over the wire (an
+// OpError frame), as opposed to a local transport failure. Callers
+// that need the failure class inspect Msg; errors.As distinguishes a
+// server-side rejection from a broken connection.
+type RemoteError struct {
+	// Msg is the sequencer's message, verbatim from the frame.
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "nodeapi: sequencer: " + e.Msg }
+
 // ErrMalformed reports a frame that is not valid JSON. Wrapped errors
 // carry the parser detail; match with errors.Is.
 var ErrMalformed = errors.New("nodeapi: malformed frame")
@@ -135,12 +146,13 @@ type Client struct {
 // Dial connects to a sequencer's client-ingress address, retrying with a
 // fixed backoff until the deadline (the daemon may still be binding).
 func Dial(addr string, timeout time.Duration) (*Client, error) {
-	deadline := time.Now().Add(timeout)
+	deadline := time.Now().Add(timeout) //csmlint:allow detsource(dial-retry deadline on a real socket; never feeds protocol state)
 	for {
 		c, err := net.DialTimeout("tcp", addr, timeout)
 		if err == nil {
 			return &Client{conn: NewConn(c)}, nil
 		}
+		//csmlint:allow detsource(dial-retry deadline on a real socket; never feeds protocol state)
 		if !time.Now().Before(deadline) {
 			return nil, fmt.Errorf("nodeapi: dialing %s: %w", addr, err)
 		}
@@ -177,21 +189,21 @@ func (c *Client) Status() (round, machines int, digest string, err error) {
 	case OpStatus:
 		return resp.Round, resp.Machine, resp.Digest, nil
 	case OpError:
-		return 0, 0, "", fmt.Errorf("nodeapi: sequencer: %s", resp.Msg)
+		return 0, 0, "", &RemoteError{Msg: resp.Msg}
 	default:
 		return 0, 0, "", fmt.Errorf("%w: expected a status reply, got op %q (results pending?)", ErrMalformed, resp.Op)
 	}
 }
 
-// ReadResult reads the next result frame. It returns an error on OpError
-// frames and on transport failures.
+// ReadResult reads the next result frame. It returns a *RemoteError on
+// OpError frames and other errors on transport failures.
 func (c *Client) ReadResult() (Response, error) {
 	resp, err := c.conn.ReadResponse()
 	if err != nil {
 		return resp, err
 	}
 	if resp.Op == OpError {
-		return resp, fmt.Errorf("nodeapi: sequencer: %s", resp.Msg)
+		return resp, &RemoteError{Msg: resp.Msg}
 	}
 	return resp, nil
 }
@@ -212,7 +224,7 @@ func (c *Client) Close() (digest string, err error) {
 		case OpClosed:
 			return resp.Digest, nil
 		case OpError:
-			return "", fmt.Errorf("nodeapi: sequencer: %s", resp.Msg)
+			return "", &RemoteError{Msg: resp.Msg}
 		}
 		// Late results between close and closed are drained silently.
 	}

@@ -189,16 +189,17 @@ func TestServerSubmitValidation(t *testing.T) {
 	if err := bad.Submit(5, []uint64{1}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := bad.ReadResult(); err == nil || !strings.Contains(err.Error(), "out of range") {
-		t.Fatalf("want an out-of-range error, got %v", err)
+	var remote *RemoteError
+	if _, err := bad.ReadResult(); !errors.As(err, &remote) || !strings.Contains(remote.Msg, "out of range") {
+		t.Fatalf("want a sequencer-reported out-of-range error, got %v", err)
 	}
 
 	bad = dialT(t, addr)
 	if err := bad.Submit(0, []uint64{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := bad.ReadResult(); err == nil || !strings.Contains(err.Error(), "length") {
-		t.Fatalf("want a command-length error, got %v", err)
+	if _, err := bad.ReadResult(); !errors.As(err, &remote) || !strings.Contains(remote.Msg, "length") {
+		t.Fatalf("want a sequencer-reported command-length error, got %v", err)
 	}
 
 	c := dialT(t, addr)
@@ -248,8 +249,9 @@ func TestServerSequencingFailureStopsServing(t *testing.T) {
 	if err := c.Submit(0, []uint64{1}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.ReadResult(); err == nil || !strings.Contains(err.Error(), "wedged") {
-		t.Fatalf("want the engine error surfaced to the client, got %v", err)
+	var remote *RemoteError
+	if _, err := c.ReadResult(); !errors.As(err, &remote) || !strings.Contains(remote.Msg, "wedged") {
+		t.Fatalf("want the engine error surfaced as a RemoteError, got %v", err)
 	}
 	if err := <-served; !errors.Is(err, boom) {
 		t.Fatalf("serve returned %v, want the engine error", err)

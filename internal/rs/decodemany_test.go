@@ -3,7 +3,6 @@ package rs
 import (
 	"errors"
 	"reflect"
-	"strings"
 	"testing"
 
 	"codedsm/internal/field"
@@ -81,7 +80,8 @@ func TestDecodeManyReportsLowestFailingWord(t *testing.T) {
 	if !errors.Is(err, ErrTooManyErrors) {
 		t.Fatalf("want ErrTooManyErrors, got %v", err)
 	}
-	if !strings.Contains(err.Error(), "word 1") {
-		t.Fatalf("want lowest failing word index 1 in error, got %q", err)
+	var werr *WordError
+	if !errors.As(err, &werr) || werr.Word != 1 {
+		t.Fatalf("want lowest failing word index 1, got %v", err)
 	}
 }

@@ -165,12 +165,25 @@ func (c *Code[E]) finish(msg poly.Poly[E], received []E) (*DecodeResult[E], erro
 	return &DecodeResult[E]{Message: msg, ErrorsAt: errorsAt, Corrected: corrected}, nil
 }
 
+// A WordError locates a batch-decode failure: Word is the index of the
+// received word within the DecodeMany batch, and Err is the underlying
+// decode failure (typically wrapping ErrTooManyErrors). Match the
+// cause with errors.Is and recover the index with errors.As.
+type WordError struct {
+	Word int
+	Err  error
+}
+
+func (e *WordError) Error() string { return fmt.Sprintf("rs: word %d: %v", e.Word, e.Err) }
+
+func (e *WordError) Unwrap() error { return e.Err }
+
 // DecodeMany decodes len(words) received words against the same code,
 // fanning the independent Gao decodes — each an extended-Euclidean
 // error-locator solve — across at most workers goroutines (workers <= 0
 // selects runtime.GOMAXPROCS). Results are index-aligned with words and
 // identical to decoding each word sequentially; the error reported is the
-// lowest-index failure, wrapped with its word index.
+// lowest-index failure, wrapped as a *WordError.
 //
 // A Code is immutable after construction, so concurrent decodes against it
 // are safe; an execution round's L vector components are exactly such a
@@ -180,7 +193,7 @@ func (c *Code[E]) DecodeMany(words [][]E, workers int) ([]*DecodeResult[E], erro
 	err := pool.Run(workers, len(words), func(j int) error {
 		res, err := c.Decode(words[j])
 		if err != nil {
-			return fmt.Errorf("rs: word %d: %w", j, err)
+			return &WordError{Word: j, Err: err}
 		}
 		out[j] = res
 		return nil

@@ -1,0 +1,25 @@
+//go:build tools
+
+// Package tools pins the versions of the external analysis tools the
+// build runs via `go run module@version`. The pin lives here — in one
+// greppable Go constant per tool — and the Makefile extracts it, so
+// bumping a tool is a one-line change reviewed like any other code.
+//
+// The tools are deliberately NOT blank-imported: they are binaries,
+// not libraries, and `go run module@version` resolves them without
+// adding their module graphs to go.mod (this module has zero external
+// dependencies and keeps it that way). The build tag keeps this file
+// out of every ordinary build.
+package tools
+
+const (
+	// StaticcheckModule/Version pin honnef.co staticcheck, run by
+	// `make staticcheck`.
+	StaticcheckModule  = "honnef.co/go/tools/cmd/staticcheck"
+	StaticcheckVersion = "2025.1"
+
+	// GovulncheckModule/Version pin the Go vulnerability scanner, run
+	// by `make govulncheck`.
+	GovulncheckModule  = "golang.org/x/vuln/cmd/govulncheck"
+	GovulncheckVersion = "v1.1.4"
+)
