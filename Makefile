@@ -78,13 +78,19 @@ smoke-churn:
 smoke-service:
 	$(GO) run -race ./examples/service
 
-# The multi-process deployment end to end (CI smoke): bootstrap a 4-node
-# localhost cluster of csmnode OS processes over the TCP transport, drive
-# a workload through the sequencer's socket ingress, and require outputs
-# and run digests bit-identical to the in-memory simulated oracle.
+# The multi-process deployment end to end (CI smoke), once per consensus
+# mode: bootstrap a 4-node localhost cluster of csmnode OS processes over
+# the TCP transport, drive a workload (socket ingress under the oracle
+# sequencer, symmetric seeded rounds under the BFT protocols), and
+# require outputs and run digests bit-identical to the in-memory
+# simulated oracle. The last run crashes the PBFT view-0 leader mid-run
+# and requires the survivors to finish via view change.
 smoke-processes:
 	$(GO) build -o bin/csmnode ./cmd/csmnode
 	$(GO) run ./examples/processes -csmnode bin/csmnode -n 4 -k 2 -rounds 8 -timeout 2m
+	$(GO) run ./examples/processes -csmnode bin/csmnode -n 4 -k 2 -degree 1 -faults 1 -consensus dolev-strong -rounds 8 -timeout 2m
+	$(GO) run ./examples/processes -csmnode bin/csmnode -n 4 -k 2 -degree 1 -faults 1 -consensus pbft -rounds 8 -timeout 2m
+	$(GO) run ./examples/processes -csmnode bin/csmnode -n 4 -k 2 -degree 1 -faults 1 -consensus pbft -rounds 8 -kill-leader -timeout 3m
 
 # Durable crash-restart end to end (CI smoke): a race-instrumented
 # 4-node durable csmnode cluster is whole-cluster SIGKILLed mid-workload
@@ -107,13 +113,14 @@ soak-short:
 	$(GO) build -race -o bin/csmnode ./cmd/csmnode
 	$(GO) run -race ./examples/soak -csmnode bin/csmnode -duration 15s
 
-# Short fuzz runs over the TCP framing and message codec plus the WAL
-# record reader (CI smoke): the checked-in corpus plus a few seconds of
-# new coverage-guided inputs.
+# Short fuzz runs over the TCP framing and message codec, the WAL record
+# reader, and the consensus wire codecs (CI smoke): the checked-in corpus
+# plus a few seconds of new coverage-guided inputs.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalMessage -fuzztime=10s ./internal/transport/
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=10s ./internal/transport/
 	$(GO) test -run='^$$' -fuzz=FuzzWALReader -fuzztime=10s ./internal/wal/
+	$(GO) test -run='^$$' -fuzz=FuzzConsensusMessage -fuzztime=10s ./internal/consensus/
 
 # csmlint: the repo's own analyzer suite (determinism, wire-codec, and
 # crash-safety invariants; see internal/lint/README.md), run through the

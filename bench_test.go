@@ -553,8 +553,12 @@ func BenchmarkConsensusDolevStrong(b *testing.B) {
 		nodes := make([]consensus.Node, n)
 		waitFor := make([]int, n)
 		for j := 0; j < n; j++ {
+			tr, err := consensus.NewNetTransport(net, transport.NodeID(j))
+			if err != nil {
+				b.Fatal(err)
+			}
 			nodes[j], err = dolevstrong.New(dolevstrong.Config{
-				Net: net, ID: transport.NodeID(j), Sender: 0, Slot: 1,
+				Transport: tr, Sender: 0, Slot: 1,
 				MaxFaults: faults, Value: []byte("v"),
 			})
 			if err != nil {
@@ -579,8 +583,12 @@ func BenchmarkConsensusPBFT(b *testing.B) {
 		nodes := make([]consensus.Node, n)
 		waitFor := make([]int, n)
 		for j := 0; j < n; j++ {
+			tr, err := consensus.NewNetTransport(net, transport.NodeID(j))
+			if err != nil {
+				b.Fatal(err)
+			}
 			nodes[j], err = pbft.New(pbft.Config{
-				Net: net, ID: transport.NodeID(j), Slot: 1,
+				Transport: tr, Slot: 1,
 				MaxFaults: faults, Value: []byte("v"),
 			})
 			if err != nil {

@@ -10,11 +10,19 @@
 //	csmnode run -config cluster/node3.json &
 //	csmnode run -config cluster/node0.json -rounds 16   # leads a seeded workload
 //
-// Node 0 is the sequencer. With -rounds it leads a seeded random
+// How each batch is decided is the cluster's consensus mode (bootstrap
+// -consensus oracle|dolev-strong|pbft). Under the default oracle mode
+// node 0 is the trusted sequencer: with -rounds it leads a seeded random
 // workload; with -serve it listens on the config's client address and
 // sequences rounds submitted by nodeapi clients (the Submit ingress,
-// over a socket). Followers need neither flag — they execute whatever
-// the sequencer agrees until the stop marker arrives.
+// over a socket); followers need neither flag — they execute whatever
+// the sequencer agrees until the stop marker arrives. Under
+// dolev-strong or pbft there is no sequencer: every node must be given
+// the same -rounds and drives the same seeded workload, each batch
+// decided by the real BFT protocol over TCP. PBFT clusters (sized
+// N >= 3b+1) survive the crash of up to b processes mid-run — the view
+// change routes leadership around them and the survivors' digests still
+// match the simulated oracle run.
 //
 // With data_dir set (bootstrap -data-dir), every node write-ahead-logs
 // each decided batch and periodically snapshots its coded share, so a
@@ -62,15 +70,18 @@ import (
 // across the cluster's config files — and DataDir must be set on either
 // all nodes or none, since recovery is a cluster-wide handshake.
 type nodeConfig struct {
-	Node   int      `json:"node"`   // this node's id (0 = sequencer)
-	N      int      `json:"n"`      // cluster size
-	K      int      `json:"k"`      // number of state machines
-	Faults int      `json:"faults"` // fault budget b the code is sized for
-	Degree int      `json:"degree"` // polynomial-register transition degree
-	Seed   uint64   `json:"seed"`   // shared cluster seed (keys + workload)
-	Batch  int      `json:"batch"`  // rounds per sequencer batch (workload mode)
-	Listen string   `json:"listen"` // this node's transport listen address
-	Peers  []string `json:"peers"`  // all N transport addresses, node order
+	Node   int    `json:"node"`   // this node's id (0 = sequencer)
+	N      int    `json:"n"`      // cluster size
+	K      int    `json:"k"`      // number of state machines
+	Faults int    `json:"faults"` // fault budget b the code is sized for
+	Degree int    `json:"degree"` // polynomial-register transition degree
+	Seed   uint64 `json:"seed"`   // shared cluster seed (keys + workload)
+	Batch  int    `json:"batch"`  // rounds per sequencer batch (workload mode)
+	// Consensus selects how batches are decided: "oracle" (default; node
+	// 0 is the trusted sequencer), "dolev-strong", or "pbft".
+	Consensus string   `json:"consensus,omitempty"`
+	Listen    string   `json:"listen"` // this node's transport listen address
+	Peers     []string `json:"peers"`  // all N transport addresses, node order
 	// ClientListen is the sequencer's nodeapi ingress address (serve
 	// mode); empty elsewhere.
 	ClientListen  string `json:"client_listen,omitempty"`
@@ -108,7 +119,28 @@ func (c nodeConfig) validate() error {
 	case c.SnapshotEvery < 0:
 		return fmt.Errorf("snapshot_every=%d must be >= 0", c.SnapshotEvery)
 	}
-	return nil
+	kind, err := c.consensusKind()
+	if err != nil {
+		return err
+	}
+	// Eager shape check (PBFT: n >= 3b+1) with the engine's typed error,
+	// so a doomed cluster fails at bootstrap, not after N sockets are up.
+	return csm.ValidateRemoteConsensus(kind, c.N, c.Faults)
+}
+
+// consensusKind maps the config's consensus string to the engine kind.
+func (c nodeConfig) consensusKind() (csm.ConsensusKind, error) {
+	switch c.Consensus {
+	case "", "oracle":
+		return csm.Oracle, nil
+	case "dolev-strong":
+		return csm.DolevStrong, nil
+	case "pbft":
+		return csm.PBFT, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown consensus %q (want oracle, dolev-strong, or pbft)",
+			csm.ErrConsensusConfig, c.Consensus)
+	}
 }
 
 // syncPolicy maps the config's fsync string to the WAL policy.
@@ -145,12 +177,16 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   csmnode bootstrap -dir DIR [-n 4] [-k 2] [-faults 0] [-degree 2] [-seed 42] [-batch 1]
+                    [-consensus oracle|dolev-strong|pbft]
                     [-serve] [-data-dir DIR] [-snapshot-every R] [-fsync always|never]
       write per-node config files for an N-node localhost cluster;
-      -data-dir enables durable state under DIR/node<i>
+      -data-dir enables durable state under DIR/node<i>;
+      -consensus pbft needs n >= 3*faults+1 (validated here)
   csmnode run -config FILE [-rounds R] [-serve]
-      run one node; node 0 leads R seeded workload rounds (-rounds) or
-      serves the nodeapi Submit ingress (-serve). A node with durable
+      run one node. Oracle mode: node 0 leads R seeded workload rounds
+      (-rounds) or serves the nodeapi Submit ingress (-serve); followers
+      need neither flag. BFT modes (dolev-strong, pbft): every node
+      needs the same -rounds; -serve is oracle-only. A node with durable
       state resumes from it and reconciles with its peers first.`)
 }
 
@@ -165,6 +201,7 @@ func bootstrap(args []string) error {
 	degree := fs.Int("degree", 2, "polynomial-register transition degree")
 	seed := fs.Uint64("seed", 42, "shared cluster seed")
 	batch := fs.Int("batch", 1, "rounds per sequencer batch")
+	consensus := fs.String("consensus", "oracle", `batch consensus: "oracle", "dolev-strong", or "pbft"`)
 	serve := fs.Bool("serve", false, "give node 0 a client ingress address")
 	dataDir := fs.String("data-dir", "", "enable durability: per-node state under DIR/node<i>")
 	snapshotEvery := fs.Int("snapshot-every", 0, "snapshot cadence in rounds (0 = engine default)")
@@ -174,6 +211,17 @@ func bootstrap(args []string) error {
 	if maxK := lcc.SyncMaxMachines(*n, *faults, *degree); *k > maxK {
 		return fmt.Errorf("k=%d exceeds capacity %d for n=%d faults=%d degree=%d (need n >= (k-1)*degree + 2*faults + 1)",
 			*k, maxK, *n, *faults, *degree)
+	}
+	// Fail a doomed consensus/fault-budget pairing before any port probe.
+	kind, err := nodeConfig{Consensus: *consensus}.consensusKind()
+	if err != nil {
+		return err
+	}
+	if err := csm.ValidateRemoteConsensus(kind, *n, *faults); err != nil {
+		return err
+	}
+	if *serve && kind != csm.Oracle {
+		return fmt.Errorf("%w: -serve needs the oracle sequencer; %s clusters run fixed workloads", csm.ErrConsensusConfig, *consensus)
 	}
 	ports := *n
 	if *serve {
@@ -189,7 +237,7 @@ func bootstrap(args []string) error {
 	for i := 0; i < *n; i++ {
 		cfg := nodeConfig{
 			Node: i, N: *n, K: *k, Faults: *faults, Degree: *degree,
-			Seed: *seed, Batch: *batch,
+			Seed: *seed, Batch: *batch, Consensus: *consensus,
 			Listen: addrs[i], Peers: addrs[:*n],
 			SnapshotEvery: *snapshotEvery, Fsync: *fsync,
 		}
@@ -315,7 +363,20 @@ func run(args []string) error {
 	if err := cfg.validate(); err != nil {
 		return fmt.Errorf("%s: %w", *configPath, err)
 	}
-	if cfg.Node == 0 {
+	kind, err := cfg.consensusKind()
+	if err != nil {
+		return err // unreachable after validate, kept for clarity
+	}
+	if kind != csm.Oracle {
+		// BFT clusters are symmetric: no sequencer, no ingress, every node
+		// drives the same seeded workload.
+		if *serve {
+			return fmt.Errorf("%w: -serve needs the oracle sequencer; %s clusters run fixed workloads", csm.ErrConsensusConfig, cfg.Consensus)
+		}
+		if *rounds <= 0 {
+			return fmt.Errorf("%s clusters are symmetric: every node needs the same -rounds", cfg.Consensus)
+		}
+	} else if cfg.Node == 0 {
 		if *serve && *rounds > 0 {
 			return errors.New("-serve and -rounds are mutually exclusive")
 		}
@@ -332,7 +393,7 @@ func run(args []string) error {
 	logf := func(format string, a ...any) {
 		fmt.Fprintf(os.Stderr, "node %d: "+format+"\n", append([]any{cfg.Node}, a...)...)
 	}
-	link, err := transport.NewTCP(transport.TCPConfig{
+	tcpCfg := transport.TCPConfig{
 		Self: transport.NodeID(cfg.Node), N: cfg.N, Seed: cfg.Seed,
 		Listen: cfg.Listen, Peers: cfg.Peers,
 		StepTimeout: stepTimeout,
@@ -340,7 +401,13 @@ func run(args []string) error {
 		// crash, a lingering socket from the previous incarnation).
 		BindRetries: 20, BindBackoff: 50 * time.Millisecond,
 		Logf: logf,
-	})
+	}
+	if kind == csm.PBFT && cfg.Faults > 0 {
+		// PBFT tolerates b dead peers; let the lock-step barrier tolerate
+		// the same instead of stalling on a crashed process forever.
+		tcpCfg.FailoverQuorum = cfg.N - 1 - cfg.Faults
+	}
+	link, err := transport.NewTCP(tcpCfg)
 	if err != nil {
 		return fmt.Errorf("bringing up transport: %w", err)
 	}
@@ -383,6 +450,7 @@ func run(args []string) error {
 		},
 		K:          cfg.K,
 		MaxFaults:  cfg.Faults,
+		Consensus:  kind,
 		Durability: dur,
 	}, link)
 	if err != nil {
@@ -401,6 +469,12 @@ func run(args []string) error {
 
 	var runErr error
 	switch {
+	case kind != csm.Oracle:
+		// Symmetric BFT drive: every node proposes the same seeded
+		// workload and executes whatever the protocol decides.
+		workload := csm.RandomWorkload[uint64](gold, *rounds, cfg.K, proc.Transition().CmdLen(), cfg.Seed)
+		resume := min(proc.Round(), len(workload))
+		_, runErr = proc.RunWorkload(workload[resume:], cfg.Batch)
 	case cfg.Node != 0:
 		_, runErr = proc.Follow()
 	case *rounds > 0:

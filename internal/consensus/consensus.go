@@ -1,10 +1,17 @@
 // Package consensus defines the interface between CSM's consensus phase and
-// its execution phase, plus a lock-step runner. CSM deliberately reuses
-// standard consensus protocols ("CSM uses the same consensus protocols to
-// decide on the input commands", Section 1): the Dolev-Strong authenticated
-// broadcast for synchronous networks (sub-package dolevstrong, tolerating
-// any b < N) and PBFT for partially synchronous networks (sub-package pbft,
-// requiring N >= 3b+1).
+// its execution phase, plus the drivers that run a protocol instance. CSM
+// deliberately reuses standard consensus protocols ("CSM uses the same
+// consensus protocols to decide on the input commands", Section 1): the
+// Dolev-Strong authenticated broadcast for synchronous networks
+// (sub-package dolevstrong, tolerating any b < N) and PBFT for partially
+// synchronous networks (sub-package pbft, requiring N >= 3b+1).
+//
+// Protocols are written once against the Transport interface and run
+// unchanged over two drivers: Run ticks all N nodes of a simulated
+// lock-step Network inside one process (the deterministic oracle), and
+// RunLink ticks one node over its own transport.Link — the per-process
+// driver the multi-process engine uses, where the link's Step barrier
+// replaces the simulator's global Network.Step.
 package consensus
 
 import (
@@ -15,12 +22,86 @@ import (
 )
 
 // ErrNoDecision is returned when a protocol instance exhausts its round
-// budget without every honest node deciding.
+// budget without every honest node deciding. Errors carrying it are
+// *NoDecisionError values naming the undecided nodes.
 var ErrNoDecision = errors.New("consensus: no decision within round budget")
+
+// NoDecisionError reports which nodes had not decided when the round
+// budget ran out. It unwraps to ErrNoDecision, so errors.Is checks against
+// the sentinel keep working.
+type NoDecisionError struct {
+	// Undecided lists the waited-for nodes without a decision, ascending.
+	Undecided []transport.NodeID
+}
+
+func (e *NoDecisionError) Error() string {
+	return fmt.Sprintf("consensus: no decision within round budget (undecided nodes %v)", e.Undecided)
+}
+
+func (e *NoDecisionError) Unwrap() error { return ErrNoDecision }
+
+// Transport is the surface a protocol participant drives: identity,
+// broadcast, and roster-wide blob signatures. A transport.Link satisfies
+// it directly (one process per node, real or simulated sockets), and
+// NewNetTransport adapts one endpoint of the simulated Network for the
+// single-process lock-step driver. Protocols only ever broadcast — the
+// synchronous model delivers to everyone in the next round either way.
+type Transport interface {
+	// Self is the node this transport belongs to.
+	Self() transport.NodeID
+	// N is the cluster size.
+	N() int
+	// Broadcast transmits a signed message to every other node.
+	Broadcast(kind string, payload []byte) error
+	// SignBlob signs protocol content under a domain-separation context;
+	// the signature survives re-broadcast by other nodes.
+	SignBlob(context string, data []byte) []byte
+	// VerifyBlob verifies a blob signature produced by node id's SignBlob.
+	VerifyBlob(id transport.NodeID, context string, data, sig []byte) bool
+}
+
+// A Link is a Transport; protocols ported to Transport run over TCP
+// unchanged.
+var _ Transport = transport.Link(nil)
+
+// netTransport adapts one endpoint of a simulated Network to Transport.
+type netTransport struct {
+	net *transport.Network
+	ep  *transport.Endpoint
+}
+
+// NewNetTransport returns node id's Transport over the simulated network:
+// the adapter the lock-step Run driver (and any single-process test)
+// hands to protocol constructors.
+func NewNetTransport(net *transport.Network, id transport.NodeID) (Transport, error) {
+	if net == nil {
+		return nil, fmt.Errorf("consensus: nil network")
+	}
+	ep, err := net.Endpoint(id)
+	if err != nil {
+		return nil, err
+	}
+	return &netTransport{net: net, ep: ep}, nil
+}
+
+func (t *netTransport) Self() transport.NodeID { return t.ep.ID() }
+func (t *netTransport) N() int                 { return t.net.N() }
+
+func (t *netTransport) Broadcast(kind string, payload []byte) error {
+	return t.ep.Broadcast(kind, payload)
+}
+
+func (t *netTransport) SignBlob(context string, data []byte) []byte {
+	return t.ep.SignBlob(context, data)
+}
+
+func (t *netTransport) VerifyBlob(id transport.NodeID, context string, data, sig []byte) bool {
+	return t.net.VerifyBlob(id, context, data, sig)
+}
 
 // Node is one participant in a lock-step protocol instance. Tick is called
 // once per network round with the messages delivered this round; the node
-// reacts by sending messages through its endpoint.
+// reacts by broadcasting through its Transport.
 type Node interface {
 	// Tick processes one round.
 	Tick(inbox []transport.Message) error
@@ -67,5 +148,39 @@ func Run(net *transport.Network, nodes []Node, waitFor []int, maxRounds int) err
 			return nil
 		}
 	}
-	return ErrNoDecision
+	undecided := make([]transport.NodeID, 0, len(waitFor))
+	for _, i := range waitFor {
+		if nodes[i] == nil {
+			continue
+		}
+		if _, ok := nodes[i].Decided(); !ok {
+			undecided = append(undecided, transport.NodeID(i))
+		}
+	}
+	return &NoDecisionError{Undecided: undecided}
+}
+
+// RunLink drives one participant over its own Link until it decides or
+// maxTicks have elapsed, returning the decided value. Each tick processes
+// the previous round's inbox and ends with a Step; the tick a node decides
+// in consumes its inbox but does not step, so in a lock-step run every
+// honest node leaves its instance on the same link round — the property
+// that lets the execution phase follow consensus without an extra
+// synchronization exchange.
+func RunLink(link transport.Link, node Node, maxTicks int) ([]byte, error) {
+	var inbox []transport.Message
+	for tick := 0; tick < maxTicks; tick++ {
+		if err := node.Tick(inbox); err != nil {
+			return nil, fmt.Errorf("consensus: node %d tick %d: %w", link.Self(), tick, err)
+		}
+		if v, ok := node.Decided(); ok {
+			return v, nil
+		}
+		msgs, err := link.Step()
+		if err != nil {
+			return nil, err
+		}
+		inbox = msgs
+	}
+	return nil, &NoDecisionError{Undecided: []transport.NodeID{link.Self()}}
 }

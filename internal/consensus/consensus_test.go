@@ -1,0 +1,111 @@
+package consensus
+
+import (
+	"errors"
+	"slices"
+	"sync"
+	"testing"
+
+	"codedsm/internal/transport"
+)
+
+// stuck never decides; decided decides immediately.
+type stuck struct{}
+
+func (stuck) Tick(inbox []transport.Message) error { return nil }
+func (stuck) Decided() ([]byte, bool)              { return nil, false }
+
+type decided struct{}
+
+func (decided) Tick(inbox []transport.Message) error { return nil }
+func (decided) Decided() ([]byte, bool)              { return []byte("v"), true }
+
+// TestNoDecisionErrorReportsUndecided: when the round budget runs out,
+// the error must name exactly the waitFor nodes that had not decided —
+// not the ones that had.
+func TestNoDecisionErrorReportsUndecided(t *testing.T) {
+	net, err := transport.New(transport.Config{N: 3, Mode: transport.Sync, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := []Node{decided{}, stuck{}, stuck{}}
+	runErr := Run(net, nodes, []int{0, 1, 2}, 3)
+	if !errors.Is(runErr, ErrNoDecision) {
+		t.Fatalf("Run = %v, want ErrNoDecision", runErr)
+	}
+	var nde *NoDecisionError
+	if !errors.As(runErr, &nde) {
+		t.Fatalf("Run error %T does not unwrap to *NoDecisionError", runErr)
+	}
+	want := []transport.NodeID{1, 2}
+	if !slices.Equal(nde.Undecided, want) {
+		t.Fatalf("Undecided = %v, want %v", nde.Undecided, want)
+	}
+}
+
+// TestRunLinkNoDecision: the per-link driver reports its own node as
+// undecided when the tick budget runs out.
+func TestRunLinkNoDecision(t *testing.T) {
+	net, err := transport.New(transport.Config{N: 2, Mode: transport.Sync, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	links, err := transport.NewLocalLinks(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make([]error, len(links))
+	var wg sync.WaitGroup
+	for i, l := range links {
+		wg.Add(1)
+		go func(i int, l transport.Link) {
+			defer wg.Done()
+			_, errs[i] = RunLink(l, stuck{}, 4)
+		}(i, l)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, ErrNoDecision) {
+			t.Fatalf("node %d: RunLink = %v, want ErrNoDecision", i, err)
+		}
+		var nde *NoDecisionError
+		if !errors.As(err, &nde) {
+			t.Fatalf("node %d: %T does not unwrap to *NoDecisionError", i, err)
+		}
+		if want := []transport.NodeID{transport.NodeID(i)}; !slices.Equal(nde.Undecided, want) {
+			t.Fatalf("node %d: Undecided = %v, want %v", i, nde.Undecided, want)
+		}
+	}
+}
+
+// TestRunLinkDecides: a node that decides stops the driver with the
+// decided value, before the budget is spent.
+func TestRunLinkDecides(t *testing.T) {
+	net, err := transport.New(transport.Config{N: 2, Mode: transport.Sync, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	links, err := transport.NewLocalLinks(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([][]byte, len(links))
+	errs := make([]error, len(links))
+	var wg sync.WaitGroup
+	for i, l := range links {
+		wg.Add(1)
+		go func(i int, l transport.Link) {
+			defer wg.Done()
+			vals[i], errs[i] = RunLink(l, decided{}, 4)
+		}(i, l)
+	}
+	wg.Wait()
+	for i := range links {
+		if errs[i] != nil {
+			t.Fatalf("node %d: %v", i, errs[i])
+		}
+		if string(vals[i]) != "v" {
+			t.Fatalf("node %d decided %q, want v", i, vals[i])
+		}
+	}
+}

@@ -6,6 +6,12 @@
 // (Section 3: "consistency ... for an arbitrary number b < N of malicious
 // nodes").
 //
+// Participants are written against consensus.Transport, so one instance
+// runs identically over the simulated lock-step network and over a
+// transport.Link into a real TCP cluster; chain signatures are blob
+// signatures over a fixed binary encoding (consensus.ChainMsg), which is
+// what makes them verify across transports.
+//
 // Protocol (lock-step rounds):
 //
 //	round 0:  the sender signs its value and broadcasts (value, [sig_s]).
@@ -19,9 +25,7 @@
 package dolevstrong
 
 import (
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
 
 	"codedsm/internal/consensus"
@@ -31,20 +35,12 @@ import (
 // msgKind tags Dolev-Strong messages on the wire.
 const msgKind = "dolev-strong"
 
-// chainMsg is the wire format: a value and its signature chain.
-type chainMsg struct {
-	Slot    uint64
-	Value   []byte
-	Signers []uint64
-	Sigs    [][]byte
-}
-
 // Config configures one protocol instance at one node.
 type Config struct {
-	// Net is the shared simulated network (must be synchronous).
-	Net *transport.Network
-	// ID is this node.
-	ID transport.NodeID
+	// Transport carries this node's broadcasts and blob signatures. Both
+	// consensus.NewNetTransport (simulated network) and a transport.Link
+	// (one real process per node) satisfy it.
+	Transport consensus.Transport
 	// Sender is the designated broadcaster for this slot.
 	Sender transport.NodeID
 	// Slot disambiguates concurrent instances (signature domain).
@@ -60,7 +56,8 @@ type Config struct {
 // Node is one participant. It implements consensus.Node.
 type Node struct {
 	cfg       Config
-	ep        *transport.Endpoint
+	tr        consensus.Transport
+	id        transport.NodeID
 	tick      int
 	extracted map[string][]byte // key: string(value)
 	relayed   map[string]bool
@@ -72,19 +69,19 @@ var _ consensus.Node = (*Node)(nil)
 
 // New creates a protocol participant.
 func New(cfg Config) (*Node, error) {
-	if cfg.Net == nil {
-		return nil, fmt.Errorf("dolevstrong: nil network")
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("dolevstrong: nil transport")
 	}
-	if cfg.MaxFaults < 0 || cfg.MaxFaults >= cfg.Net.N() {
-		return nil, fmt.Errorf("dolevstrong: MaxFaults %d out of range [0,%d)", cfg.MaxFaults, cfg.Net.N())
+	if cfg.MaxFaults < 0 || cfg.MaxFaults >= cfg.Transport.N() {
+		return nil, fmt.Errorf("dolevstrong: MaxFaults %d out of range [0,%d)", cfg.MaxFaults, cfg.Transport.N())
 	}
-	ep, err := cfg.Net.Endpoint(cfg.ID)
-	if err != nil {
-		return nil, err
+	if int(cfg.Sender) < 0 || int(cfg.Sender) >= cfg.Transport.N() {
+		return nil, fmt.Errorf("dolevstrong: sender %d out of range [0,%d)", cfg.Sender, cfg.Transport.N())
 	}
 	return &Node{
 		cfg:       cfg,
-		ep:        ep,
+		tr:        cfg.Transport,
+		id:        cfg.Transport.Self(),
 		extracted: make(map[string][]byte),
 		relayed:   make(map[string]bool),
 	}, nil
@@ -101,7 +98,7 @@ func signContext(slot uint64) string {
 func (n *Node) Tick(inbox []transport.Message) error {
 	defer func() { n.tick++ }()
 	if n.tick == 0 {
-		if n.cfg.ID == n.cfg.Sender {
+		if n.id == n.cfg.Sender {
 			n.extract(n.cfg.Value)
 			if err := n.relay(n.cfg.Value, nil, nil); err != nil {
 				return err
@@ -117,8 +114,8 @@ func (n *Node) Tick(inbox []transport.Message) error {
 		if m.Kind != msgKind {
 			continue
 		}
-		var cm chainMsg
-		if err := gob.NewDecoder(bytes.NewReader(m.Payload)).Decode(&cm); err != nil {
+		cm, err := consensus.DecodeChainMsg(m.Payload)
+		if err != nil {
 			continue // malformed: Byzantine garbage
 		}
 		if cm.Slot != n.cfg.Slot {
@@ -162,7 +159,7 @@ func (n *Node) extract(value []byte) bool {
 
 // validChain checks a signature chain received in the given round: at least
 // `round` distinct valid signers, the first being the designated sender.
-func (n *Node) validChain(cm chainMsg, round int) bool {
+func (n *Node) validChain(cm consensus.ChainMsg, round int) bool {
 	if len(cm.Signers) != len(cm.Sigs) || len(cm.Signers) < round {
 		return false
 	}
@@ -176,7 +173,7 @@ func (n *Node) validChain(cm chainMsg, round int) bool {
 			return false
 		}
 		seen[signer] = true
-		if !n.cfg.Net.VerifyBlob(transport.NodeID(signer), ctx, cm.Value, cm.Sigs[i]) {
+		if !n.tr.VerifyBlob(transport.NodeID(signer), ctx, cm.Value, cm.Sigs[i]) {
 			return false
 		}
 	}
@@ -192,7 +189,7 @@ func (n *Node) relay(value []byte, signers []uint64, sigs [][]byte) error {
 	n.relayed[key] = true
 	alreadySigned := false
 	for _, s := range signers {
-		if transport.NodeID(s) == n.cfg.ID {
+		if transport.NodeID(s) == n.id {
 			alreadySigned = true
 		}
 	}
@@ -200,16 +197,16 @@ func (n *Node) relay(value []byte, signers []uint64, sigs [][]byte) error {
 	outSigs := make([][]byte, len(sigs))
 	copy(outSigs, sigs)
 	if !alreadySigned {
-		outSigners = append(outSigners, uint64(n.cfg.ID))
-		outSigs = append(outSigs, n.ep.SignBlob(signContext(n.cfg.Slot), value))
+		outSigners = append(outSigners, uint64(n.id))
+		outSigs = append(outSigs, n.tr.SignBlob(signContext(n.cfg.Slot), value))
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(chainMsg{
+	payload, err := consensus.AppendChainMsg(nil, consensus.ChainMsg{
 		Slot: n.cfg.Slot, Value: value, Signers: outSigners, Sigs: outSigs,
-	}); err != nil {
+	})
+	if err != nil {
 		return fmt.Errorf("dolevstrong: encode: %w", err)
 	}
-	return n.ep.Broadcast(msgKind, buf.Bytes())
+	return n.tr.Broadcast(msgKind, payload)
 }
 
 // Decided implements consensus.Node.

@@ -2,7 +2,6 @@ package dolevstrong
 
 import (
 	"bytes"
-	"encoding/gob"
 	"testing"
 
 	"codedsm/internal/consensus"
@@ -34,14 +33,14 @@ func (b *byzEquivocator) Tick(inbox []transport.Message) error {
 			value = []byte("BBB")
 		}
 		sig := b.ep.SignBlob(signContext(b.slot), value)
-		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(chainMsg{
+		payload, err := consensus.AppendChainMsg(nil, consensus.ChainMsg{
 			Slot: b.slot, Value: value,
 			Signers: []uint64{uint64(b.ep.ID())}, Sigs: [][]byte{sig},
-		}); err != nil {
+		})
+		if err != nil {
 			return err
 		}
-		if err := b.ep.Send(transport.NodeID(to), msgKind, buf.Bytes()); err != nil {
+		if err := b.ep.Send(transport.NodeID(to), msgKind, payload); err != nil {
 			return err
 		}
 	}
@@ -67,8 +66,12 @@ func setup(t *testing.T, n int, seed uint64) *transport.Network {
 
 func honest(t *testing.T, net *transport.Network, id, sender int, slot uint64, maxFaults int, value []byte) *Node {
 	t.Helper()
+	tr, err := consensus.NewNetTransport(net, transport.NodeID(id))
+	if err != nil {
+		t.Fatal(err)
+	}
 	nd, err := New(Config{
-		Net: net, ID: transport.NodeID(id), Sender: transport.NodeID(sender),
+		Transport: tr, Sender: transport.NodeID(sender),
 		Slot: slot, MaxFaults: maxFaults, Value: value, Default: []byte("DEFAULT"),
 	})
 	if err != nil {
@@ -175,16 +178,23 @@ func TestHighFaultTolerance(t *testing.T) {
 
 func TestConfigValidation(t *testing.T) {
 	net := setup(t, 3, 5)
-	if _, err := New(Config{Net: nil}); err == nil {
-		t.Error("nil network should fail")
+	tr, err := consensus.NewNetTransport(net, 0)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := New(Config{Net: net, MaxFaults: 3}); err == nil {
+	if _, err := New(Config{Transport: nil}); err == nil {
+		t.Error("nil transport should fail")
+	}
+	if _, err := New(Config{Transport: tr, MaxFaults: 3}); err == nil {
 		t.Error("MaxFaults >= N should fail")
 	}
-	if _, err := New(Config{Net: net, MaxFaults: -1}); err == nil {
+	if _, err := New(Config{Transport: tr, MaxFaults: -1}); err == nil {
 		t.Error("negative MaxFaults should fail")
 	}
-	if _, err := New(Config{Net: net, ID: 7, MaxFaults: 1}); err == nil {
+	if _, err := New(Config{Transport: tr, Sender: 7, MaxFaults: 1}); err == nil {
+		t.Error("bad sender should fail")
+	}
+	if _, err := consensus.NewNetTransport(net, 7); err == nil {
 		t.Error("bad node ID should fail")
 	}
 }

@@ -4,13 +4,18 @@
 // N >= 3f+1 nodes and tolerates f Byzantine faults through three phases
 // (pre-prepare, prepare, commit) with 2f+1 quorums, plus view changes with
 // exponentially growing timeouts that guarantee liveness after GST.
+//
+// Participants are written against consensus.Transport, so one instance
+// runs identically over the simulated lock-step network and over a
+// transport.Link into a real TCP cluster. All messages use the fixed
+// binary encodings of the consensus package (no gob on the wire), which
+// keeps view-change blob signatures verifiable across transports.
 package pbft
 
 import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
 
 	"codedsm/internal/consensus"
@@ -29,54 +34,31 @@ const (
 
 // Config configures one PBFT participant.
 type Config struct {
-	// Net is the shared network.
-	Net *transport.Network
-	// ID is this node.
-	ID transport.NodeID
+	// Transport carries this node's broadcasts and blob signatures. Both
+	// consensus.NewNetTransport (simulated network) and a transport.Link
+	// (one real process per node) satisfy it.
+	Transport consensus.Transport
 	// Slot disambiguates concurrent instances.
 	Slot uint64
-	// MaxFaults is f; the network must have N >= 3f+1 nodes.
+	// MaxFaults is f; the cluster must have N >= 3f+1 nodes.
 	MaxFaults int
 	// Value is this node's own proposal, used when it becomes leader.
 	Value []byte
-	// BaseTimeout is the view-0 timeout in rounds (doubles per view).
-	// Defaults to 6.
+	// BaseTimeout is the initial view's timeout in rounds (doubles per
+	// view). Defaults to 6.
 	BaseTimeout int
-}
-
-// wire structures (gob-encoded).
-type prePrepareMsg struct {
-	Slot  uint64
-	View  int
-	Value []byte
-}
-
-type voteMsg struct { // prepare and commit
-	Slot   uint64
-	View   int
-	Digest [32]byte
-}
-
-type viewChangeMsg struct {
-	Slot          uint64
-	NewView       int
-	PreparedView  int // -1 if nothing prepared
-	PreparedValue []byte
-	Sig           []byte // blob signature by the sender over the VC content
-	Sender        uint64
-}
-
-type newViewMsg struct {
-	Slot  uint64
-	View  int
-	Value []byte
-	Proof []viewChangeMsg // >= 2f+1 valid view-change messages
+	// StartView is the view the instance begins in (leader = StartView mod
+	// N). A sequence of instances can hand the view a previous instance
+	// decided in to the next one, so a crashed low-view leader is paid for
+	// with one view change instead of one per instance. Defaults to 0.
+	StartView int
 }
 
 // Node is one PBFT participant; it implements consensus.Node.
 type Node struct {
 	cfg  Config
-	ep   *transport.Endpoint
+	tr   consensus.Transport
+	id   transport.NodeID
 	n, f int
 
 	view       int
@@ -86,7 +68,7 @@ type Node struct {
 	prePrepared map[int][]byte                    // view -> value proposed by leader
 	prepares    map[int]map[[32]byte]map[int]bool // view -> digest -> senders
 	commits     map[int]map[[32]byte]map[int]bool
-	vcs         map[int]map[int]viewChangeMsg // newView -> sender -> VC
+	vcs         map[int]map[int]consensus.ViewChangeMsg // newView -> sender -> VC
 	sentPrepare map[int]bool
 	sentCommit  map[int]bool
 
@@ -101,14 +83,14 @@ var _ consensus.Node = (*Node)(nil)
 
 // New creates a PBFT participant.
 func New(cfg Config) (*Node, error) {
-	if cfg.Net == nil {
-		return nil, fmt.Errorf("pbft: nil network")
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("pbft: nil transport")
 	}
 	if cfg.MaxFaults < 0 {
 		return nil, fmt.Errorf("pbft: negative MaxFaults")
 	}
-	if cfg.Net.N() < 3*cfg.MaxFaults+1 {
-		return nil, fmt.Errorf("pbft: need N >= 3f+1, got N=%d f=%d", cfg.Net.N(), cfg.MaxFaults)
+	if cfg.Transport.N() < 3*cfg.MaxFaults+1 {
+		return nil, fmt.Errorf("pbft: need N >= 3f+1, got N=%d f=%d", cfg.Transport.N(), cfg.MaxFaults)
 	}
 	if cfg.BaseTimeout == 0 {
 		cfg.BaseTimeout = 6
@@ -116,19 +98,20 @@ func New(cfg Config) (*Node, error) {
 	if cfg.BaseTimeout < 1 {
 		return nil, fmt.Errorf("pbft: BaseTimeout must be positive")
 	}
-	ep, err := cfg.Net.Endpoint(cfg.ID)
-	if err != nil {
-		return nil, err
+	if cfg.StartView < 0 {
+		return nil, fmt.Errorf("pbft: negative StartView")
 	}
 	return &Node{
 		cfg:          cfg,
-		ep:           ep,
-		n:            cfg.Net.N(),
+		tr:           cfg.Transport,
+		id:           cfg.Transport.Self(),
+		n:            cfg.Transport.N(),
 		f:            cfg.MaxFaults,
+		view:         cfg.StartView,
 		prePrepared:  make(map[int][]byte),
 		prepares:     make(map[int]map[[32]byte]map[int]bool),
 		commits:      make(map[int]map[[32]byte]map[int]bool),
-		vcs:          make(map[int]map[int]viewChangeMsg),
+		vcs:          make(map[int]map[int]consensus.ViewChangeMsg),
 		sentPrepare:  make(map[int]bool),
 		sentCommit:   make(map[int]bool),
 		preparedView: -1,
@@ -142,14 +125,6 @@ func Leader(view, n int) transport.NodeID { return transport.NodeID(view % n) }
 func (nd *Node) quorum() int { return 2*nd.f + 1 }
 
 func digestOf(value []byte) [32]byte { return sha256.Sum256(value) }
-
-func encode(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, fmt.Errorf("pbft: encode: %w", err)
-	}
-	return buf.Bytes(), nil
-}
 
 // vcSignContent is the blob covered by a view-change signature.
 func vcSignContent(slot uint64, newView, preparedView int, preparedValue []byte) []byte {
@@ -169,8 +144,8 @@ func (nd *Node) Tick(inbox []transport.Message) error {
 		// Keep answering nothing; peers already have our votes.
 		return nil
 	}
-	if nd.timer == 0 && nd.view == 0 {
-		// Entering view 0: the leader proposes.
+	if nd.timer == 0 && nd.view == nd.cfg.StartView {
+		// Entering the initial view: the leader proposes.
 		if err := nd.maybePropose(); err != nil {
 			return err
 		}
@@ -198,10 +173,11 @@ func (nd *Node) Tick(inbox []transport.Message) error {
 	return nil
 }
 
-// timeoutFor doubles per view, giving liveness after GST.
+// timeoutFor doubles per view past the start view, giving liveness after
+// GST.
 func (nd *Node) timeoutFor(view int) int {
 	t := nd.cfg.BaseTimeout
-	for i := 0; i < view && t < 1<<20; i++ {
+	for i := nd.cfg.StartView; i < view && t < 1<<20; i++ {
 		t *= 2
 	}
 	return t
@@ -209,47 +185,44 @@ func (nd *Node) timeoutFor(view int) int {
 
 // maybePropose sends a pre-prepare if this node leads the current view.
 func (nd *Node) maybePropose() error {
-	if Leader(nd.view, nd.n) != nd.cfg.ID {
+	if Leader(nd.view, nd.n) != nd.id {
 		return nil
 	}
 	value := nd.cfg.Value
 	if nd.preparedValue != nil {
 		value = nd.preparedValue
 	}
-	payload, err := encode(prePrepareMsg{Slot: nd.cfg.Slot, View: nd.view, Value: value})
-	if err != nil {
-		return err
-	}
-	if err := nd.ep.Broadcast(kindPrePrepare, payload); err != nil {
+	pp := consensus.PrePrepareMsg{Slot: nd.cfg.Slot, View: nd.view, Value: value}
+	if err := nd.tr.Broadcast(kindPrePrepare, consensus.AppendPrePrepareMsg(nil, pp)); err != nil {
 		return err
 	}
 	// Leader treats its own proposal as pre-prepared and prepares it.
-	return nd.onPrePrepare(prePrepareMsg{Slot: nd.cfg.Slot, View: nd.view, Value: value}, nd.cfg.ID)
+	return nd.onPrePrepare(pp, nd.id)
 }
 
 func (nd *Node) handle(m transport.Message) error {
 	switch m.Kind {
 	case kindPrePrepare:
-		var pp prePrepareMsg
-		if err := gob.NewDecoder(bytes.NewReader(m.Payload)).Decode(&pp); err != nil || pp.Slot != nd.cfg.Slot {
+		pp, err := consensus.DecodePrePrepareMsg(m.Payload)
+		if err != nil || pp.Slot != nd.cfg.Slot {
 			return nil
 		}
 		return nd.onPrePrepare(pp, m.From)
 	case kindPrepare, kindCommit:
-		var v voteMsg
-		if err := gob.NewDecoder(bytes.NewReader(m.Payload)).Decode(&v); err != nil || v.Slot != nd.cfg.Slot {
+		v, err := consensus.DecodeVoteMsg(m.Payload)
+		if err != nil || v.Slot != nd.cfg.Slot {
 			return nil
 		}
 		return nd.onVote(m.Kind, v, int(m.From))
 	case kindViewChange:
-		var vc viewChangeMsg
-		if err := gob.NewDecoder(bytes.NewReader(m.Payload)).Decode(&vc); err != nil || vc.Slot != nd.cfg.Slot {
+		vc, err := consensus.DecodeViewChangeMsg(m.Payload)
+		if err != nil || vc.Slot != nd.cfg.Slot {
 			return nil
 		}
 		return nd.onViewChange(vc, m.From)
 	case kindNewView:
-		var nv newViewMsg
-		if err := gob.NewDecoder(bytes.NewReader(m.Payload)).Decode(&nv); err != nil || nv.Slot != nd.cfg.Slot {
+		nv, err := consensus.DecodeNewViewMsg(m.Payload)
+		if err != nil || nv.Slot != nd.cfg.Slot {
 			return nil
 		}
 		return nd.onNewView(nv, m.From)
@@ -257,7 +230,7 @@ func (nd *Node) handle(m transport.Message) error {
 	return nil
 }
 
-func (nd *Node) onPrePrepare(pp prePrepareMsg, from transport.NodeID) error {
+func (nd *Node) onPrePrepare(pp consensus.PrePrepareMsg, from transport.NodeID) error {
 	if pp.View < nd.view || Leader(pp.View, nd.n) != from {
 		return nil
 	}
@@ -279,18 +252,15 @@ func (nd *Node) onPrePrepare(pp prePrepareMsg, from transport.NodeID) error {
 		return nil
 	}
 	nd.sentPrepare[pp.View] = true
-	payload, err := encode(voteMsg{Slot: nd.cfg.Slot, View: pp.View, Digest: digestOf(pp.Value)})
-	if err != nil {
-		return err
-	}
-	if err := nd.ep.Broadcast(kindPrepare, payload); err != nil {
+	vote := consensus.VoteMsg{Slot: nd.cfg.Slot, View: pp.View, Digest: digestOf(pp.Value)}
+	if err := nd.tr.Broadcast(kindPrepare, consensus.AppendVoteMsg(nil, vote)); err != nil {
 		return err
 	}
 	// Count our own prepare.
-	return nd.onVote(kindPrepare, voteMsg{Slot: nd.cfg.Slot, View: pp.View, Digest: digestOf(pp.Value)}, int(nd.cfg.ID))
+	return nd.onVote(kindPrepare, vote, int(nd.id))
 }
 
-func (nd *Node) onVote(kind string, v voteMsg, from int) error {
+func (nd *Node) onVote(kind string, v consensus.VoteMsg, from int) error {
 	table := nd.prepares
 	if kind == kindCommit {
 		table = nd.commits
@@ -323,14 +293,11 @@ func (nd *Node) onVote(kind string, v voteMsg, from int) error {
 			nd.preparedValue = append([]byte(nil), value...)
 		}
 		nd.sentCommit[v.View] = true
-		payload, err := encode(voteMsg{Slot: nd.cfg.Slot, View: v.View, Digest: v.Digest})
-		if err != nil {
+		vote := consensus.VoteMsg{Slot: nd.cfg.Slot, View: v.View, Digest: v.Digest}
+		if err := nd.tr.Broadcast(kindCommit, consensus.AppendVoteMsg(nil, vote)); err != nil {
 			return err
 		}
-		if err := nd.ep.Broadcast(kindCommit, payload); err != nil {
-			return err
-		}
-		return nd.onVote(kindCommit, v, int(nd.cfg.ID))
+		return nd.onVote(kindCommit, v, int(nd.id))
 	}
 	// Commit quorum: decide.
 	nd.decided = append([]byte(nil), value...)
@@ -344,37 +311,33 @@ func (nd *Node) sendViewChange(newView int) error {
 	}
 	nd.targetView = newView
 	nd.timer = 0 // give the new view's leader a full timeout to assemble it
-	vc := viewChangeMsg{
+	vc := consensus.ViewChangeMsg{
 		Slot:          nd.cfg.Slot,
 		NewView:       newView,
 		PreparedView:  nd.preparedView,
 		PreparedValue: nd.preparedValue,
-		Sender:        uint64(nd.cfg.ID),
+		Sender:        uint64(nd.id),
 	}
-	vc.Sig = nd.ep.SignBlob("pbft-vc", vcSignContent(vc.Slot, vc.NewView, vc.PreparedView, vc.PreparedValue))
-	payload, err := encode(vc)
-	if err != nil {
+	vc.Sig = nd.tr.SignBlob("pbft-vc", vcSignContent(vc.Slot, vc.NewView, vc.PreparedView, vc.PreparedValue))
+	if err := nd.tr.Broadcast(kindViewChange, consensus.AppendViewChangeMsg(nil, vc)); err != nil {
 		return err
 	}
-	if err := nd.ep.Broadcast(kindViewChange, payload); err != nil {
-		return err
-	}
-	return nd.onViewChange(vc, nd.cfg.ID)
+	return nd.onViewChange(vc, nd.id)
 }
 
 // validVC verifies a view-change message's blob signature.
-func (nd *Node) validVC(vc viewChangeMsg) bool {
-	return nd.cfg.Net.VerifyBlob(transport.NodeID(vc.Sender), "pbft-vc",
+func (nd *Node) validVC(vc consensus.ViewChangeMsg) bool {
+	return nd.tr.VerifyBlob(transport.NodeID(vc.Sender), "pbft-vc",
 		vcSignContent(vc.Slot, vc.NewView, vc.PreparedView, vc.PreparedValue), vc.Sig)
 }
 
-func (nd *Node) onViewChange(vc viewChangeMsg, from transport.NodeID) error {
+func (nd *Node) onViewChange(vc consensus.ViewChangeMsg, from transport.NodeID) error {
 	if vc.NewView <= nd.view || transport.NodeID(vc.Sender) != from || !nd.validVC(vc) {
 		return nil
 	}
 	bySender, ok := nd.vcs[vc.NewView]
 	if !ok {
-		bySender = make(map[int]viewChangeMsg)
+		bySender = make(map[int]consensus.ViewChangeMsg)
 		nd.vcs[vc.NewView] = bySender
 	}
 	bySender[int(vc.Sender)] = vc
@@ -385,17 +348,17 @@ func (nd *Node) onViewChange(vc viewChangeMsg, from transport.NodeID) error {
 		}
 	}
 	// New leader assembles the new view from 2f+1 view changes.
-	if len(bySender) >= nd.quorum() && Leader(vc.NewView, nd.n) == nd.cfg.ID {
+	if len(bySender) >= nd.quorum() && Leader(vc.NewView, nd.n) == nd.id {
 		return nd.sendNewView(vc.NewView)
 	}
 	return nil
 }
 
 func (nd *Node) sendNewView(view int) error {
-	// Assemble the proof in sorted sender order: the slice is gob-encoded
-	// into the new-view message, so its order is part of the wire bytes,
-	// and the prepared-value fold below must not tie-break on map order.
-	proof := make([]viewChangeMsg, 0, len(nd.vcs[view]))
+	// Assemble the proof in sorted sender order: the slice is encoded into
+	// the new-view message, so its order is part of the wire bytes, and
+	// the prepared-value fold below must not tie-break on map order.
+	proof := make([]consensus.ViewChangeMsg, 0, len(nd.vcs[view]))
 	for _, sender := range ints.SortedMapKeys(nd.vcs[view]) {
 		proof = append(proof, nd.vcs[view][sender])
 	}
@@ -408,17 +371,14 @@ func (nd *Node) sendNewView(view int) error {
 			value = vc.PreparedValue
 		}
 	}
-	payload, err := encode(newViewMsg{Slot: nd.cfg.Slot, View: view, Value: value, Proof: proof})
-	if err != nil {
+	nv := consensus.NewViewMsg{Slot: nd.cfg.Slot, View: view, Value: value, Proof: proof}
+	if err := nd.tr.Broadcast(kindNewView, consensus.AppendNewViewMsg(nil, nv)); err != nil {
 		return err
 	}
-	if err := nd.ep.Broadcast(kindNewView, payload); err != nil {
-		return err
-	}
-	return nd.onNewView(newViewMsg{Slot: nd.cfg.Slot, View: view, Value: value, Proof: proof}, nd.cfg.ID)
+	return nd.onNewView(nv, nd.id)
 }
 
-func (nd *Node) onNewView(nv newViewMsg, from transport.NodeID) error {
+func (nd *Node) onNewView(nv consensus.NewViewMsg, from transport.NodeID) error {
 	if nv.View <= nd.view || Leader(nv.View, nd.n) != from {
 		return nil
 	}
@@ -449,7 +409,7 @@ func (nd *Node) onNewView(nv newViewMsg, from transport.NodeID) error {
 		nd.targetView = 0
 	}
 	nd.timer = 0
-	return nd.onPrePrepare(prePrepareMsg{Slot: nd.cfg.Slot, View: nv.View, Value: nv.Value}, from)
+	return nd.onPrePrepare(consensus.PrePrepareMsg{Slot: nd.cfg.Slot, View: nv.View, Value: nv.Value}, from)
 }
 
 // Decided implements consensus.Node.
@@ -460,5 +420,7 @@ func (nd *Node) Decided() ([]byte, bool) {
 	return nd.decided, true
 }
 
-// View returns the node's current view (for tests).
+// View returns the node's current view; after a decision it is the view
+// the value was committed in, which callers running a sequence of
+// instances can feed into the next instance's StartView.
 func (nd *Node) View() int { return nd.view }

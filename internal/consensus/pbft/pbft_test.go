@@ -19,8 +19,12 @@ func setup(t *testing.T, n int, mode transport.Mode, gst int, seed uint64) *tran
 
 func honest(t *testing.T, net *transport.Network, id, f int, value []byte) *Node {
 	t.Helper()
+	tr, err := consensus.NewNetTransport(net, transport.NodeID(id))
+	if err != nil {
+		t.Fatal(err)
+	}
 	nd, err := New(Config{
-		Net: net, ID: transport.NodeID(id), Slot: 1, MaxFaults: f, Value: value,
+		Transport: tr, Slot: 1, MaxFaults: f, Value: value,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -167,14 +171,8 @@ func (e *equivLeader) Tick(inbox []transport.Message) error {
 		return nil
 	}
 	e.sent = true
-	payloadX, err := encode(prePrepareMsg{Slot: e.slot, View: 0, Value: []byte("X")})
-	if err != nil {
-		return err
-	}
-	payloadY, err := encode(prePrepareMsg{Slot: e.slot, View: 0, Value: []byte("Y")})
-	if err != nil {
-		return err
-	}
+	payloadX := consensus.AppendPrePrepareMsg(nil, consensus.PrePrepareMsg{Slot: e.slot, View: 0, Value: []byte("X")})
+	payloadY := consensus.AppendPrePrepareMsg(nil, consensus.PrePrepareMsg{Slot: e.slot, View: 0, Value: []byte("Y")})
 	if err := e.ep.Send(1, kindPrePrepare, payloadX); err != nil {
 		return err
 	}
@@ -190,19 +188,26 @@ func (e *equivLeader) Decided() ([]byte, bool) { return nil, true }
 
 func TestConfigValidation(t *testing.T) {
 	net := setup(t, 4, transport.Sync, 0, 6)
-	if _, err := New(Config{Net: nil}); err == nil {
-		t.Error("nil net should fail")
+	tr, err := consensus.NewNetTransport(net, 0)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := New(Config{Net: net, MaxFaults: 2}); err == nil {
+	if _, err := New(Config{Transport: nil}); err == nil {
+		t.Error("nil transport should fail")
+	}
+	if _, err := New(Config{Transport: tr, MaxFaults: 2}); err == nil {
 		t.Error("N < 3f+1 should fail")
 	}
-	if _, err := New(Config{Net: net, MaxFaults: -1}); err == nil {
+	if _, err := New(Config{Transport: tr, MaxFaults: -1}); err == nil {
 		t.Error("negative f should fail")
 	}
-	if _, err := New(Config{Net: net, MaxFaults: 1, BaseTimeout: -3}); err == nil {
+	if _, err := New(Config{Transport: tr, MaxFaults: 1, BaseTimeout: -3}); err == nil {
 		t.Error("negative timeout should fail")
 	}
-	if _, err := New(Config{Net: net, MaxFaults: 1, ID: 9}); err == nil {
+	if _, err := New(Config{Transport: tr, MaxFaults: 1, StartView: -1}); err == nil {
+		t.Error("negative StartView should fail")
+	}
+	if _, err := consensus.NewNetTransport(net, 9); err == nil {
 		t.Error("bad ID should fail")
 	}
 }
@@ -245,7 +250,7 @@ func TestForgedViewChangeRejected(t *testing.T) {
 	// view from them.
 	net := setup(t, 4, transport.Sync, 0, 8)
 	nd := honest(t, net, 1, 1, []byte("V"))
-	fake := viewChangeMsg{Slot: 1, NewView: 1, PreparedView: -1, Sender: 2, Sig: []byte("bad")}
+	fake := consensus.ViewChangeMsg{Slot: 1, NewView: 1, PreparedView: -1, Sender: 2, Sig: []byte("bad")}
 	if nd.validVC(fake) {
 		t.Error("invalid VC signature accepted")
 	}

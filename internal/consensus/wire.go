@@ -1,0 +1,303 @@
+// Wire formats for the consensus protocols. Every message is a fixed
+// little-endian layout with explicit length prefixes — no gob, no maps —
+// so the bytes a node signs and broadcasts are identical whether the
+// instance runs on the simulator or over TCP, and a signature produced on
+// one transport verifies on the other. Decoders are strict (exact
+// consume, validated ranges), which makes every encoding canonical: the
+// fuzz harness pins decode(b) ok => encode(decode(b)) == b.
+package consensus
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// errWire is the uniform malformed-message error; protocol code treats it
+// as Byzantine garbage and drops the message.
+var errWire = errors.New("consensus: malformed wire message")
+
+func appendU32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+func appendI64(dst []byte, v int64) []byte {
+	return appendU64(dst, uint64(v))
+}
+
+// appendBytes writes a u32 length prefix followed by the bytes.
+func appendBytes(dst, p []byte) []byte {
+	dst = appendU32(dst, uint32(len(p)))
+	return append(dst, p...)
+}
+
+// wireReader consumes a buffer left to right; the first short read or
+// range violation latches ok=false and every later read returns zero.
+type wireReader struct {
+	b  []byte
+	ok bool
+}
+
+func (r *wireReader) u32() uint32 {
+	if !r.ok || len(r.b) < 4 {
+		r.ok = false
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *wireReader) u64() uint64 {
+	if !r.ok || len(r.b) < 8 {
+		r.ok = false
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *wireReader) i64() int64 { return int64(r.u64()) }
+
+// bytes reads a u32-length-prefixed field; zero length decodes to nil, so
+// encodings of nil and empty slices coincide on one canonical form.
+func (r *wireReader) bytes() []byte {
+	n := int(r.u32())
+	if !r.ok || n < 0 || n > len(r.b) {
+		r.ok = false
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := append([]byte(nil), r.b[:n]...)
+	r.b = r.b[n:]
+	return out
+}
+
+// count reads a u32 element count and rejects it when the remaining bytes
+// cannot possibly hold that many elements of minSize bytes — the guard
+// that keeps a hostile count from pre-allocating unbounded memory.
+func (r *wireReader) count(minSize int) int {
+	n := int(r.u32())
+	if !r.ok || n < 0 || n > len(r.b)/minSize {
+		r.ok = false
+		return 0
+	}
+	return n
+}
+
+// done reports a clean, fully-consumed decode.
+func (r *wireReader) done() bool { return r.ok && len(r.b) == 0 }
+
+// ChainMsg is Dolev-Strong's wire message: a value and its chain of blob
+// signatures (Signers[i] signed Value; the chains must survive relay by
+// other nodes, hence blob rather than envelope signatures).
+//
+// Layout: u64 slot | bytes value | u32 n | n x (u64 signer | bytes sig),
+// where `bytes` is a u32 length prefix followed by the raw bytes.
+type ChainMsg struct {
+	Slot    uint64
+	Value   []byte
+	Signers []uint64
+	Sigs    [][]byte
+}
+
+// AppendChainMsg appends the encoding of m to dst.
+func AppendChainMsg(dst []byte, m ChainMsg) ([]byte, error) {
+	if len(m.Signers) != len(m.Sigs) {
+		return nil, fmt.Errorf("consensus: chain with %d signers but %d sigs", len(m.Signers), len(m.Sigs))
+	}
+	dst = appendU64(dst, m.Slot)
+	dst = appendBytes(dst, m.Value)
+	dst = appendU32(dst, uint32(len(m.Signers)))
+	for i := range m.Signers {
+		dst = appendU64(dst, m.Signers[i])
+		dst = appendBytes(dst, m.Sigs[i])
+	}
+	return dst, nil
+}
+
+// DecodeChainMsg parses an encoded ChainMsg.
+func DecodeChainMsg(b []byte) (ChainMsg, error) {
+	r := wireReader{b: b, ok: true}
+	var m ChainMsg
+	m.Slot = r.u64()
+	m.Value = r.bytes()
+	n := r.count(12) // u64 signer + u32 sig length at minimum
+	for i := 0; i < n; i++ {
+		m.Signers = append(m.Signers, r.u64())
+		m.Sigs = append(m.Sigs, r.bytes())
+	}
+	if !r.done() {
+		return ChainMsg{}, errWire
+	}
+	return m, nil
+}
+
+// PrePrepareMsg is PBFT's leader proposal for one view.
+//
+// Layout: u64 slot | i64 view | bytes value.
+type PrePrepareMsg struct {
+	Slot  uint64
+	View  int
+	Value []byte
+}
+
+// AppendPrePrepareMsg appends the encoding of m to dst.
+func AppendPrePrepareMsg(dst []byte, m PrePrepareMsg) []byte {
+	dst = appendU64(dst, m.Slot)
+	dst = appendI64(dst, int64(m.View))
+	return appendBytes(dst, m.Value)
+}
+
+// DecodePrePrepareMsg parses an encoded PrePrepareMsg.
+func DecodePrePrepareMsg(b []byte) (PrePrepareMsg, error) {
+	r := wireReader{b: b, ok: true}
+	var m PrePrepareMsg
+	m.Slot = r.u64()
+	view := r.i64()
+	m.Value = r.bytes()
+	if !r.done() || view < 0 || view > int64(int(view)) {
+		return PrePrepareMsg{}, errWire
+	}
+	m.View = int(view)
+	return m, nil
+}
+
+// VoteMsg is PBFT's prepare/commit vote (the message kind distinguishes
+// the phase).
+//
+// Layout: u64 slot | i64 view | 32-byte digest.
+type VoteMsg struct {
+	Slot   uint64
+	View   int
+	Digest [32]byte
+}
+
+// AppendVoteMsg appends the encoding of m to dst.
+func AppendVoteMsg(dst []byte, m VoteMsg) []byte {
+	dst = appendU64(dst, m.Slot)
+	dst = appendI64(dst, int64(m.View))
+	return append(dst, m.Digest[:]...)
+}
+
+// DecodeVoteMsg parses an encoded VoteMsg.
+func DecodeVoteMsg(b []byte) (VoteMsg, error) {
+	r := wireReader{b: b, ok: true}
+	var m VoteMsg
+	m.Slot = r.u64()
+	view := r.i64()
+	if !r.ok || len(r.b) != 32 || view < 0 || view > int64(int(view)) {
+		return VoteMsg{}, errWire
+	}
+	copy(m.Digest[:], r.b)
+	m.View = int(view)
+	return m, nil
+}
+
+// ViewChangeMsg is PBFT's signed demand to move to NewView, carrying the
+// sender's prepared certificate (PreparedView == -1 when none). Sig is a
+// blob signature by Sender over the view-change content, so the new
+// leader can prove the demand to third parties inside a NewViewMsg.
+//
+// Layout: u64 slot | i64 newView | i64 preparedView | bytes preparedValue
+// | bytes sig | u64 sender.
+type ViewChangeMsg struct {
+	Slot          uint64
+	NewView       int
+	PreparedView  int
+	PreparedValue []byte
+	Sig           []byte
+	Sender        uint64
+}
+
+// viewChangeWireMin is the smallest possible ViewChangeMsg encoding: three
+// u64-sized fields, two empty byte fields, one u64 sender.
+const viewChangeWireMin = 8 + 8 + 8 + 4 + 4 + 8
+
+// AppendViewChangeMsg appends the encoding of m to dst.
+func AppendViewChangeMsg(dst []byte, m ViewChangeMsg) []byte {
+	dst = appendU64(dst, m.Slot)
+	dst = appendI64(dst, int64(m.NewView))
+	dst = appendI64(dst, int64(m.PreparedView))
+	dst = appendBytes(dst, m.PreparedValue)
+	dst = appendBytes(dst, m.Sig)
+	return appendU64(dst, m.Sender)
+}
+
+// decodeViewChangeInto consumes one ViewChangeMsg from the reader.
+func decodeViewChangeInto(r *wireReader, m *ViewChangeMsg) {
+	m.Slot = r.u64()
+	newView := r.i64()
+	preparedView := r.i64()
+	m.PreparedValue = r.bytes()
+	m.Sig = r.bytes()
+	m.Sender = r.u64()
+	if newView < 0 || newView > int64(int(newView)) ||
+		preparedView < -1 || preparedView > int64(int(preparedView)) {
+		r.ok = false
+		return
+	}
+	m.NewView = int(newView)
+	m.PreparedView = int(preparedView)
+}
+
+// DecodeViewChangeMsg parses an encoded ViewChangeMsg.
+func DecodeViewChangeMsg(b []byte) (ViewChangeMsg, error) {
+	r := wireReader{b: b, ok: true}
+	var m ViewChangeMsg
+	decodeViewChangeInto(&r, &m)
+	if !r.done() {
+		return ViewChangeMsg{}, errWire
+	}
+	return m, nil
+}
+
+// NewViewMsg is the new leader's view installation: the adopted value
+// plus the 2f+1 view-change messages proving the view change legitimate.
+//
+// Layout: u64 slot | i64 view | bytes value | u32 n | n x ViewChangeMsg.
+type NewViewMsg struct {
+	Slot  uint64
+	View  int
+	Value []byte
+	Proof []ViewChangeMsg
+}
+
+// AppendNewViewMsg appends the encoding of m to dst.
+func AppendNewViewMsg(dst []byte, m NewViewMsg) []byte {
+	dst = appendU64(dst, m.Slot)
+	dst = appendI64(dst, int64(m.View))
+	dst = appendBytes(dst, m.Value)
+	dst = appendU32(dst, uint32(len(m.Proof)))
+	for i := range m.Proof {
+		dst = AppendViewChangeMsg(dst, m.Proof[i])
+	}
+	return dst
+}
+
+// DecodeNewViewMsg parses an encoded NewViewMsg.
+func DecodeNewViewMsg(b []byte) (NewViewMsg, error) {
+	r := wireReader{b: b, ok: true}
+	var m NewViewMsg
+	m.Slot = r.u64()
+	view := r.i64()
+	m.Value = r.bytes()
+	n := r.count(viewChangeWireMin)
+	for i := 0; i < n; i++ {
+		var vc ViewChangeMsg
+		decodeViewChangeInto(&r, &vc)
+		m.Proof = append(m.Proof, vc)
+	}
+	if !r.done() || view < 0 || view > int64(int(view)) {
+		return NewViewMsg{}, errWire
+	}
+	m.View = int(view)
+	return m, nil
+}

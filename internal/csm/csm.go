@@ -689,8 +689,12 @@ func (c *Cluster[E]) runDolevStrong(valid []byte) ([]byte, int, error) {
 	nodes := make([]consensus.Node, c.cfg.N)
 	waitFor := make([]int, 0, c.cfg.N)
 	for i := 0; i < c.cfg.N; i++ {
+		tr, err := consensus.NewNetTransport(c.net, transport.NodeID(i))
+		if err != nil {
+			return nil, 0, err
+		}
 		nd, err := dolevstrong.New(dolevstrong.Config{
-			Net: c.net, ID: transport.NodeID(i), Sender: transport.NodeID(leader),
+			Transport: tr, Sender: transport.NodeID(leader),
 			Slot: uint64(c.round), MaxFaults: c.cfg.MaxFaults,
 			Value: proposal, Default: nil,
 		})
@@ -718,8 +722,12 @@ func (c *Cluster[E]) runPBFT(valid []byte) ([]byte, int, error) {
 		if c.cfg.Byzantine[i] == BadLeader {
 			proposal = []byte("garbage-batch")
 		}
+		tr, err := consensus.NewNetTransport(c.net, transport.NodeID(i))
+		if err != nil {
+			return nil, 0, err
+		}
 		nd, err := pbft.New(pbft.Config{
-			Net: c.net, ID: transport.NodeID(i), Slot: uint64(c.round),
+			Transport: tr, Slot: uint64(c.round),
 			MaxFaults: c.cfg.MaxFaults, Value: proposal,
 		})
 		if err != nil {

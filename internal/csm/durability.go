@@ -62,7 +62,7 @@ func (d DurabilityConfig) normalized() DurabilityConfig {
 // WAL record types (the type byte of each wal record).
 const (
 	recNodeBatch    byte = 1 // remote: decided batch, write-ahead
-	recNodeApplied  byte = 2 // remote: post-round share + digest + outputs
+	recNodeApplied  byte = 2 // remote: post-round share + digest + outputs + deciding protocol
 	recClusterBatch byte = 3 // in-process: decided batch, write-ahead
 )
 
@@ -192,6 +192,13 @@ type nodeStore struct {
 	log *wal.Log
 	seq uint64
 
+	// proto is the consensus protocol this node decides batches under;
+	// every applied record notes it, and replaying a record written under
+	// a different protocol is a typed error (protoErr) — the directory
+	// belongs to a differently-configured cluster.
+	proto    ConsensusKind
+	protoErr error
+
 	snapEvery int
 	lastSnap  int // round of the newest snapshot
 	prevSnap  int // round of the previous snapshot (retention floor)
@@ -202,7 +209,7 @@ type nodeStore struct {
 	appendBuf bwriter
 }
 
-func openNodeStore(cfg DurabilityConfig) (*nodeStore, error) {
+func openNodeStore(cfg DurabilityConfig, proto ConsensusKind) (*nodeStore, error) {
 	cfg = cfg.normalized()
 	if cfg.Dir == "" {
 		return nil, errors.New("csm: durability: empty data directory")
@@ -213,6 +220,7 @@ func openNodeStore(cfg DurabilityConfig) (*nodeStore, error) {
 	s := &nodeStore{
 		cfg:       cfg.Sync,
 		dir:       cfg.Dir,
+		proto:     proto,
 		snapEvery: cfg.SnapshotEvery,
 		applied:   make(map[int]appliedState),
 	}
@@ -247,6 +255,10 @@ func openNodeStore(cfg DurabilityConfig) (*nodeStore, error) {
 	for _, rec := range recs {
 		s.absorbRecord(rec, true)
 	}
+	if s.protoErr != nil {
+		log.Close()
+		return nil, s.protoErr
+	}
 	return s, nil
 }
 
@@ -274,6 +286,7 @@ func (s *nodeStore) absorbRecord(rec wal.Record, advance bool) {
 	}
 	r := &breader{b: rec.Payload}
 	round := int(r.u64())
+	proto := ConsensusKind(r.u8())
 	share := r.vec()
 	digest := r.bytes()
 	k := int(r.u32())
@@ -285,6 +298,11 @@ func (s *nodeStore) absorbRecord(rec wal.Record, advance bool) {
 		outputs[i] = r.vec()
 	}
 	if !r.done() {
+		return
+	}
+	if proto != s.proto && s.protoErr == nil {
+		s.protoErr = fmt.Errorf("%w: applied record for round %d was decided by %v, node is configured for %v (in %s)",
+			ErrConsensusMismatch, round, proto, s.proto, s.dir)
 		return
 	}
 	s.applied[round] = appliedState{share: share, digest: digest, outputs: outputs}
@@ -304,11 +322,13 @@ func (s *nodeStore) appendBatch(round int, payload []byte) error {
 	return s.log.Append(recNodeBatch, w.b)
 }
 
-// appendApplied logs one executed round's resulting state.
+// appendApplied logs one executed round's resulting state, stamped with
+// the protocol that decided the round's batch.
 func (s *nodeStore) appendApplied(round int, share []uint64, digest []byte, outputs [][]uint64) error {
 	w := &s.appendBuf
 	w.b = w.b[:0]
 	w.u64(uint64(round))
+	w.u8(byte(s.proto))
 	w.vec(share)
 	w.bytes(digest)
 	w.u32(uint32(len(outputs)))

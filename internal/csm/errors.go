@@ -39,6 +39,20 @@ var (
 	// ErrClientClosed reports a Submit on an ingress client that has been
 	// closed (or whose scheduler already failed; the failure is attached).
 	ErrClientClosed = errors.New("csm: client closed")
+
+	// ErrConsensusConfig reports a consensus selection that can never work
+	// for the cluster shape — PBFT with N < 3b+1, an unknown kind, or a
+	// driver entry point that does not match the configured protocol
+	// (RunWorkload under Oracle, LeadBatch under BFT). It is raised
+	// eagerly, by ValidateRemoteConsensus and csmnode bootstrap, before
+	// any socket is opened.
+	ErrConsensusConfig = errors.New("csm: invalid consensus configuration")
+
+	// ErrConsensusMismatch reports a durable data directory whose applied
+	// records were decided under a different consensus protocol than the
+	// process is configured for: resuming would splice two histories whose
+	// decisions are not interchangeable.
+	ErrConsensusMismatch = errors.New("csm: durable state was decided under a different consensus protocol")
 )
 
 // BatchError is the structured form of every mid-workload failure: Err is

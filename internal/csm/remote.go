@@ -4,9 +4,10 @@
 // N nodes in one process — and is therefore the deterministic oracle —
 // a NodeProcess runs exactly one node's side of the round protocol:
 //
-//   - node 0 is the sequencer (the paper's trusted-sequencer "Oracle"
-//     consensus, Section 2.2): it broadcasts each agreed command batch
-//     in the same gob batchMsg the simulated consensus phase serializes;
+//   - in Oracle mode node 0 is the sequencer (the paper's
+//     trusted-sequencer consensus, Section 2.2): it broadcasts each
+//     agreed command batch in the same gob batchMsg the simulated
+//     consensus phase serializes;
 //   - every node Lagrange-encodes its coded command row, applies the
 //     transition to its coded state, and broadcasts the result in the
 //     same fixed binary codec (encodeResult) the simulated path uses;
@@ -19,11 +20,13 @@
 // on the same workload — TestRemoteMatchesCluster pins this over local
 // links and over real TCP.
 //
-// Scope: the remote path runs honest nodes under the trusted sequencer.
-// Byzantine behaviours, churn, and the BFT consensus protocols remain on
-// the simulated engine (their knobs are simulation-only; see
-// transport.ErrSimulationOnly). Running Dolev-Strong/PBFT over TCP is
-// ROADMAP work.
+// Scope: how a batch is decided is pluggable (RemoteConfig.Consensus).
+// Oracle keeps the trusted-sequencer split above; DolevStrong and PBFT
+// replace it with the real BFT protocols running over the same link —
+// see remote_consensus.go and RunWorkload — with PBFT's view change
+// providing real leader failover for the multi-process engine.
+// Byzantine behaviour *injection* and churn remain simulation-only
+// knobs (see transport.ErrSimulationOnly).
 package csm
 
 import (
@@ -67,11 +70,20 @@ type RemoteConfig[E comparable] struct {
 	NewTransition TransitionFactory[E]
 	// K is the number of state machines.
 	K int
-	// MaxFaults is the fault budget b the code is sized for. The remote
+	// MaxFaults is the fault budget b the code is sized for. The Oracle
 	// execution phase requires all N results (honest deployment), but
 	// the capacity check K <= SyncMaxMachines(N, b, d) still applies so a
 	// config that could never decode under b faults is rejected up front.
+	// Consensus modes additionally validate the protocol's own quorum
+	// shape (PBFT: N >= 3b+1) and tolerate dead peers in the execution
+	// phase by subset-decoding once enough results arrived.
 	MaxFaults int
+	// Consensus selects how each batch is decided. Oracle (the default)
+	// is the trusted sequencer: node 0 leads, everyone else follows.
+	// DolevStrong and PBFT run the real BFT protocols over the link —
+	// every node drives the symmetric RunWorkload instead of the
+	// Lead/Follow split (see remote_consensus.go).
+	Consensus ConsensusKind
 	// InitialStates holds K state vectors; nil means all-zero states.
 	InitialStates [][]E
 	// MaxTicksPerRound bounds the lock-step ticks a node waits for the
@@ -98,6 +110,10 @@ type NodeProcess[E comparable] struct {
 	round      int // workload round (not the link's lock-step round)
 	codedState []E
 	stopped    bool
+	// startView is the PBFT view the previous instance decided in; new
+	// instances start there so a dead leader costs one view change per
+	// run, not one per batch.
+	startView int
 
 	// digest is the canonical run digest over all decoded outputs; with
 	// durability it is persisted per round and survives restarts.
@@ -124,6 +140,9 @@ func NewNodeProcess[E comparable](cfg RemoteConfig[E], link transport.Link) (*No
 	n := link.N()
 	if cfg.MaxFaults < 0 {
 		return nil, fmt.Errorf("csm: negative MaxFaults %d", cfg.MaxFaults)
+	}
+	if err := ValidateRemoteConsensus(cfg.Consensus, n, cfg.MaxFaults); err != nil {
+		return nil, err
 	}
 	if cfg.MaxTicksPerRound == 0 {
 		cfg.MaxTicksPerRound = 200
@@ -171,7 +190,7 @@ func NewNodeProcess[E comparable](cfg RemoteConfig[E], link transport.Link) (*No
 	p.initialCoded = append([]E(nil), p.codedState...)
 	p.digest = nodeapi.NewDigest()
 	if cfg.Durability != nil {
-		store, err := openNodeStore(*cfg.Durability)
+		store, err := openNodeStore(*cfg.Durability, cfg.Consensus)
 		if err != nil {
 			return nil, err
 		}
@@ -238,36 +257,16 @@ func (p *NodeProcess[E]) PadCommand() []E {
 // execution micro-steps. It returns the decoded outputs, one [K][]E
 // slice per round. Only the sequencer may call it.
 func (p *NodeProcess[E]) LeadBatch(batch [][][]E) ([][][]E, error) {
+	if p.cfg.Consensus != Oracle {
+		return nil, fmt.Errorf("%w: %v clusters drive RunWorkload, not LeadBatch", ErrConsensusConfig, p.cfg.Consensus)
+	}
 	if !p.IsSequencer() {
 		return nil, fmt.Errorf("csm: node %d is not the sequencer (node %d leads)", p.self, SequencerID)
 	}
 	if p.stopped {
 		return nil, ErrStopped
 	}
-	if len(batch) == 0 {
-		return nil, errors.New("csm: empty batch")
-	}
-	for j, cmds := range batch {
-		if len(cmds) != p.cfg.K {
-			return nil, fmt.Errorf("csm: batch round %d: %d command vectors for K=%d machines", j, len(cmds), p.cfg.K)
-		}
-		for k, cmd := range cmds {
-			if len(cmd) != p.tr.CmdLen() {
-				return nil, fmt.Errorf("csm: batch round %d: command %d has length %d, want %d", j, k, len(cmd), p.tr.CmdLen())
-			}
-		}
-	}
-	wire := make([][]uint64, 0, len(batch)*p.cfg.K)
-	for _, cmds := range batch {
-		for _, cmd := range cmds {
-			w := make([]uint64, len(cmd))
-			for i, e := range cmd {
-				w[i] = p.cfg.BaseField.Uint64(e)
-			}
-			wire = append(wire, w)
-		}
-	}
-	payload, err := encodePayload(batchMsg{Round: p.round, Cmds: wire})
+	payload, err := p.encodeBatchProposal(batch)
 	if err != nil {
 		return nil, err
 	}
@@ -292,6 +291,9 @@ func (p *NodeProcess[E]) LeadBatch(batch [][][]E) ([][][]E, error) {
 // is true (with nil outputs) once the sequencer has broadcast the stop
 // marker. Followers call it in a loop; Follow does exactly that.
 func (p *NodeProcess[E]) FollowBatch() (outputs [][][]E, done bool, err error) {
+	if p.cfg.Consensus != Oracle {
+		return nil, false, fmt.Errorf("%w: %v clusters drive RunWorkload, not FollowBatch", ErrConsensusConfig, p.cfg.Consensus)
+	}
 	if p.IsSequencer() {
 		return nil, false, errors.New("csm: the sequencer leads batches, it does not follow")
 	}
@@ -331,6 +333,37 @@ func (p *NodeProcess[E]) FollowBatch() (outputs [][][]E, done bool, err error) {
 	}
 }
 
+// encodeBatchProposal validates the batch shape and serializes it as
+// the canonical batchMsg payload for the node's current round — the
+// exact bytes the simulated consensus phase proposes, which is what
+// keeps run digests identical across engines and consensus modes.
+func (p *NodeProcess[E]) encodeBatchProposal(batch [][][]E) ([]byte, error) {
+	if len(batch) == 0 {
+		return nil, errors.New("csm: empty batch")
+	}
+	for j, cmds := range batch {
+		if len(cmds) != p.cfg.K {
+			return nil, fmt.Errorf("csm: batch round %d: %d command vectors for K=%d machines", j, len(cmds), p.cfg.K)
+		}
+		for k, cmd := range cmds {
+			if len(cmd) != p.tr.CmdLen() {
+				return nil, fmt.Errorf("csm: batch round %d: command %d has length %d, want %d", j, k, len(cmd), p.tr.CmdLen())
+			}
+		}
+	}
+	wire := make([][]uint64, 0, len(batch)*p.cfg.K)
+	for _, cmds := range batch {
+		for _, cmd := range cmds {
+			w := make([]uint64, len(cmd))
+			for i, e := range cmd {
+				w[i] = p.cfg.BaseField.Uint64(e)
+			}
+			wire = append(wire, w)
+		}
+	}
+	return encodePayload(batchMsg{Round: p.round, Cmds: wire})
+}
+
 // executeSteps runs the coded execution micro-steps of one agreed batch.
 // All N nodes run it in lock step; on return every node has decoded all
 // rounds and re-encoded its coded state.
@@ -349,6 +382,10 @@ func (p *NodeProcess[E]) executeSteps(batch [][][]E) ([][][]E, error) {
 		flat[k] = row
 	}
 	p.cmdScratch = lagrangeRowInto(p.bulk, f.Zero(), p.code.Coeffs()[p.self], flat, p.cmdScratch, steps*cmdLen)
+	// minShares is the exact erasure-decode threshold deg(f∘u)+1 =
+	// (K-1)d+1: consensus modes fall back to it when a peer is dead
+	// (e.g. a killed PBFT leader); Oracle mode always waits for all N.
+	minShares := (p.cfg.K-1)*p.tr.Degree() + 1
 	out := make([][][]E, 0, steps)
 	for j := 0; j < steps; j++ {
 		cmd := p.cmdScratch[j*cmdLen : (j+1)*cmdLen]
@@ -361,6 +398,11 @@ func (p *NodeProcess[E]) executeSteps(batch [][][]E) ([][][]E, error) {
 		}
 		received := map[int][]E{p.self: result}
 		for ticks := 0; len(received) < p.n; ticks++ {
+			if p.cfg.Consensus != Oracle && ticks >= quorumGraceTicks && len(received) >= minShares {
+				// Stragglers got their grace; the subset decode below
+				// recovers every output exactly from what arrived.
+				break
+			}
 			if ticks >= p.cfg.MaxTicksPerRound {
 				missing := make([]int, 0, p.n)
 				for i := 0; i < p.n; i++ {

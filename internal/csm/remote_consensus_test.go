@@ -1,0 +1,337 @@
+package csm
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"codedsm/internal/field"
+	"codedsm/internal/sm"
+	"codedsm/internal/transport"
+)
+
+// The consensus fixture: N=4 nodes sized for one real fault with K=2
+// degree-1 registers ((K-1)d + 2b + 1 = 4), the smallest shape where
+// PBFT (N >= 3b+1) and the erasure threshold (K-1)d+1 = 2 both leave
+// room for a dead node.
+const (
+	consN      = 4
+	consK      = 2
+	consFaults = 1
+	consRounds = 8
+	consSeed   = 1711
+)
+
+func consTransition(f field.Field[uint64]) (*sm.Transition[uint64], error) {
+	return sm.NewPolynomialRegister(f, 1)
+}
+
+// consOracleOutputs runs the consensus fixture's workload on the
+// simulated Oracle cluster — the deterministic reference every
+// consensus mode must reproduce bit-identically.
+func consOracleOutputs(t *testing.T, workload [][][]uint64) [][][]uint64 {
+	t.Helper()
+	c, err := New(Config[uint64]{
+		BaseField:     field.NewGoldilocks(),
+		NewTransition: consTransition,
+		K:             consK,
+		N:             consN,
+		MaxFaults:     consFaults,
+		Mode:          transport.Sync,
+		Consensus:     Oracle,
+		Seed:          consSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := c.Run(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][][]uint64, len(results))
+	for r, res := range results {
+		if !res.Correct {
+			t.Fatalf("oracle round %d not correct", r)
+		}
+		out[r] = res.Outputs
+	}
+	return out
+}
+
+// consProcess builds one consensus-fixture node over the given link.
+func consProcess(t *testing.T, kind ConsensusKind, l transport.Link) *NodeProcess[uint64] {
+	t.Helper()
+	p, err := NewNodeProcess(RemoteConfig[uint64]{
+		BaseField:     field.NewGoldilocks(),
+		NewTransition: consTransition,
+		K:             consK,
+		MaxFaults:     consFaults,
+		Consensus:     kind,
+	}, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestRemoteConsensusMatchesOracleOverLocalLinks is the pluggable-
+// consensus equivalence contract on the deterministic transport: a
+// symmetric RunWorkload cluster deciding every batch with a real BFT
+// protocol produces outputs bit-identical to the simulated Oracle
+// cluster on the same workload.
+func TestRemoteConsensusMatchesOracleOverLocalLinks(t *testing.T) {
+	gold := field.NewGoldilocks()
+	workload := RandomWorkload[uint64](gold, consRounds, consK, 1, consSeed)
+	want := consOracleOutputs(t, workload)
+	for _, kind := range []ConsensusKind{DolevStrong, PBFT} {
+		for _, batch := range []int{1, 3} {
+			net, err := transport.New(transport.Config{N: consN, Mode: transport.Sync, Seed: consSeed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			links, err := transport.NewLocalLinks(net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs := make([][][][]uint64, consN)
+			errs := make([]error, consN)
+			var wg sync.WaitGroup
+			for i, l := range links {
+				wg.Add(1)
+				go func(i int, l transport.Link) {
+					defer wg.Done()
+					p := consProcess(t, kind, l)
+					outs[i], errs[i] = p.RunWorkload(workload, batch)
+				}(i, l)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("%v batch=%d node %d: %v", kind, batch, i, err)
+				}
+			}
+			for i := range outs {
+				requireIdentical(t, i, outs[i], want)
+			}
+		}
+	}
+}
+
+// tcpConsensusLinks brings up N real TCP links for the consensus
+// fixture, with the barrier sized to survive consFaults dead peers.
+func tcpConsensusLinks(t *testing.T) []transport.Link {
+	t.Helper()
+	addrs := make([]string, consN)
+	lns := make([]net.Listener, consN)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	links := make([]transport.Link, consN)
+	errs := make([]error, consN)
+	var wg sync.WaitGroup
+	for i := 0; i < consN; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tcp, err := transport.NewTCP(transport.TCPConfig{
+				Self: transport.NodeID(i), N: consN, Seed: consSeed,
+				Listen: addrs[i], Peers: addrs,
+				DialTimeout: 20 * time.Second, StepTimeout: 20 * time.Second,
+				FailoverQuorum: consN - 1 - consFaults,
+				SuspectAfter:   250 * time.Millisecond,
+			})
+			links[i], errs[i] = tcp, err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("tcp node %d: %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, l := range links {
+			if l != nil {
+				l.Close()
+			}
+		}
+	})
+	return links
+}
+
+// TestRemotePBFTMatchesOracleOverTCP pins the acceptance contract: a
+// 4-process-shaped PBFT cluster over real localhost sockets lands
+// bit-identical to the in-memory simulated oracle.
+func TestRemotePBFTMatchesOracleOverTCP(t *testing.T) {
+	gold := field.NewGoldilocks()
+	workload := RandomWorkload[uint64](gold, consRounds, consK, 1, consSeed)
+	want := consOracleOutputs(t, workload)
+	links := tcpConsensusLinks(t)
+	outs := make([][][][]uint64, consN)
+	errs := make([]error, consN)
+	var wg sync.WaitGroup
+	for i, l := range links {
+		wg.Add(1)
+		go func(i int, l transport.Link) {
+			defer wg.Done()
+			p := consProcess(t, PBFT, l)
+			outs[i], errs[i] = p.RunWorkload(workload, 2)
+		}(i, l)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	for i := range outs {
+		requireIdentical(t, i, outs[i], want)
+	}
+}
+
+// TestRemotePBFTLeaderFailoverOverTCP is the leader-failover contract:
+// the view-0 leader (node 0) dies after a prefix of the workload — its
+// link closes mid-run — and the survivors' view change routes
+// leadership around it, completes every remaining round, and still
+// produces the oracle's outputs bit-identically.
+func TestRemotePBFTLeaderFailoverOverTCP(t *testing.T) {
+	const killAfter = 3 // rounds the leader completes before dying
+	gold := field.NewGoldilocks()
+	workload := RandomWorkload[uint64](gold, consRounds, consK, 1, consSeed)
+	want := consOracleOutputs(t, workload)
+	links := tcpConsensusLinks(t)
+	outs := make([][][][]uint64, consN)
+	errs := make([]error, consN)
+	var wg sync.WaitGroup
+	for i, l := range links {
+		wg.Add(1)
+		go func(i int, l transport.Link) {
+			defer wg.Done()
+			p := consProcess(t, PBFT, l)
+			if i == 0 {
+				// The leader executes only a prefix, then drops off the
+				// network — the moral equivalent of kill -9 mid-run.
+				outs[i], errs[i] = p.RunWorkload(workload[:killAfter], 1)
+				l.Close()
+				return
+			}
+			outs[i], errs[i] = p.RunWorkload(workload, 1)
+		}(i, l)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	requireIdentical(t, 0, outs[0], want[:killAfter])
+	for i := 1; i < consN; i++ {
+		requireIdentical(t, i, outs[i], want)
+	}
+}
+
+// TestValidateRemoteConsensus pins the eager typed validation used by
+// NewNodeProcess and csmnode bootstrap.
+func TestValidateRemoteConsensus(t *testing.T) {
+	cases := []struct {
+		kind    ConsensusKind
+		n, b    int
+		wantErr bool
+	}{
+		{Oracle, 4, 0, false},
+		{Oracle, 4, 3, false}, // oracle has no quorum shape of its own
+		{DolevStrong, 4, 1, false},
+		{DolevStrong, 4, 4, true}, // b >= N
+		{DolevStrong, 1, 0, true}, // no peers to relay to
+		{PBFT, 4, 1, false},
+		{PBFT, 4, 2, true}, // N < 3b+1
+		{PBFT, 7, 2, false},
+		{ConsensusKind(42), 4, 0, true}, // unknown kind
+		{PBFT, 4, -1, true},             // negative budget
+	}
+	for _, tc := range cases {
+		err := ValidateRemoteConsensus(tc.kind, tc.n, tc.b)
+		if tc.wantErr && !errors.Is(err, ErrConsensusConfig) {
+			t.Errorf("ValidateRemoteConsensus(%v, %d, %d) = %v, want ErrConsensusConfig", tc.kind, tc.n, tc.b, err)
+		}
+		if !tc.wantErr && err != nil {
+			t.Errorf("ValidateRemoteConsensus(%v, %d, %d) = %v, want nil", tc.kind, tc.n, tc.b, err)
+		}
+	}
+}
+
+// TestRemoteConsensusEntryPoints pins that the driver surface matches
+// the configured protocol: BFT clusters refuse the sequencer split,
+// Oracle clusters refuse RunWorkload.
+func TestRemoteConsensusEntryPoints(t *testing.T) {
+	net, err := transport.New(transport.Config{N: consN, Mode: transport.Sync, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	links, err := transport.NewLocalLinks(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bft := consProcess(t, PBFT, links[0])
+	if _, err := bft.LeadBatch([][][]uint64{{{1}, {2}}}); !errors.Is(err, ErrConsensusConfig) {
+		t.Errorf("LeadBatch under PBFT: %v, want ErrConsensusConfig", err)
+	}
+	bft1 := consProcess(t, PBFT, links[1])
+	if _, _, err := bft1.FollowBatch(); !errors.Is(err, ErrConsensusConfig) {
+		t.Errorf("FollowBatch under PBFT: %v, want ErrConsensusConfig", err)
+	}
+	oracle := consProcess(t, Oracle, links[2])
+	if _, err := oracle.RunWorkload(nil, 1); !errors.Is(err, ErrConsensusConfig) {
+		t.Errorf("RunWorkload under Oracle: %v, want ErrConsensusConfig", err)
+	}
+	// A PBFT shape the capacity check admits but the quorum check must
+	// reject: K=1 fits N=5 b=2, PBFT needs N >= 7.
+	if _, err := NewNodeProcess(RemoteConfig[uint64]{
+		BaseField:     field.NewGoldilocks(),
+		NewTransition: consTransition,
+		K:             consK,
+		MaxFaults:     consFaults,
+		Consensus:     ConsensusKind(42),
+	}, links[3]); !errors.Is(err, ErrConsensusConfig) {
+		t.Errorf("NewNodeProcess with unknown kind: %v, want ErrConsensusConfig", err)
+	}
+}
+
+// TestDurableConsensusProtocolMismatch: a data directory written under
+// one protocol must refuse to resume under another, with the typed
+// sentinel.
+func TestDurableConsensusProtocolMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := openNodeStore(DurabilityConfig{Dir: dir}, PBFT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.appendApplied(0, []uint64{1, 2}, []byte("digest-state"), [][]uint64{{3}, {4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openNodeStore(DurabilityConfig{Dir: dir}, Oracle); !errors.Is(err, ErrConsensusMismatch) {
+		t.Fatalf("reopen under Oracle: %v, want ErrConsensusMismatch", err)
+	}
+	// Same protocol resumes fine, at the recorded round.
+	s2, err := openNodeStore(DurabilityConfig{Dir: dir}, PBFT)
+	if err != nil {
+		t.Fatalf("reopen under PBFT: %v", err)
+	}
+	defer s2.close()
+	if s2.round != 1 {
+		t.Fatalf("recovered round %d, want 1", s2.round)
+	}
+}

@@ -45,8 +45,18 @@ type Link interface {
 	// Step ends this node's round: it blocks until every node in the
 	// cluster has ended the same round, advances to the next one, and
 	// returns the messages delivered to this node (everything sent to it
-	// during the round that just ended).
+	// during the round that just ended). A TCP link configured with a
+	// FailoverQuorum may instead advance once that many peers have ended
+	// the round, suspecting the rest (see TCPConfig).
 	Step() ([]Message, error)
+	// SignBlob signs protocol content under a domain-separation context
+	// with this node's key. Blob signatures survive re-broadcast by other
+	// nodes (Dolev-Strong chains, PBFT view-change proofs), unlike the
+	// per-message envelope signature, which binds sender and round.
+	SignBlob(context string, data []byte) []byte
+	// VerifyBlob verifies a blob signature produced by node id's SignBlob
+	// against the cluster roster.
+	VerifyBlob(id NodeID, context string, data, sig []byte) bool
 	// SetDown injects a crash (simulation only; the TCP transport fails
 	// with ErrSimulationOnly).
 	SetDown(id NodeID, down bool) error
@@ -104,6 +114,14 @@ func (l *localLink) Send(to NodeID, kind string, payload []byte) error {
 
 func (l *localLink) Broadcast(kind string, payload []byte) error {
 	return l.ep.Broadcast(kind, payload)
+}
+
+func (l *localLink) SignBlob(context string, data []byte) []byte {
+	return l.ep.SignBlob(context, data)
+}
+
+func (l *localLink) VerifyBlob(id NodeID, context string, data, sig []byte) bool {
+	return l.g.net.VerifyBlob(id, context, data, sig)
 }
 
 func (l *localLink) SetDown(id NodeID, down bool) error {

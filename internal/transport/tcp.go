@@ -47,6 +47,24 @@ type TCPConfig struct {
 	// BindBackoff is the initial wait between bind attempts; it doubles
 	// per attempt up to 2s. Defaults to RetryBackoff.
 	BindBackoff time.Duration
+	// FailoverQuorum, when positive, lets Step advance without the full
+	// barrier: once that many peers (excluding self) have ended the round
+	// and SuspectAfter has elapsed, the missing peers are marked suspected
+	// and the round completes without them. Suspected peers are skipped by
+	// later barriers (their frames are buffered, not written, so a crashed
+	// peer cannot stall writes either) and rehabilitated the moment one of
+	// their end-of-round markers arrives. Zero (the default) keeps the
+	// strict all-peers barrier: any dead peer fails Step at StepTimeout.
+	//
+	// This knob trades the synchronous model's full-barrier determinism
+	// for liveness under crash faults; enable it only when the protocol on
+	// top tolerates missing senders (PBFT with N >= 3f+1 does, the Oracle
+	// engine does not).
+	FailoverQuorum int
+	// SuspectAfter is how long a quorum-satisfied barrier waits for
+	// stragglers before suspecting them. Only meaningful with
+	// FailoverQuorum > 0. Defaults to 2s.
+	SuspectAfter time.Duration
 	// Logf, when non-nil, receives connection-lifecycle diagnostics
 	// (dials, retries, replaced connections). Protocol traffic is never
 	// logged.
@@ -94,7 +112,8 @@ type TCP struct {
 	round    int
 	buffered map[int][]Message       // send round -> verified messages for Self
 	seen     map[int]map[string]bool // send round -> frame bodies (reconnect dedup)
-	doneFrom map[int]map[NodeID]bool // round -> peers whose DONE arrived
+	doneMax  map[NodeID]int          // highest round each peer has ended (absent: none)
+	suspect  map[NodeID]bool         // peers presumed crashed (failover mode only)
 	inConns  map[NodeID]net.Conn     // inbound (receive-only) connections
 	out      map[NodeID]*outConn     // outbound (send-only) connections
 	closed   bool
@@ -129,6 +148,12 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 	if cfg.BindBackoff <= 0 {
 		cfg.BindBackoff = cfg.RetryBackoff
 	}
+	if cfg.FailoverQuorum < 0 || cfg.FailoverQuorum > cfg.N-1 {
+		return nil, fmt.Errorf("transport: failover quorum %d out of range [0,%d]", cfg.FailoverQuorum, cfg.N-1)
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 2 * time.Second
+	}
 	pubs, privs := DeriveKeys(cfg.Seed, cfg.N)
 	var ln net.Listener
 	for attempt, backoff := 0, cfg.BindBackoff; ; attempt++ {
@@ -156,7 +181,8 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 		ln:       ln,
 		buffered: make(map[int][]Message),
 		seen:     make(map[int]map[string]bool),
-		doneFrom: make(map[int]map[NodeID]bool),
+		doneMax:  make(map[NodeID]int),
+		suspect:  make(map[NodeID]bool),
 		inConns:  make(map[NodeID]net.Conn),
 		out:      make(map[NodeID]*outConn),
 	}
@@ -174,7 +200,7 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 		dialWG.Add(1)
 		go func(id NodeID) {
 			defer dialWG.Done()
-			conn, err := t.dialPeer(id)
+			conn, err := t.dialPeer(id, t.cfg.DialTimeout)
 			if err != nil {
 				dialErrs[id] = err
 				return
@@ -202,9 +228,10 @@ func (t *TCP) logf(format string, args ...any) {
 }
 
 // dialPeer connects to one peer with exponential backoff, sends the
-// signed hello, and returns the connection.
-func (t *TCP) dialPeer(id NodeID) (net.Conn, error) {
-	deadline := time.Now().Add(t.cfg.DialTimeout) //csmlint:allow detsource(dial deadline on a real socket; I/O pacing, never protocol state)
+// signed hello, and returns the connection. The timeout bounds the whole
+// attempt, backoff included.
+func (t *TCP) dialPeer(id NodeID, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout) //csmlint:allow detsource(dial deadline on a real socket; I/O pacing, never protocol state)
 	backoff := t.cfg.RetryBackoff
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -214,7 +241,7 @@ func (t *TCP) dialPeer(id NodeID) (net.Conn, error) {
 		//csmlint:allow detsource(dial deadline on a real socket; I/O pacing, never protocol state)
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("transport: node %d could not reach node %d at %s within %v: %w",
-				t.cfg.Self, id, t.cfg.Peers[id], t.cfg.DialTimeout, lastErr)
+				t.cfg.Self, id, t.cfg.Peers[id], timeout, lastErr)
 		}
 		//csmlint:allow detsource(remaining dial budget on a real socket)
 		conn, err := net.DialTimeout("tcp", t.cfg.Peers[id], time.Until(deadline))
@@ -305,18 +332,20 @@ func (t *TCP) readLoop(id NodeID, conn net.Conn) {
 				continue
 			}
 			t.mu.Lock()
-			// A peer is legitimately at most one round ahead (it cannot
-			// pass barrier r+1 without our DONE(r+1)); anything further is
-			// garbage and must not grow the maps unboundedly.
-			if round >= t.round && round <= t.round+1 {
-				set := t.doneFrom[round]
-				if set == nil {
-					set = make(map[NodeID]bool, t.cfg.N)
-					t.doneFrom[round] = set
-				}
-				set[id] = true
-				t.cond.Broadcast()
+			// DONE(r) marks the end of every round up to r, so one integer
+			// per peer is enough — and it stays correct when failover lets
+			// the cluster advance several rounds past a straggler. The
+			// marker only feeds the barrier count (never message content),
+			// so a lying future round can at worst stop us waiting for a
+			// peer the failover policy would drop anyway.
+			if max, ok := t.doneMax[id]; !ok || round > max {
+				t.doneMax[id] = round
 			}
+			if t.suspect[id] && round >= t.round {
+				delete(t.suspect, id)
+				t.logf("node %d rehabilitated node %d (DONE for round %d arrived)", t.cfg.Self, id, round)
+			}
+			t.cond.Broadcast()
 			t.mu.Unlock()
 		default:
 			// Unknown frame type: ignore (forward compatibility).
@@ -395,6 +424,55 @@ func (t *TCP) SetDown(id NodeID, down bool) error {
 	return fmt.Errorf("transport: SetDown(%d, %v) on the TCP transport: %w", id, down, ErrSimulationOnly)
 }
 
+// SignBlob signs protocol content under a domain-separation context with
+// this node's key (same byte layout as the simulated Endpoint's SignBlob,
+// so chains signed on one transport verify on the other).
+func (t *TCP) SignBlob(context string, data []byte) []byte {
+	return ed25519.Sign(t.priv, blobBytes(context, data))
+}
+
+// VerifyBlob verifies a blob signature produced by node id's SignBlob.
+func (t *TCP) VerifyBlob(id NodeID, context string, data, sig []byte) bool {
+	if int(id) < 0 || int(id) >= t.cfg.N {
+		return false
+	}
+	return ed25519.Verify(t.pubs[id], blobBytes(context, data), sig)
+}
+
+// Suspected reports the peers currently presumed crashed (failover mode
+// only; always empty with FailoverQuorum == 0).
+func (t *TCP) Suspected() []NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := make([]NodeID, 0, len(t.suspect))
+	for id := 0; id < t.cfg.N; id++ {
+		if t.suspect[NodeID(id)] {
+			ids = append(ids, NodeID(id))
+		}
+	}
+	return ids
+}
+
+// markSuspect flags a peer as presumed crashed and wakes any barrier wait
+// that may now be satisfiable at quorum.
+func (t *TCP) markSuspect(id NodeID, cause string) {
+	t.mu.Lock()
+	if !t.suspect[id] && !t.closed {
+		t.suspect[id] = true
+		t.cond.Broadcast()
+		t.mu.Unlock()
+		t.logf("node %d suspects node %d (%s)", t.cfg.Self, id, cause)
+		return
+	}
+	t.mu.Unlock()
+}
+
+func (t *TCP) isSuspect(id NodeID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.suspect[id]
+}
+
 // writePeer frames and writes one message to a peer's outbound
 // connection, buffering it for replay and redialing with backoff if the
 // connection broke. Only the driving goroutine calls it.
@@ -420,26 +498,43 @@ func (t *TCP) writePeer(o *outConn, typ byte, body []byte, round int) error {
 		o.conn.Close()
 		o.conn = nil
 	}
+	// With failover enabled a suspected peer must not stall the writer:
+	// skip the blocking redial, keep the frame buffered, and let a later
+	// write (after rehabilitation) replay it.
+	failover := t.cfg.FailoverQuorum > 0
+	if failover && t.isSuspect(o.id) {
+		return nil
+	}
 	// Reconnect and replay everything the peer may have missed: the
 	// previous round's frames (it may not have processed our DONE) and
 	// the current round's. The receiver deduplicates byte-identical
-	// frames, so over-replay is harmless.
-	conn, err := t.dialPeer(o.id)
+	// frames, so over-replay is harmless. In failover mode the redial
+	// budget is SuspectAfter, not the full DialTimeout — an unreachable
+	// peer becomes suspected instead of an error.
+	dialBudget := t.cfg.DialTimeout
+	if failover && t.cfg.SuspectAfter < dialBudget {
+		dialBudget = t.cfg.SuspectAfter
+	}
+	conn, err := t.dialPeer(o.id, dialBudget)
 	if err != nil {
+		if failover {
+			t.markSuspect(o.id, "unreachable on write")
+			return nil
+		}
 		return err
 	}
 	o.conn = conn
-	for _, f := range o.bufPrev {
+	replay := make([][]byte, 0, len(o.bufPrev)+len(o.bufCur))
+	replay = append(replay, o.bufPrev...)
+	replay = append(replay, o.bufCur...)
+	for _, f := range replay {
 		if _, err := conn.Write(f); err != nil {
 			conn.Close()
 			o.conn = nil
-			return fmt.Errorf("transport: node %d replaying to node %d: %w", t.cfg.Self, o.id, err)
-		}
-	}
-	for _, f := range o.bufCur {
-		if _, err := conn.Write(f); err != nil {
-			conn.Close()
-			o.conn = nil
+			if failover {
+				t.markSuspect(o.id, "write failed during replay")
+				return nil
+			}
 			return fmt.Errorf("transport: node %d replaying to node %d: %w", t.cfg.Self, o.id, err)
 		}
 	}
@@ -504,7 +599,10 @@ func (t *TCP) Broadcast(kind string, payload []byte) error {
 // Step ends this node's round: it sends DONE to every peer, waits (up to
 // StepTimeout) for every peer's DONE of the same round, advances, and
 // returns the round's deliveries sorted in the simulated network's
-// deterministic order.
+// deterministic order. With FailoverQuorum set, the barrier instead
+// completes once that many peers have ended the round and the
+// SuspectAfter grace for stragglers has elapsed; stragglers are marked
+// suspected and skipped by later barriers until they reappear.
 func (t *TCP) Step() ([]Message, error) {
 	t.mu.Lock()
 	r := t.round
@@ -525,25 +623,60 @@ func (t *TCP) Step() ([]Message, error) {
 			return nil, err
 		}
 	}
-	// Barrier: all peers must end round r before we advance. A timer
-	// wakes the wait so a dead peer fails the Step instead of hanging it.
+	// Barrier: peers must end round r before we advance. Timers wake the
+	// wait so a dead peer fails the Step (or, in failover mode, gets
+	// suspected) instead of hanging it.
+	failover := t.cfg.FailoverQuorum > 0
 	deadline := time.Now().Add(t.cfg.StepTimeout) //csmlint:allow detsource(liveness timeout for the step barrier; expiry fails the Step, it never reorders deliveries)
-	timer := time.AfterFunc(t.cfg.StepTimeout, func() {
+	wake := func() {
 		t.mu.Lock()
 		t.cond.Broadcast()
 		t.mu.Unlock()
-	})
+	}
+	timer := time.AfterFunc(t.cfg.StepTimeout, wake)
 	defer timer.Stop()
+	var graceOver time.Time
+	if failover {
+		graceOver = time.Now().Add(t.cfg.SuspectAfter) //csmlint:allow detsource(liveness grace before suspecting stragglers; expiry only shrinks the barrier, deliveries stay sorted)
+		grace := time.AfterFunc(t.cfg.SuspectAfter, wake)
+		defer grace.Stop()
+	}
+	var newSuspects []NodeID
 	t.mu.Lock()
-	for !t.closed && len(t.doneFrom[r]) < t.cfg.N-1 {
-		//csmlint:allow detsource(liveness timeout for the step barrier; expiry fails the Step, it never reorders deliveries)
-		if !time.Now().Before(deadline) {
-			missing := make([]NodeID, 0, t.cfg.N)
-			for id := 0; id < t.cfg.N; id++ {
-				if NodeID(id) != t.cfg.Self && !t.doneFrom[r][NodeID(id)] {
-					missing = append(missing, NodeID(id))
+	for !t.closed {
+		arrived := 0
+		lateHealthy := 0 // missing peers not (yet) suspected
+		missing := make([]NodeID, 0, t.cfg.N)
+		for id := 0; id < t.cfg.N; id++ {
+			if NodeID(id) == t.cfg.Self {
+				continue
+			}
+			if max, ok := t.doneMax[NodeID(id)]; ok && max >= r {
+				arrived++
+				continue
+			}
+			missing = append(missing, NodeID(id))
+			if !t.suspect[NodeID(id)] {
+				lateHealthy++
+			}
+		}
+		if arrived == t.cfg.N-1 {
+			break
+		}
+		//csmlint:allow detsource(liveness grace before suspecting stragglers; expiry only shrinks the barrier, deliveries stay sorted)
+		graceExpired := failover && !time.Now().Before(graceOver)
+		if failover && arrived >= t.cfg.FailoverQuorum &&
+			(lateHealthy == 0 || graceExpired) {
+			for _, id := range missing {
+				if !t.suspect[id] {
+					t.suspect[id] = true
+					newSuspects = append(newSuspects, id)
 				}
 			}
+			break
+		}
+		//csmlint:allow detsource(liveness timeout for the step barrier; expiry fails the Step, it never reorders deliveries)
+		if !time.Now().Before(deadline) {
 			t.mu.Unlock()
 			return nil, fmt.Errorf("transport: node %d round %d barrier timed out after %v waiting for peers %v",
 				t.cfg.Self, r, t.cfg.StepTimeout, missing)
@@ -558,8 +691,10 @@ func (t *TCP) Step() ([]Message, error) {
 	due := t.buffered[r]
 	delete(t.buffered, r)
 	delete(t.seen, r)
-	delete(t.doneFrom, r)
 	t.mu.Unlock()
+	for _, id := range newSuspects {
+		t.logf("node %d suspects node %d (no DONE for round %d within %v)", t.cfg.Self, id, r, t.cfg.SuspectAfter)
+	}
 	// The simulator delivers sorted by sender, recipient, kind; recipient
 	// is constant here.
 	sort.SliceStable(due, func(i, j int) bool {
