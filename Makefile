@@ -19,7 +19,7 @@ STATICCHECK_VERSION := $(shell sed -n 's/.*StaticcheckVersion = "\(.*\)".*/\1/p'
 GOVULNCHECK_MODULE  := $(shell sed -n 's/.*GovulncheckModule  = "\(.*\)".*/\1/p' tools.go)
 GOVULNCHECK_VERSION := $(shell sed -n 's/.*GovulncheckVersion = "\(.*\)".*/\1/p' tools.go)
 
-.PHONY: all build test race bench bench-json bench-micro bench-pr3 bench-pr5 smoke-pipeline smoke-churn smoke-service smoke-processes smoke-restart soak soak-short fuzz-smoke csmlint staticcheck govulncheck lint fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json bench-micro bench-pr3 bench-pr5 bench-pr10 smoke-pipeline smoke-churn smoke-service smoke-shard smoke-processes smoke-restart soak soak-short fuzz-smoke csmlint staticcheck govulncheck lint fmt fmt-check vet ci
 
 all: build test
 
@@ -61,6 +61,15 @@ bench-pr3:
 bench-pr5:
 	$(MAKE) bench-json BENCH_OUT=BENCH_PR5.json BASELINE=BENCH_PR3.json
 
+# Regenerate BENCH_PR10.json: the sharded-router Submit throughput sweep
+# (S x submitters, identical N=12 shards, M=6S global machines). On a
+# single-core host the scaling shows as flat ns_op while the served
+# machine count grows S-fold.
+bench-pr10:
+	$(GO) test -bench='BenchmarkShardedThroughput' -benchmem -benchtime=200x -run='^$$' ./internal/shard/ > bench-current.txt
+	$(GO) run ./cmd/benchjson -note "sharded router Submit throughput, S={1,2,4} x submitters={1,4,8}, N=12 per shard, M=6S machines, benchtime=200x; aggregate scaling = S-fold machines at flat per-command ns_op" < bench-current.txt > BENCH_PR10.json
+	@rm -f bench-current.txt
+
 # One pipelined + batched end-to-end configuration (CI smoke): Byzantine
 # nodes, Dolev-Strong consensus, pipeline depth 4, 4-round batches.
 smoke-pipeline:
@@ -77,6 +86,14 @@ smoke-churn:
 # concurrent tellers, futures, backpressure, consensus batching.
 smoke-service:
 	$(GO) run -race ./examples/service
+
+# The sharded multi-cluster router end to end under the race detector
+# (CI smoke): per-tenant shards behind the consistent-hash ingress,
+# skewed traffic, one cross-shard two-phase transfer, one forced
+# rebalance, and final per-machine digests checked bit-identical against
+# an unsharded single-cluster oracle run.
+smoke-shard:
+	$(GO) run -race ./examples/multitenant
 
 # The multi-process deployment end to end (CI smoke), once per consensus
 # mode: bootstrap a 4-node localhost cluster of csmnode OS processes over
@@ -155,4 +172,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet lint build race bench bench-micro smoke-pipeline smoke-churn smoke-service smoke-processes smoke-restart soak-short fuzz-smoke
+ci: fmt-check vet lint build race bench bench-micro smoke-pipeline smoke-churn smoke-service smoke-shard smoke-processes smoke-restart soak-short fuzz-smoke

@@ -37,6 +37,7 @@ import (
 	"codedsm/internal/mvpoly"
 	"codedsm/internal/poly"
 	"codedsm/internal/replication"
+	"codedsm/internal/shard"
 	"codedsm/internal/sm"
 	"codedsm/internal/transport"
 	"codedsm/internal/wal"
@@ -577,6 +578,139 @@ func RepairCost(ns []int, mu float64, d, rounds int, seed uint64) ([]RepairRow, 
 
 // RenderRepair renders the repair-cost series as text.
 func RenderRepair(rows []RepairRow) string { return metrics.RenderRepair(rows) }
+
+// ---- Sharded serving (the consistent-hash shard router) ----
+
+// Router serves a fleet of independent CSM clusters behind one
+// Submit/Future/Results surface: machines are addressed by global index
+// and assigned to shards by a consistent-hash ring; cross-shard command
+// sets run a two-phase prepare/commit protocol; Rebalance migrates a
+// machine between shards through the coded-state handoff.
+type Router[E comparable] = shard.Router[E]
+
+// RouterOption configures OpenRouter.
+type RouterOption = shard.Option
+
+// RouterFuture is the pending result of one routed command.
+type RouterFuture[E comparable] = shard.Future[E]
+
+// ShardRing is the consistent-hash ring assigning machines to shards.
+type ShardRing = shard.Ring
+
+// ShardMove records one completed rebalance.
+type ShardMove = shard.Move
+
+// CrossOp is one machine's command inside a cross-shard command set
+// (Router.SubmitCross).
+type CrossOp[E comparable] = shard.Op[E]
+
+// ShardError wraps a failure from one shard, naming it; the underlying
+// csm error chain stays visible to errors.Is.
+type ShardError = shard.ShardError
+
+// AbortError reports an aborted two-phase cross-shard command: the
+// failing phase and shard, and any shards that had already committed.
+// It matches ErrCrossShardAborted via errors.Is.
+type AbortError = shard.AbortError
+
+// TwoPhase names a stage of the cross-shard protocol.
+type TwoPhase = shard.Phase
+
+// Two-phase stages.
+const (
+	PhasePrepare = shard.PhasePrepare
+	PhaseCommit  = shard.PhaseCommit
+)
+
+// Router sentinel errors (errors.Is).
+var (
+	// ErrRouterClosed: an operation on a closed router.
+	ErrRouterClosed = shard.ErrRouterClosed
+	// ErrCrossShardAborted: a two-phase cross-shard command aborted.
+	ErrCrossShardAborted = shard.ErrAborted
+)
+
+// DefaultVirtualNodes is the per-shard virtual-node count used when
+// WithShardVirtualNodes is not given.
+const DefaultVirtualNodes = shard.DefaultVirtualNodes
+
+// NewShardRing builds a standalone consistent-hash ring (placement is a
+// pure function of the parameters).
+func NewShardRing(shards, vnodes int, seed uint64) (*ShardRing, error) {
+	return shard.NewRing(shards, vnodes, seed)
+}
+
+// OpenRouter builds the ring, opens one CSM cluster per shard via the
+// functional options, scatters the initial states, and starts serving:
+//
+//	router, err := codedsm.OpenRouter(gold, codedsm.NewBank[uint64],
+//		codedsm.WithShards(3), codedsm.WithShardMachines(9),
+//		codedsm.WithShardSeed(7),
+//		codedsm.WithShardClusterOptions(
+//			codedsm.WithNodes(12), codedsm.WithFaults(1)))
+func OpenRouter[E comparable](f Field[E], newTransition csm.TransitionFactory[E], opts ...RouterOption) (*Router[E], error) {
+	return shard.Open(f, newTransition, opts...)
+}
+
+// WithShards sets the shard count S (required).
+func WithShards(s int) RouterOption { return shard.WithShards(s) }
+
+// WithShardMachines sets the global machine count (required).
+func WithShardMachines(m int) RouterOption { return shard.WithMachines(m) }
+
+// WithShardSlots sets each shard cluster's machine capacity (default:
+// the ring's maximum shard load plus one migration slot).
+func WithShardSlots(k int) RouterOption { return shard.WithSlots(k) }
+
+// WithShardVirtualNodes sets the ring's per-shard virtual-node count.
+func WithShardVirtualNodes(v int) RouterOption { return shard.WithVirtualNodes(v) }
+
+// WithShardSeed seeds ring placement, per-shard cluster seeds, and
+// coordinator election.
+func WithShardSeed(seed uint64) RouterOption { return shard.WithSeed(seed) }
+
+// WithShardClusterOptions appends cluster options applied to every shard.
+func WithShardClusterOptions(opts ...Option) RouterOption {
+	return shard.WithClusterOptions(opts...)
+}
+
+// WithShardClusterOptionsFor appends cluster options applied to one
+// shard only.
+func WithShardClusterOptionsFor(s int, opts ...Option) RouterOption {
+	return shard.WithClusterOptionsFor(s, opts...)
+}
+
+// WithShardClientOptions appends ingress client options applied whenever
+// the router opens a shard's client.
+func WithShardClientOptions(opts ...ClientOption) RouterOption {
+	return shard.WithClientOptions(opts...)
+}
+
+// WithShardPadCommand sets the identity command used as both the shard
+// clients' pad and the two-phase prepare probe.
+func WithShardPadCommand[E comparable](cmd []E) RouterOption {
+	return shard.WithPadCommand(cmd)
+}
+
+// WithShardInitialStates sets the global machines' initial states, in
+// global machine order.
+func WithShardInitialStates[E comparable](states [][]E) RouterOption {
+	return shard.WithInitialStates(states)
+}
+
+// DigestShardState returns the hex SHA-256 digest of a state vector
+// under the field's canonical uint64 representation — the cross-cluster
+// comparison format Router.StateDigests uses.
+func DigestShardState[E comparable](f Field[E], state []E) string {
+	return shard.DigestState(f, state)
+}
+
+// DecodeMachineState reconstructs machine k's state from a cluster's
+// coded shares (the coded read half of the rebalance handoff; also the
+// oracle-comparison path for a closed cluster).
+func DecodeMachineState[E comparable](c *Cluster[E], k int) ([]E, error) {
+	return c.DecodeMachineState(k)
+}
 
 // ---- Polynomial utilities ----
 

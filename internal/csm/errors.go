@@ -40,6 +40,12 @@ var (
 	// closed (or whose scheduler already failed; the failure is attached).
 	ErrClientClosed = errors.New("csm: client closed")
 
+	// ErrClientOpen reports a direct cluster-state operation
+	// (DecodeMachineState, AdoptMachineState) attempted while an ingress
+	// client is open — between Open and Close the scheduler goroutine owns
+	// the cluster.
+	ErrClientOpen = errors.New("csm: the cluster has an open client (Close it first)")
+
 	// ErrConsensusConfig reports a consensus selection that can never work
 	// for the cluster shape — PBFT with N < 3b+1, an unknown kind, or a
 	// driver entry point that does not match the configured protocol

@@ -20,8 +20,8 @@ import (
 var DetMap = &Analyzer{
 	Name: "detmap",
 	Doc: "flag range over a map in protocol packages (internal/csm, internal/lcc, " +
-		"internal/transport, internal/nodeapi, internal/consensus); iterate sorted keys " +
-		"(ints.SortedKeys) or annotate with //csmlint:allow detmap(reason)",
+		"internal/transport, internal/nodeapi, internal/consensus, internal/shard); " +
+		"iterate sorted keys (ints.SortedKeys) or annotate with //csmlint:allow detmap(reason)",
 	Run: runDetMap,
 }
 

@@ -340,6 +340,7 @@ var protocolPkgs = []string{
 	"internal/transport",
 	"internal/nodeapi",
 	"internal/consensus",
+	"internal/shard",
 }
 
 // wirePkgs are the packages that produce bytes another process or a

@@ -17,6 +17,13 @@ func TestDetMapConsensusSubpackage(t *testing.T) {
 	linttest.Run(t, "testdata/src/detmap", "codedsm/internal/consensus/pbft", lint.DetMap)
 }
 
+func TestDetMapShardPackage(t *testing.T) {
+	// The sharded router's placement and two-phase paths feed
+	// client-visible output and the digest comparison against the
+	// unsharded oracle, so internal/shard is protocol scope too.
+	linttest.Run(t, "testdata/src/detmap", "codedsm/internal/shard", lint.DetMap)
+}
+
 func TestDetMapOutOfScope(t *testing.T) {
 	linttest.Run(t, "testdata/src/outofscope", "codedsm/internal/other", lint.DetMap)
 }

@@ -1,0 +1,69 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors. Wrapped shard-level failures keep their own chains:
+// errors.Is against csm.ErrRoundLimit, csm.ErrFaultBudgetExceeded, or a
+// csm.BatchError still works through a ShardError or AbortError.
+var (
+	// ErrRouterClosed reports an operation on a closed router.
+	ErrRouterClosed = errors.New("shard: router is closed")
+
+	// ErrAborted marks a two-phase cross-shard command that aborted; the
+	// typed *AbortError carrying it names the failing shard and phase.
+	ErrAborted = errors.New("shard: cross-shard command aborted")
+)
+
+// ShardError wraps a failure from one shard's cluster or ingress client,
+// naming the shard. Unwrap exposes the underlying csm error chain.
+type ShardError struct {
+	Shard int
+	Err   error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("shard %d: %v", e.Shard, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// Phase names a stage of the two-phase cross-shard protocol.
+type Phase string
+
+const (
+	// PhasePrepare is the first phase: every participant shard proves it
+	// can serve by executing an identity probe round.
+	PhasePrepare Phase = "prepare"
+	// PhaseCommit is the second phase: the real per-shard commands run.
+	PhaseCommit Phase = "commit"
+)
+
+// AbortError reports an aborted cross-shard command: which phase failed,
+// on which shard, and — for a commit-phase abort — which shards had
+// already committed their part (a prepare-phase abort commits nothing:
+// prepare probes are identity commands that leave no state behind).
+// It matches ErrAborted via errors.Is, and Unwrap exposes the failing
+// shard's underlying error chain (csm.ErrFaultBudgetExceeded,
+// csm.ErrRoundLimit, csm.BatchError, ...).
+type AbortError struct {
+	Phase     Phase
+	Shard     int
+	Committed []int
+	Err       error
+}
+
+func (e *AbortError) Error() string {
+	if e.Phase == PhaseCommit && len(e.Committed) > 0 {
+		return fmt.Sprintf("shard: cross-shard %s aborted on shard %d (shards %v already committed): %v",
+			e.Phase, e.Shard, e.Committed, e.Err)
+	}
+	return fmt.Sprintf("shard: cross-shard %s aborted on shard %d: %v", e.Phase, e.Shard, e.Err)
+}
+
+func (e *AbortError) Unwrap() error { return e.Err }
+
+// Is matches the ErrAborted sentinel.
+func (e *AbortError) Is(target error) bool { return target == ErrAborted }

@@ -1,0 +1,127 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The ring's whole value is that placement is a pure function of
+// (seed, shards, vnodes): bit-identical across runs, processes, and any
+// number of concurrent builders.
+func TestRingDeterministicPlacement(t *testing.T) {
+	const machines = 4096
+	ref, err := NewRing(5, DefaultVirtualNodes, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Placement(machines)
+
+	// Rebuild serially.
+	for run := 0; run < 3; run++ {
+		r, err := NewRing(5, DefaultVirtualNodes, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m, sh := range r.Placement(machines) {
+			if sh != want[m] {
+				t.Fatalf("run %d: machine %d placed on shard %d, want %d", run, m, sh, want[m])
+			}
+		}
+	}
+
+	// Rebuild from many goroutines at once (the "worker counts" axis: ring
+	// construction and lookup share no state, so concurrency cannot change
+	// placement).
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r, err := NewRing(5, DefaultVirtualNodes, 42)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for m := 0; m < machines; m++ {
+				if sh := r.Machine(m); sh != want[m] {
+					errs[w] = fmt.Errorf("worker %d: machine %d placed on shard %d, want %d", w, m, sh, want[m])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A different seed is a different ring (sanity: the seed is live).
+	other, err := NewRing(5, DefaultVirtualNodes, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for m := 0; m < machines; m++ {
+		if other.Machine(m) == want[m] {
+			same++
+		}
+	}
+	if same == machines {
+		t.Fatalf("seeds 42 and 43 produced identical placement over %d machines", machines)
+	}
+}
+
+// Consistent hashing's defining property: growing the ring from S to S+1
+// shards moves roughly 1/(S+1) of the keys, and every moved key lands on
+// the new shard (a key never moves between surviving shards).
+func TestRingAddShardMovesOneOverS(t *testing.T) {
+	const machines = 8192
+	for _, s := range []int{2, 3, 4, 7} {
+		before, err := NewRing(s, DefaultVirtualNodes, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := NewRing(s+1, DefaultVirtualNodes, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for m := 0; m < machines; m++ {
+			a, b := before.Machine(m), after.Machine(m)
+			if a == b {
+				continue
+			}
+			if b != s {
+				t.Fatalf("S=%d: machine %d moved from shard %d to surviving shard %d (only the new shard %d may gain keys)",
+					s, m, a, b, s)
+			}
+			moved++
+		}
+		// Expectation is machines/(S+1); pin generous-but-meaningful bounds
+		// (vnodes=64 keeps the variance modest).
+		frac := float64(moved) / machines
+		lo, hi := 0.4/float64(s+1), 2.0/float64(s+1)
+		if frac < lo || frac > hi {
+			t.Fatalf("S=%d→%d: moved fraction %.4f outside pinned bounds [%.4f, %.4f]", s, s+1, frac, lo, hi)
+		}
+	}
+}
+
+// With enough virtual nodes no shard is starved or grossly overloaded.
+func TestRingLoadSpread(t *testing.T) {
+	const machines = 8192
+	r, err := NewRing(4, DefaultVirtualNodes, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := machines / 4
+	for sh, load := range r.Loads(machines) {
+		if load < mean/3 || load > mean*3 {
+			t.Fatalf("shard %d load %d too far from the mean %d", sh, load, mean)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Two-phase cross-shard commands. A command set spanning several shards
+// cannot ride one cluster's consensus: each shard orders and executes
+// independently. SubmitCross layers a prepare/commit protocol over the
+// per-shard ingress clients, with the coordinator chosen per session by
+// the intermix election beacon (the same VRF-style self-election the
+// INTERMIX audit committee uses, so coordinator choice is deterministic
+// under the router seed yet unpredictable across sessions):
+//
+//   - Prepare: every participant shard executes an identity probe (the
+//     pad command) through its full consensus + coded-execution path,
+//     coordinator first. A probe proves the shard is live, its leader
+//     rotation functional, and its fault budget intact — while leaving
+//     machine states untouched, so an aborted session commits nothing
+//     anywhere and the state digests still match an oracle run that
+//     never saw the session.
+//
+//   - Commit: the real per-shard commands are submitted and awaited in
+//     the same order. A failure here surfaces as an AbortError naming
+//     the shards that had already committed — the caller-visible
+//     partial-commit record (per-shard atomicity comes from the shard's
+//     own consensus; cross-shard atomicity is exactly what a failed
+//     commit phase forfeits, and the error says so).
+//
+// Every failure is a typed *AbortError matching ErrAborted, with the
+// failing shard's csm error chain (ErrFaultBudgetExceeded, ErrRoundLimit,
+// BatchError, ...) intact under Unwrap.
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"codedsm/internal/csm"
+	"codedsm/internal/intermix"
+)
+
+// Op is one machine's command inside a cross-shard command set.
+type Op[E comparable] struct {
+	Machine int
+	Cmd     []E
+}
+
+// participant groups a session's ops on one shard.
+type participant[E comparable] struct {
+	shard int
+	ops   []int // indices into the session's op list
+}
+
+// SubmitCross executes a set of per-machine commands as one session:
+// ops on a single shard submit directly; ops spanning shards run the
+// two-phase prepare/commit protocol. It returns each op's decoded
+// output, in op order. SubmitCross holds the routing fence shared, so a
+// concurrent Rebalance waits for the whole session (and never splits
+// it); concurrent SubmitCross and Submit calls interleave freely.
+func (rt *Router[E]) SubmitCross(ctx context.Context, ops []Op[E]) ([][]E, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("shard: SubmitCross: no ops")
+	}
+	seen := make([]bool, rt.machines)
+	for _, op := range ops {
+		if op.Machine < 0 || op.Machine >= rt.machines {
+			return nil, fmt.Errorf("shard: SubmitCross: machine %d out of range [0,%d)", op.Machine, rt.machines)
+		}
+		if seen[op.Machine] {
+			return nil, fmt.Errorf("shard: SubmitCross: machine %d appears twice", op.Machine)
+		}
+		seen[op.Machine] = true
+	}
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if rt.closed {
+		return nil, ErrRouterClosed
+	}
+
+	// Group ops by current shard, ascending.
+	byShard := make([][]int, len(rt.clusters))
+	for i, op := range ops {
+		sh := rt.place[op.Machine].shard
+		byShard[sh] = append(byShard[sh], i)
+	}
+	var parts []participant[E]
+	for sh, idxs := range byShard {
+		if len(idxs) > 0 {
+			parts = append(parts, participant[E]{shard: sh, ops: idxs})
+		}
+	}
+
+	outs := make([][]E, len(ops))
+	if len(parts) == 1 {
+		// Single-shard fast path: ordinary routed submission, no protocol.
+		if err := rt.commitOn(ctx, parts[0], ops, outs); err != nil {
+			return nil, err.Err // unwrap to the plain ShardError
+		}
+		return outs, nil
+	}
+
+	// Coordinator election: the intermix beacon self-elects over the
+	// participants; the first elected participant coordinates and
+	// prepares first, the rest follow in ascending shard order.
+	session := rt.sessions.Add(1)
+	committee, _, err := intermix.ElectNonEmpty(mix64(rt.seed^session), len(parts), 1)
+	if err != nil {
+		return nil, fmt.Errorf("shard: SubmitCross: electing coordinator: %w", err)
+	}
+	coord := committee[0]
+	order := make([]participant[E], 0, len(parts))
+	order = append(order, parts[coord])
+	for i, p := range parts {
+		if i != coord {
+			order = append(order, p)
+		}
+	}
+
+	// Phase 1: prepare probes, serially in coordinator-first order. The
+	// probe addresses the shard's first participating slot; it is the pad
+	// command, so it advances no machine state.
+	for _, p := range order {
+		slot := rt.place[ops[p.ops[0]].Machine].slot
+		fut, err := rt.clients[p.shard].Submit(ctx, slot, rt.pad)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			return nil, &AbortError{Phase: PhasePrepare, Shard: p.shard, Err: err}
+		}
+		if _, err := fut.Wait(ctx); err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			return nil, &AbortError{Phase: PhasePrepare, Shard: p.shard, Err: err}
+		}
+	}
+
+	// Phase 2: commit, same order. Each shard's ops submit together (they
+	// may share a round or batch) and are awaited before the next shard.
+	var committed []int
+	for _, p := range order {
+		if serr := rt.commitOn(ctx, p, ops, outs); serr != nil {
+			if ctx.Err() != nil {
+				return nil, serr.Err
+			}
+			return nil, &AbortError{Phase: PhaseCommit, Shard: serr.Shard, Committed: committed, Err: serr.Err}
+		}
+		committed = append(committed, p.shard)
+	}
+	return outs, nil
+}
+
+// commitOn submits one participant shard's ops and awaits them, filling
+// outs. Callers hold rt.mu shared.
+func (rt *Router[E]) commitOn(ctx context.Context, p participant[E], ops []Op[E], outs [][]E) *ShardError {
+	inner := make([]int, 0, len(p.ops))
+	pending := make([]*csm.Future[E], 0, len(p.ops))
+	for _, i := range p.ops {
+		slot := rt.place[ops[i].Machine].slot
+		fut, err := rt.clients[p.shard].Submit(ctx, slot, ops[i].Cmd)
+		if err != nil {
+			return &ShardError{Shard: p.shard, Err: err}
+		}
+		inner = append(inner, i)
+		pending = append(pending, fut)
+	}
+	for j, fut := range pending {
+		out, err := fut.Wait(ctx)
+		if err != nil {
+			return &ShardError{Shard: p.shard, Err: err}
+		}
+		outs[inner[j]] = out
+	}
+	return nil
+}

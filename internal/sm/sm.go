@@ -189,6 +189,18 @@ func (m *Machine[E]) State() []E { return append([]E(nil), m.state...) }
 // Round returns the number of commands executed so far.
 func (m *Machine[E]) Round() int { return m.round }
 
+// SetState replaces the machine's state (copied) without advancing the
+// round counter — the handoff primitive behind migrating a machine
+// between clusters: the receiving cluster's oracle adopts the state the
+// sending cluster decoded.
+func (m *Machine[E]) SetState(state []E) error {
+	if len(state) != m.tr.StateLen() {
+		return fmt.Errorf("sm: state length %d, want %d: %w", len(state), m.tr.StateLen(), ErrDimension)
+	}
+	m.state = append(m.state[:0:0], state...)
+	return nil
+}
+
 // Step executes one command, advancing the state and returning the output.
 func (m *Machine[E]) Step(cmd []E) ([]E, error) {
 	next, out, err := m.tr.Apply(m.state, cmd)
